@@ -1,0 +1,168 @@
+//! Heuristic classification of how an address's Interface ID was generated.
+//!
+//! Mirrors the address-structure taxonomy of Plonka & Berger ("Temporal and
+//! Spatial Classification of Active IPv6 Addresses", IMC 2015) and the
+//! hitlist literature the paper cites: server addresses tend to be low-byte
+//! or service-port-embedded, SLAAC clients use EUI-64 or privacy (random)
+//! IIDs. Scan-detection uses this to characterize *targeted* addresses and
+//! to build structured synthetic hitlists.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse classes of Interface-ID structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IidClass {
+    /// IID is zero: the subnet-router anycast address.
+    SubnetAnycast,
+    /// Only the lowest byte is non-zero (e.g. `::1`, `::a`): typical manually
+    /// configured server.
+    LowByte,
+    /// Only the lowest 16 bits are non-zero and they match a well-known
+    /// service port (e.g. `::53`, `::443`).
+    EmbeddedPort,
+    /// Low 32 bits look like an embedded IPv4 address (dotted-quad style,
+    /// each byte non-zero-ish) with zero upper IID bits.
+    EmbeddedIpv4,
+    /// Bits 24..40 of the IID are `0xfffe`: modified EUI-64 from a MAC.
+    Eui64,
+    /// Low Hamming weight (≤ 16) without matching a more specific class:
+    /// structured / pattern-generated.
+    Structured,
+    /// Hamming weight near 32: consistent with a random (privacy) IID.
+    Random,
+}
+
+impl IidClass {
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IidClass::SubnetAnycast => "subnet-anycast",
+            IidClass::LowByte => "low-byte",
+            IidClass::EmbeddedPort => "embedded-port",
+            IidClass::EmbeddedIpv4 => "embedded-ipv4",
+            IidClass::Eui64 => "eui64",
+            IidClass::Structured => "structured",
+            IidClass::Random => "random",
+        }
+    }
+}
+
+/// Well-known ports recognized by [`IidClass::EmbeddedPort`].
+const KNOWN_PORTS: &[u16] = &[
+    21, 22, 23, 25, 53, 80, 110, 143, 443, 465, 587, 993, 995, 3306, 3389, 5060, 5432, 8080, 8443,
+];
+
+/// Classifies the Interface ID (low 64 bits) of an address.
+///
+/// ```
+/// use lumen6_addr::{classify_iid, IidClass};
+/// assert_eq!(classify_iid(0x1), IidClass::LowByte);
+/// assert_eq!(classify_iid(0x50), IidClass::EmbeddedPort); // ::80 hex? no: 0x50 = 80 decimal
+/// ```
+pub fn classify_iid(addr: u128) -> IidClass {
+    let iid = addr as u64;
+    if iid == 0 {
+        return IidClass::SubnetAnycast;
+    }
+    if iid <= 0xff {
+        // Low-byte unless the value is a recognizable decimal service port
+        // (e.g. ::53 meaning DNS on 53 — here we treat the numeric value).
+        if KNOWN_PORTS.contains(&(iid as u16)) {
+            return IidClass::EmbeddedPort;
+        }
+        return IidClass::LowByte;
+    }
+    if iid <= 0xffff && KNOWN_PORTS.contains(&(iid as u16)) {
+        return IidClass::EmbeddedPort;
+    }
+    // Modified EUI-64: ff:fe in the middle of the IID.
+    if (iid >> 24) & 0xffff == 0xfffe {
+        return IidClass::Eui64;
+    }
+    // Embedded IPv4: upper 32 IID bits zero, low 32 bits with a plausible
+    // dotted-quad (first octet 1..=223, not loopback).
+    if iid >> 32 == 0 {
+        let v4 = iid as u32;
+        let o1 = (v4 >> 24) as u8;
+        if (1..=223).contains(&o1) && o1 != 127 {
+            return IidClass::EmbeddedIpv4;
+        }
+    }
+    let w = iid.count_ones();
+    if w <= 16 {
+        IidClass::Structured
+    } else {
+        IidClass::Random
+    }
+}
+
+/// Histogram of IID classes over a set of addresses.
+pub fn class_histogram<I: IntoIterator<Item = u128>>(addrs: I) -> Vec<(IidClass, u64)> {
+    use std::collections::HashMap;
+    let mut h: HashMap<IidClass, u64> = HashMap::new();
+    for a in addrs {
+        *h.entry(classify_iid(a)).or_default() += 1;
+    }
+    let mut v: Vec<_> = h.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.label().cmp(b.0.label())));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anycast_is_zero_iid() {
+        assert_eq!(classify_iid(0xdead_0000_0000_0000_0000_0000_0000_0000), IidClass::SubnetAnycast);
+    }
+
+    #[test]
+    fn low_byte_servers() {
+        assert_eq!(classify_iid(0x1), IidClass::LowByte);
+        assert_eq!(classify_iid(0x0a), IidClass::LowByte);
+        assert_eq!(classify_iid(0xfe), IidClass::LowByte);
+    }
+
+    #[test]
+    fn embedded_ports() {
+        assert_eq!(classify_iid(53), IidClass::EmbeddedPort);
+        assert_eq!(classify_iid(443), IidClass::EmbeddedPort);
+        assert_eq!(classify_iid(8080), IidClass::EmbeddedPort);
+    }
+
+    #[test]
+    fn eui64_detected() {
+        // 02:11:22 ff:fe 33:44:55
+        let iid: u64 = 0x0211_22ff_fe33_4455;
+        assert_eq!(classify_iid(iid as u128), IidClass::Eui64);
+    }
+
+    #[test]
+    fn embedded_ipv4_detected() {
+        // ::192.0.2.1
+        let iid: u64 = (192u64 << 24) | (2 << 8) | 1;
+        assert_eq!(classify_iid(iid as u128), IidClass::EmbeddedIpv4);
+    }
+
+    #[test]
+    fn random_iids_classified_random() {
+        // Alternating bits: weight 32.
+        assert_eq!(classify_iid(0xaaaa_aaaa_aaaa_aaaau64 as u128), IidClass::Random);
+    }
+
+    #[test]
+    fn structured_low_weight() {
+        // Weight 4, not low-byte, not port, not EUI-64, upper bits set.
+        let iid: u64 = 0x1001_0000_0010_0001;
+        assert_eq!(classify_iid(iid as u128), IidClass::Structured);
+    }
+
+    #[test]
+    fn histogram_sorted_by_count() {
+        let addrs = vec![0x1u128, 0x2, 0x3, 0xaaaa_aaaa_aaaa_aaaa];
+        let h = class_histogram(addrs);
+        assert_eq!(h[0].0, IidClass::LowByte);
+        assert_eq!(h[0].1, 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Scan duration statistics (§3.1): medians per aggregation level, longest
+//! scan.
+
+use lumen6_detect::event::ScanReport;
+use serde::{Deserialize, Serialize};
+
+/// Duration summary for one report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationSummary {
+    /// Number of scans.
+    pub scans: usize,
+    /// Median duration (ms).
+    pub median_ms: u64,
+    /// 90th percentile (ms).
+    pub p90_ms: u64,
+    /// Longest scan (ms).
+    pub max_ms: u64,
+}
+
+/// Computes the summary.
+pub fn summarize(report: &ScanReport) -> DurationSummary {
+    let d = report.durations_ms();
+    DurationSummary {
+        scans: d.len(),
+        median_ms: crate::stats::median_sorted(&d),
+        p90_ms: crate::stats::percentile_sorted(&d, 90.0),
+        max_ms: d.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen6_detect::event::ScanEvent;
+    use lumen6_detect::AggLevel;
+    use lumen6_trace::Transport;
+
+    fn ev(dur: u64) -> ScanEvent {
+        ScanEvent {
+            source: "2001:db8::/64".parse().unwrap(),
+            agg: AggLevel::L64,
+            start_ms: 0,
+            end_ms: dur,
+            packets: 1,
+            distinct_dsts: 100,
+            distinct_srcs: 1,
+            ports: vec![((Transport::Tcp, 22), 1)],
+            dsts: None,
+        }
+    }
+
+    #[test]
+    fn summary_on_known_set() {
+        let r = ScanReport::new(vec![ev(100), ev(200), ev(1_000_000)]);
+        let s = summarize(&r);
+        assert_eq!(s.scans, 3);
+        assert_eq!(s.median_ms, 200);
+        assert_eq!(s.max_ms, 1_000_000);
+        assert_eq!(s.p90_ms, 1_000_000);
+    }
+
+    #[test]
+    fn empty_report() {
+        let s = summarize(&ScanReport::default());
+        assert_eq!(s.scans, 0);
+        assert_eq!(s.median_ms, 0);
+        assert_eq!(s.max_ms, 0);
+    }
+}

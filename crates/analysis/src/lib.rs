@@ -1,0 +1,31 @@
+//! Analysis of detected scans: everything between the detector's output and
+//! the paper's figures and tables.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`heatmap`] | Fig. 1 — per-/64 (destinations × packets) histogram |
+//! | [`series`] | Figs. 2, 3, 5, 6 — weekly/daily sources and packets |
+//! | [`concentration`] | Fig. 3 / Fig. 6 — top-k packet shares |
+//! | [`topas`] | Table 2 — top source ASes with per-level source counts |
+//! | [`topports`] | Table 3 — top ports by packets, scans, source /64s |
+//! | [`portbuckets`] | Figs. 4, 8 — ports-per-scan breakdowns |
+//! | [`targeting`] | §3.3 — in-DNS / not-in-DNS and nearby-probe analysis |
+//! | [`durations`] | §3.1 — scan duration statistics |
+//! | [`overlap`] | App. A.2 / A.4 — hitlist overlap and target similarity |
+//! | [`stats`] | shared percentile / share helpers |
+//! | [`changepoint`] | §3.3 — AS#1's mid-window port-strategy switch |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod changepoint;
+pub mod concentration;
+pub mod durations;
+pub mod heatmap;
+pub mod overlap;
+pub mod portbuckets;
+pub mod series;
+pub mod stats;
+pub mod targeting;
+pub mod topas;
+pub mod topports;

@@ -1,0 +1,180 @@
+//! Time series over scan reports: weekly (Figs. 2, 3) and daily (Figs. 5,
+//! 6) sources and packets.
+//!
+//! An event that spans multiple buckets counts its source as *active* in
+//! every overlapped bucket; its packets are attributed proportionally to
+//! the overlap duration (an event with zero duration contributes entirely
+//! to its start bucket).
+
+use lumen6_detect::event::ScanReport;
+use lumen6_trace::{DAY_MS, WEEK_MS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Bucketing granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bucket {
+    /// 7-day buckets from the epoch.
+    Weekly,
+    /// 1-day buckets from the epoch.
+    Daily,
+}
+
+impl Bucket {
+    /// Bucket width in milliseconds.
+    pub fn width_ms(&self) -> u64 {
+        match self {
+            Bucket::Weekly => WEEK_MS,
+            Bucket::Daily => DAY_MS,
+        }
+    }
+}
+
+/// One point of a source/packet series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bucket index (week or day number since the epoch).
+    pub bucket: u64,
+    /// Distinct active scan sources in the bucket.
+    pub sources: u64,
+    /// Packets attributed to the bucket (proportional overlap).
+    pub packets: f64,
+}
+
+/// Builds the series over `[0, n_buckets)`.
+pub fn series(report: &ScanReport, bucket: Bucket, n_buckets: u64) -> Vec<SeriesPoint> {
+    let w = bucket.width_ms();
+    let mut sources: Vec<HashSet<lumen6_addr::Ipv6Prefix>> =
+        vec![HashSet::new(); n_buckets as usize];
+    let mut packets = vec![0f64; n_buckets as usize];
+    for e in &report.events {
+        let first = (e.start_ms / w).min(n_buckets.saturating_sub(1));
+        let last = (e.end_ms / w).min(n_buckets.saturating_sub(1));
+        let duration = (e.end_ms - e.start_ms) as f64;
+        for b in first..=last {
+            sources[b as usize].insert(e.source);
+            let frac = if duration == 0.0 {
+                if b == first {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                let lo = (b * w).max(e.start_ms);
+                let hi = ((b + 1) * w).min(e.end_ms);
+                (hi.saturating_sub(lo)) as f64 / duration
+            };
+            packets[b as usize] += e.packets as f64 * frac;
+        }
+    }
+    (0..n_buckets)
+        .map(|b| SeriesPoint {
+            bucket: b,
+            sources: sources[b as usize].len() as u64,
+            packets: packets[b as usize],
+        })
+        .collect()
+}
+
+/// Median of the `sources` component (the paper: "median weekly active /64
+/// sources is 22").
+pub fn median_sources(points: &[SeriesPoint]) -> u64 {
+    let mut v: Vec<u64> = points.iter().map(|p| p.sources).collect();
+    v.sort_unstable();
+    crate::stats::median_sorted(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen6_detect::event::ScanEvent;
+    use lumen6_detect::AggLevel;
+    use lumen6_trace::Transport;
+
+    fn ev(src: &str, start: u64, end: u64, packets: u64) -> ScanEvent {
+        ScanEvent {
+            source: src.parse().unwrap(),
+            agg: AggLevel::L64,
+            start_ms: start,
+            end_ms: end,
+            packets,
+            distinct_dsts: 100,
+            distinct_srcs: 1,
+            ports: vec![((Transport::Tcp, 22), packets)],
+            dsts: None,
+        }
+    }
+
+    #[test]
+    fn single_bucket_event() {
+        let r = ScanReport::new(vec![ev("2001:db8::/64", 1000, 2000, 50)]);
+        let s = series(&r, Bucket::Daily, 3);
+        assert_eq!(s[0].sources, 1);
+        assert_eq!(s[0].packets, 50.0);
+        assert_eq!(s[1].sources, 0);
+        assert_eq!(s[2].packets, 0.0);
+    }
+
+    #[test]
+    fn spanning_event_counts_in_every_bucket() {
+        // Exactly two days, split 50/50.
+        let r = ScanReport::new(vec![ev("2001:db8::/64", 0, 2 * DAY_MS, 100)]);
+        let s = series(&r, Bucket::Daily, 3);
+        assert_eq!(s[0].sources, 1);
+        assert_eq!(s[1].sources, 1);
+        assert_eq!(s[2].sources, 1, "end timestamp touches bucket 2");
+        assert!((s[0].packets - 50.0).abs() < 1e-9);
+        assert!((s[1].packets - 50.0).abs() < 1e-9);
+        assert_eq!(s[2].packets, 0.0, "zero overlap width at the boundary");
+    }
+
+    #[test]
+    fn packets_conserved_across_buckets() {
+        let r = ScanReport::new(vec![
+            ev("2001:db8::/64", 0, 10 * DAY_MS - 1, 1000),
+            ev("2001:db8:1::/64", DAY_MS / 2, DAY_MS / 2 + 1000, 77),
+        ]);
+        let s = series(&r, Bucket::Daily, 12);
+        let total: f64 = s.iter().map(|p| p.packets).sum();
+        assert!((total - 1077.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn zero_duration_event_attributed_once() {
+        let r = ScanReport::new(vec![ev("2001:db8::/64", DAY_MS, DAY_MS, 10)]);
+        let s = series(&r, Bucket::Daily, 3);
+        assert_eq!(s[1].packets, 10.0);
+        assert_eq!(s[1].sources, 1);
+        let total: f64 = s.iter().map(|p| p.packets).sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn distinct_sources_deduplicated_per_bucket() {
+        let r = ScanReport::new(vec![
+            ev("2001:db8::/64", 0, 1000, 5),
+            ev("2001:db8::/64", 5000, 6000, 5),
+            ev("2001:db8:1::/64", 0, 1000, 5),
+        ]);
+        let s = series(&r, Bucket::Weekly, 1);
+        assert_eq!(s[0].sources, 2);
+    }
+
+    #[test]
+    fn events_beyond_range_clamped() {
+        let r = ScanReport::new(vec![ev("2001:db8::/64", 100 * DAY_MS, 101 * DAY_MS, 9)]);
+        let s = series(&r, Bucket::Daily, 5);
+        // Clamped into the last bucket rather than panicking.
+        assert_eq!(s[4].sources, 1);
+    }
+
+    #[test]
+    fn median_sources_works() {
+        let pts = vec![
+            SeriesPoint { bucket: 0, sources: 5, packets: 0.0 },
+            SeriesPoint { bucket: 1, sources: 22, packets: 0.0 },
+            SeriesPoint { bucket: 2, sources: 40, packets: 0.0 },
+        ];
+        assert_eq!(median_sources(&pts), 22);
+    }
+}

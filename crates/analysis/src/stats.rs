@@ -1,0 +1,93 @@
+//! Shared statistical helpers.
+
+/// Lower median of a sorted slice; 0-equivalent default for empty input.
+pub fn median_sorted<T: Copy + Default>(sorted: &[T]) -> T {
+    if sorted.is_empty() {
+        T::default()
+    } else {
+        sorted[(sorted.len() - 1) / 2]
+    }
+}
+
+/// The p-th percentile (0..=100, nearest-rank) of a sorted slice.
+pub fn percentile_sorted<T: Copy + Default>(sorted: &[T], p: f64) -> T {
+    if sorted.is_empty() {
+        return T::default();
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Fraction `part / whole`, 0 when `whole` is 0.
+pub fn share(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Jaccard similarity of two sets given as sorted, deduplicated slices.
+pub fn jaccard_sorted(a: &[u128], b: &[u128]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median_sorted::<u64>(&[]), 0);
+        assert_eq!(median_sorted(&[5u64]), 5);
+        assert_eq!(median_sorted(&[1u64, 2]), 1, "lower median");
+        assert_eq!(median_sorted(&[1u64, 2, 3]), 2);
+        assert_eq!(median_sorted(&[1u64, 2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&v, 50.0), 50);
+        assert_eq!(percentile_sorted(&v, 90.0), 90);
+        assert_eq!(percentile_sorted(&v, 100.0), 100);
+        assert_eq!(percentile_sorted(&v, 1.0), 1);
+        assert_eq!(percentile_sorted::<u64>(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn share_handles_zero() {
+        assert_eq!(share(1, 0), 0.0);
+        assert_eq!(share(1, 4), 0.25);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard_sorted(&[], &[]), 1.0);
+        assert_eq!(jaccard_sorted(&[1], &[]), 0.0);
+        assert_eq!(jaccard_sorted(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard_sorted(&[1, 2], &[2, 3]), 1.0 / 3.0);
+        // The paper's A.4 pair: intersection/union = 78%.
+        let a: Vec<u128> = (0..89).collect();
+        let b: Vec<u128> = (11..100).collect();
+        assert!((jaccard_sorted(&a, &b) - 0.78) < 0.01);
+    }
+}

@@ -1,0 +1,197 @@
+//! Table 2: top source ASes by scan packets, with per-aggregation source
+//! counts.
+//!
+//! Packets are taken from the /64-aggregated report (the paper's choice);
+//! the /48, /64, and /128 source-count columns come from the respective
+//! reports' qualifying sources attributed to each AS via the routing table.
+
+use lumen6_detect::event::ScanReport;
+use lumen6_netmodel::InternetRegistry;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsRow {
+    /// Rank by packets (1-based).
+    pub rank: usize,
+    /// Origin AS number (`None` groups unattributable sources).
+    pub asn: Option<u32>,
+    /// Anonymized descriptor ("Datacenter (CN)").
+    pub descriptor: String,
+    /// Scan packets attributed at /64 aggregation.
+    pub packets: u64,
+    /// Share of all scan packets.
+    pub share: f64,
+    /// Qualifying /48 scan sources in this AS.
+    pub sources_48: u64,
+    /// Qualifying /64 scan sources in this AS.
+    pub sources_64: u64,
+    /// Qualifying /128 scan sources in this AS.
+    pub sources_128: u64,
+}
+
+/// Builds the table from the three per-level reports.
+pub fn top_as_table(
+    registry: &InternetRegistry,
+    report_128: &ScanReport,
+    report_64: &ScanReport,
+    report_48: &ScanReport,
+    limit: usize,
+) -> Vec<AsRow> {
+    // Packets per AS from the /64 report.
+    let mut packets: HashMap<Option<u32>, u64> = HashMap::new();
+    for e in &report_64.events {
+        let asn = registry.origin_asn(e.source.bits());
+        *packets.entry(asn).or_default() += e.packets;
+    }
+    let total: u64 = packets.values().sum();
+
+    // Distinct qualifying sources per AS and level.
+    let count_sources = |report: &ScanReport| -> HashMap<Option<u32>, u64> {
+        let mut per: HashMap<Option<u32>, HashSet<lumen6_addr::Ipv6Prefix>> = HashMap::new();
+        for e in &report.events {
+            per.entry(registry.origin_asn(e.source.bits()))
+                .or_default()
+                .insert(e.source);
+        }
+        per.into_iter().map(|(k, v)| (k, v.len() as u64)).collect()
+    };
+    let s48 = count_sources(report_48);
+    let s64 = count_sources(report_64);
+    let s128 = count_sources(report_128);
+
+    // Union of ASes with any signal.
+    let mut ases: HashSet<Option<u32>> = packets.keys().copied().collect();
+    ases.extend(s48.keys().copied());
+    ases.extend(s64.keys().copied());
+    ases.extend(s128.keys().copied());
+
+    let mut rows: Vec<AsRow> = ases
+        .into_iter()
+        .map(|asn| {
+            let pk = packets.get(&asn).copied().unwrap_or(0);
+            AsRow {
+                rank: 0,
+                asn,
+                descriptor: asn
+                    .and_then(|a| registry.as_info(a))
+                    .map(|i| i.descriptor())
+                    .unwrap_or_else(|| "Unknown".to_string()),
+                packets: pk,
+                share: crate::stats::share(pk, total),
+                sources_48: s48.get(&asn).copied().unwrap_or(0),
+                sources_64: s64.get(&asn).copied().unwrap_or(0),
+                sources_128: s128.get(&asn).copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.asn.cmp(&b.asn)));
+    rows.truncate(limit);
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.rank = i + 1;
+    }
+    rows
+}
+
+/// Cumulative packet share of the top `k` rows (the paper: top-5 = 92.8%,
+/// top-10 > 99%).
+pub fn topk_as_share(rows: &[AsRow], k: usize) -> f64 {
+    rows.iter().take(k).map(|r| r.share).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen6_detect::event::ScanEvent;
+    use lumen6_detect::AggLevel;
+    use lumen6_netmodel::AsType;
+    use lumen6_trace::Transport;
+
+    fn ev(src: &str, agg: AggLevel, packets: u64) -> ScanEvent {
+        ScanEvent {
+            source: src.parse().unwrap(),
+            agg,
+            start_ms: 0,
+            end_ms: 10,
+            packets,
+            distinct_dsts: 100,
+            distinct_srcs: 1,
+            ports: vec![((Transport::Tcp, 22), packets)],
+            dsts: None,
+        }
+    }
+
+    fn registry() -> InternetRegistry {
+        let mut reg = InternetRegistry::new();
+        reg.register(1, AsType::Datacenter, "CN", "a");
+        reg.register(2, AsType::CloudTransit, "DE", "b");
+        reg.announce("2001:db8::/32".parse().unwrap(), 1).unwrap();
+        reg.announce("2001:dc8::/32".parse().unwrap(), 2).unwrap();
+        reg
+    }
+
+    #[test]
+    fn table_ranks_by_packets_and_counts_sources() {
+        let reg = registry();
+        let r64 = ScanReport::new(vec![
+            ev("2001:db8::/64", AggLevel::L64, 900),
+            ev("2001:dc8::/64", AggLevel::L64, 50),
+            ev("2001:dc8:1::/64", AggLevel::L64, 50),
+        ]);
+        let r128 = ScanReport::new(vec![ev("2001:db8::1", AggLevel::L128, 900)]);
+        let r48 = ScanReport::new(vec![
+            ev("2001:db8::/48", AggLevel::L48, 900),
+            ev("2001:dc8::/48", AggLevel::L48, 60),
+            ev("2001:dc8:1::/48", AggLevel::L48, 40),
+            ev("2001:dc8:2::/48", AggLevel::L48, 30),
+        ]);
+        let rows = top_as_table(&reg, &r128, &r64, &r48, 20);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].asn, Some(1));
+        assert_eq!(rows[0].descriptor, "Datacenter (CN)");
+        assert_eq!(rows[0].packets, 900);
+        assert!((rows[0].share - 0.9).abs() < 1e-12);
+        assert_eq!(rows[0].sources_128, 1);
+        // AS 2: /48 sources (3) exceed /64 sources (2) — the AS#18 effect.
+        assert_eq!(rows[1].asn, Some(2));
+        assert_eq!(rows[1].sources_48, 3);
+        assert_eq!(rows[1].sources_64, 2);
+        assert_eq!(rows[1].sources_128, 0);
+    }
+
+    #[test]
+    fn unknown_sources_grouped() {
+        let reg = registry();
+        let r64 = ScanReport::new(vec![ev("3fff::/64", AggLevel::L64, 10)]);
+        let rows = top_as_table(&reg, &ScanReport::default(), &r64, &ScanReport::default(), 20);
+        assert_eq!(rows[0].asn, None);
+        assert_eq!(rows[0].descriptor, "Unknown");
+    }
+
+    #[test]
+    fn limit_truncates_and_share_accumulates() {
+        let reg = registry();
+        let r64 = ScanReport::new(vec![
+            ev("2001:db8::/64", AggLevel::L64, 900),
+            ev("2001:dc8::/64", AggLevel::L64, 100),
+        ]);
+        let rows = top_as_table(&reg, &ScanReport::default(), &r64, &ScanReport::default(), 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].rank, 1);
+        assert!((topk_as_share(&rows, 1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reports() {
+        let reg = registry();
+        let rows = top_as_table(
+            &reg,
+            &ScanReport::default(),
+            &ScanReport::default(),
+            &ScanReport::default(),
+            20,
+        );
+        assert!(rows.is_empty());
+    }
+}

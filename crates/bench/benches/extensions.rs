@@ -1,0 +1,106 @@
+//! Benchmarks of the extension modules: fingerprint clustering, target
+//! generation, blocklist throughput, and the full streaming IDS.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lumen6_bench::CdnFixture;
+use lumen6_detect::adaptive::{AdaptiveConfig, AdaptiveIds};
+use lumen6_detect::blocklist::{Blocklist, BlocklistConfig};
+use lumen6_detect::ids::{Ids, IdsConfig};
+use lumen6_detect::{detector::detect, fingerprint, AggLevel, ScanDetectorConfig};
+use lumen6_scanners::tga;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn fingerprint_clustering(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let report = detect(
+        &fx.filtered,
+        ScanDetectorConfig::paper(AggLevel::L64).with_dsts(),
+    );
+    let mut g = c.benchmark_group("ext_fingerprint");
+    g.throughput(Throughput::Elements(report.events.len() as u64));
+    g.sample_size(10);
+    g.bench_function("cluster", |b| {
+        b.iter(|| fingerprint::cluster(black_box(&report.events), 0.10).len());
+    });
+    g.finish();
+}
+
+fn tga_generation(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let seeds = fx.world.deployment.dns_hitlist();
+    let seed_set: HashSet<u128> = seeds.iter().copied().collect();
+    let model = tga::IidModel::learn(&seeds);
+    let nets = tga::PrefixTree::learn(&seeds).networks();
+    let mut g = c.benchmark_group("ext_tga");
+    g.throughput(Throughput::Elements(50_000));
+    g.sample_size(10);
+    g.bench_function("learn", |b| {
+        b.iter(|| tga::IidModel::learn(black_box(&seeds)).iid_entropy());
+    });
+    g.bench_function("generate_50k", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| model.generate(&mut rng, &nets, &seed_set, 50_000).len());
+    });
+    g.finish();
+}
+
+fn blocklist_throughput(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let alerts = AdaptiveIds::new(AdaptiveConfig::default()).analyze(&fx.filtered);
+    let addrs: Vec<u128> = fx.filtered.iter().map(|r| r.src).take(100_000).collect();
+    let mut g = c.benchmark_group("ext_blocklist");
+    g.sample_size(10);
+    g.bench_function("ingest_alerts", |b| {
+        b.iter(|| {
+            let mut bl = Blocklist::new(BlocklistConfig::default());
+            bl.ingest(0, black_box(&alerts)).len()
+        });
+    });
+    let mut bl = Blocklist::new(BlocklistConfig::default());
+    bl.ingest(0, &alerts);
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("check_100k", |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter(|&&a| bl.check(black_box(a), 1))
+                .count()
+        });
+    });
+    g.finish();
+}
+
+fn streaming_ids(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let mut g = c.benchmark_group("ext_streaming_ids");
+    g.throughput(Throughput::Elements(fx.trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let mut ids = Ids::new(IdsConfig::default());
+            for r in &fx.trace {
+                ids.push(black_box(r));
+            }
+            ids.flush(u64::MAX / 2);
+            ids.stats().alerts
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite to a few minutes; these are
+    // comparative benchmarks, not microsecond-precision regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = fingerprint_clustering,
+    tga_generation,
+    blocklist_throughput,
+    streaming_ids
+}
+criterion_main!(benches);

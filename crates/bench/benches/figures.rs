@@ -1,0 +1,111 @@
+//! Per-figure/table regeneration benchmarks: the analysis stage that turns
+//! detected scans into each of the paper's artifacts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lumen6_analysis::{
+    concentration, durations, heatmap, overlap, portbuckets, series, targeting, topas, topports,
+};
+use lumen6_bench::{CdnFixture, MawiFixture};
+use lumen6_detect::{detector::detect, AggLevel, ScanDetectorConfig};
+
+fn figures(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let r128 = detect(&fx.filtered, ScanDetectorConfig::paper(AggLevel::L128));
+    let r64 = detect(
+        &fx.filtered,
+        ScanDetectorConfig::paper(AggLevel::L64).with_dsts(),
+    );
+    let r48 = detect(&fx.filtered, ScanDetectorConfig::paper(AggLevel::L48));
+    let as18 = fx
+        .world
+        .fleet
+        .truth
+        .iter()
+        .find(|t| t.rank == 18)
+        .expect("AS18 exists")
+        .prefix;
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig1_heatmap", |b| {
+        b.iter(|| {
+            let pts = heatmap::source_points(black_box(&fx.trace), AggLevel::L64);
+            heatmap::Heatmap::build(&pts, 24)
+        });
+    });
+    g.bench_function("fig2_weekly_sources", |b| {
+        b.iter(|| series::series(black_box(&r64), series::Bucket::Weekly, 3));
+    });
+    g.bench_function("fig3_weekly_packets_concentration", |b| {
+        b.iter(|| {
+            let s = concentration::per_bucket_topk(black_box(&r64), series::Bucket::Weekly, 3, 2);
+            concentration::mean_topk_share(&s)
+        });
+    });
+    g.bench_function("table2_top_as", |b| {
+        b.iter(|| {
+            topas::top_as_table(
+                black_box(&fx.world.registry),
+                black_box(&r128),
+                black_box(&r64),
+                black_box(&r48),
+                20,
+            )
+        });
+    });
+    g.bench_function("durations_summary", |b| {
+        b.iter(|| durations::summarize(black_box(&r64)));
+    });
+    g.bench_function("fig4_port_buckets", |b| {
+        b.iter(|| portbuckets::port_buckets(black_box(&r64), |s| as18.contains(s)));
+    });
+    g.bench_function("table3_top_ports", |b| {
+        b.iter(|| topports::top_ports(black_box(&r64), 10, |s| as18.contains(s)));
+    });
+    g.bench_function("fig8_port_buckets_128_48", |b| {
+        b.iter(|| {
+            (
+                portbuckets::port_buckets(black_box(&r128), |_| false),
+                portbuckets::port_buckets(black_box(&r48), |_| false),
+            )
+        });
+    });
+    g.bench_function("targets_dns_breakdown", |b| {
+        b.iter(|| {
+            let bd = targeting::dns_breakdown(black_box(&r64), |a| fx.world.deployment.is_in_dns(a));
+            targeting::summarize_dns(&bd)
+        });
+    });
+    g.finish();
+
+    // MAWI-side artifacts.
+    let mx = MawiFixture::new();
+    let mut g = c.benchmark_group("figures_mawi");
+    g.sample_size(10);
+    g.bench_function("fig7_hamming", |b| {
+        b.iter(|| {
+            lumen6_addr::HammingDistribution::from_addrs(
+                black_box(&mx.trace).iter().map(|r| r.dst),
+            )
+        });
+    });
+    let hitlist: std::collections::HashSet<u128> = mx.world.hitlist.iter().copied().collect();
+    let targets: Vec<u128> = mx.trace.iter().map(|r| r.dst).collect();
+    g.bench_function("hitlist_overlap", |b| {
+        b.iter(|| overlap::hitlist_overlap(black_box(&targets).iter(), &hitlist));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite to a few minutes; these are
+    // comparative benchmarks, not microsecond-precision regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = figures
+}
+criterion_main!(benches);

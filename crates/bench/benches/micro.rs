@@ -1,0 +1,135 @@
+//! Microbenchmarks of the data-structure substrate: trie LPM vs linear
+//! scan, HyperLogLog vs exact sets, trace codec, prefix math.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lumen6_addr::{Ipv6Prefix, PrefixTrie};
+use lumen6_detect::HyperLogLog;
+use lumen6_trace::codec::{decode, encode};
+use lumen6_trace::PacketRecord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Longest-prefix match: binary trie vs linear scan over a routing table of
+/// growing size (the netmodel attribution ablation).
+fn trie_lpm(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("trie_lpm");
+    for &n in &[100usize, 1_000, 10_000] {
+        let entries: Vec<(Ipv6Prefix, usize)> = (0..n)
+            .map(|i| {
+                let len = [32u8, 48, 64][i % 3];
+                (Ipv6Prefix::new(rng.gen(), len), i)
+            })
+            .collect();
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+        }
+        let queries: Vec<u128> = (0..1_000).map(|_| rng.gen()).collect();
+        g.throughput(Throughput::Elements(queries.len() as u64));
+        g.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&q| trie.longest_match(black_box(q)).is_some())
+                    .count()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .filter(|&&q| {
+                        PrefixTrie::linear_longest_match(&entries, black_box(q)).is_some()
+                    })
+                    .count()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Distinct-destination counting: exact HashSet vs HyperLogLog.
+fn hll_vs_exact(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let items: Vec<u128> = (0..100_000).map(|_| rng.gen()).collect();
+    let mut g = c.benchmark_group("hll_vs_exact");
+    g.throughput(Throughput::Elements(items.len() as u64));
+    g.sample_size(20);
+    g.bench_function("exact_hashset", |b| {
+        b.iter(|| {
+            let mut set = std::collections::HashSet::new();
+            for &x in &items {
+                set.insert(black_box(x));
+            }
+            set.len()
+        });
+    });
+    for p in [10u8, 12, 14] {
+        g.bench_function(format!("hll_p{p}"), |b| {
+            b.iter(|| {
+                let mut h = HyperLogLog::new(p);
+                for &x in &items {
+                    h.insert(black_box(x));
+                }
+                h.estimate()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Trace codec throughput.
+fn codec(c: &mut Criterion) {
+    let records: Vec<PacketRecord> = (0..100_000u64)
+        .map(|i| PacketRecord::tcp(i * 13, (i as u128) << 1, 0xbeef + i as u128, 40_000, 22, 60))
+        .collect();
+    let bytes = encode(&records).expect("encodes");
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.sample_size(20);
+    g.bench_function("encode", |b| {
+        b.iter(|| encode(black_box(&records)).unwrap().len());
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| decode(black_box(&bytes)).unwrap().len());
+    });
+    g.finish();
+}
+
+/// Prefix aggregation and Hamming weight, the per-packet hot path.
+fn prefix_math(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let addrs: Vec<u128> = (0..10_000).map(|_| rng.gen()).collect();
+    let mut g = c.benchmark_group("prefix_math");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("aggregate_64", |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .map(|&a| Ipv6Prefix::new(black_box(a), 64).bits())
+                .fold(0u128, |acc, x| acc ^ x)
+        });
+    });
+    g.bench_function("hamming_weight", |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .map(|&a| lumen6_addr::hamming_weight_iid(black_box(a)))
+                .sum::<u32>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite to a few minutes; these are
+    // comparative benchmarks, not microsecond-precision regressions.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = trie_lpm, hll_vs_exact, codec, prefix_math
+}
+criterion_main!(benches);

@@ -1,0 +1,616 @@
+//! CLI command implementations.
+//!
+//! Commands operate on `.l6tr` trace files (the `lumen6-trace` binary
+//! format) so the pipeline can be composed:
+//!
+//! ```text
+//! lumen6 generate cdn --out cdn.l6tr --days 60
+//! lumen6 info --trace cdn.l6tr
+//! lumen6 detect --trace cdn.l6tr --agg 64 --min-dsts 100 --prefilter
+//! lumen6 mawi-detect --trace mawi.l6tr --min-dsts 100
+//! lumen6 adaptive --trace cdn.l6tr
+//! lumen6 fingerprint --trace cdn.l6tr --threshold 0.1
+//! ```
+
+use crate::{Args, CliError};
+use lumen6_detect::adaptive::{AdaptiveConfig, AdaptiveIds};
+use lumen6_detect::{
+    AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector, ScanDetectorConfig,
+};
+use lumen6_report::{duration_human, pkt_count, Table};
+use lumen6_scanners::{FleetConfig, World};
+use lumen6_trace::{PacketRecord, TraceReader, TraceWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lumen6 — IPv6 scan detection toolkit
+
+USAGE:
+  lumen6 generate <cdn|mawi> --out FILE [--days N] [--seed N] [--small]
+  lumen6 generate custom --fleet ACTORS.json --out FILE [--seed N]
+  lumen6 info --trace FILE
+  lumen6 detect --trace FILE [--agg 128|64|48|32] [--min-dsts N]
+                [--timeout-secs N] [--prefilter] [--top N] [--json]
+  lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
+  lumen6 adaptive --trace FILE [--min-dsts N]
+  lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
+  lumen6 import --pcap FILE --out FILE       (pcap -> .l6tr)
+  lumen6 export-pcap --trace FILE --out FILE (.l6tr -> pcap)
+  lumen6 backscatter --trace FILE [--agg N] [--min-queriers N]
+";
+
+/// Runs a command line (without the program name); writes human output
+/// to the given sink (stdout in the binary, a buffer in tests).
+pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliError> {
+    let args = Args::parse(
+        argv,
+        &[
+            "out", "days", "seed", "agg", "min-dsts", "timeout-secs", "trace", "top",
+            "threshold", "pcap", "min-queriers", "fleet",
+        ],
+    )?;
+    let cmd = args
+        .positional()
+        .first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_string()))?
+        .clone();
+    match cmd.as_str() {
+        "generate" => generate(&args, out),
+        "info" => info(&args, out),
+        "detect" => detect(&args, out),
+        "mawi-detect" => mawi_detect(&args, out),
+        "adaptive" => adaptive(&args, out),
+        "fingerprint" => fingerprint_cmd(&args, out),
+        "import" => import_pcap(&args, out),
+        "export-pcap" => export_pcap(&args, out),
+        "backscatter" => backscatter(&args, out),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn load_trace(args: &Args) -> Result<Vec<PacketRecord>, CliError> {
+    let path = args
+        .get("trace")
+        .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+    let reader = TraceReader::from_reader(BufReader::new(File::open(path)?))?;
+    let records: Result<Vec<_>, _> = reader.collect();
+    Ok(records?)
+}
+
+fn agg_of(args: &Args) -> Result<AggLevel, CliError> {
+    Ok(AggLevel::new(args.get_parsed::<u8>("agg", 64)?))
+}
+
+/// `generate <cdn|mawi>`: build a synthetic vantage trace file.
+fn generate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let kind = args
+        .positional()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage("generate needs <cdn|mawi>".into()))?;
+    let seed = args.get_parsed::<u64>("seed", 42)?;
+    let days = args.get_parsed::<u64>("days", 439)?;
+    let path = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+
+    let records = match kind {
+        "cdn" => {
+            let mut cfg = if args.has("small") {
+                FleetConfig::small()
+            } else {
+                FleetConfig::default()
+            };
+            cfg.seed = seed;
+            cfg.end_day = days;
+            World::build(cfg).cdn_trace()
+        }
+        "mawi" => {
+            let mut cfg = if args.has("small") {
+                lumen6_mawi::MawiConfig::small()
+            } else {
+                lumen6_mawi::MawiConfig::default()
+            };
+            cfg.seed = seed;
+            cfg.end_day = days;
+            lumen6_mawi::MawiWorld::build(cfg, None).trace()
+        }
+        "custom" => {
+            // A user-defined actor list (JSON array of ScannerActor).
+            let fleet_path = args
+                .get("fleet")
+                .ok_or_else(|| CliError::Usage("generate custom needs --fleet FILE".into()))?;
+            let json = std::fs::read_to_string(fleet_path)?;
+            let actors: Vec<lumen6_scanners::ScannerActor> = serde_json::from_str(&json)
+                .map_err(|e| CliError::Usage(format!("invalid fleet JSON: {e}")))?;
+            if actors.is_empty() {
+                return Err(CliError::Usage("fleet file defines no actors".into()));
+            }
+            let streams: Vec<_> = actors.iter().map(|a| a.generate(seed)).collect();
+            lumen6_trace::merge_sorted(streams)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown vantage {other:?}; expected cdn or mawi"
+            )))
+        }
+    };
+
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(path)?))?;
+    for r in &records {
+        writer.append(r)?;
+    }
+    writer.finish()?.flush()?;
+    writeln!(out, "wrote {} records to {path}", records.len())?;
+    Ok(())
+}
+
+/// `info`: summary statistics of a trace file.
+fn info<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let records = load_trace(args)?;
+    let mut srcs = std::collections::HashSet::new();
+    let mut dsts = std::collections::HashSet::new();
+    let mut by_proto: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for r in &records {
+        srcs.insert(r.src);
+        dsts.insert(r.dst);
+        *by_proto.entry(r.proto.label()).or_default() += 1;
+    }
+    writeln!(out, "records:        {}", records.len())?;
+    if let (Some(first), Some(last)) = (records.first(), records.last()) {
+        writeln!(
+            out,
+            "time range:     {} .. {} ({} days)",
+            lumen6_trace::SimTime(first.ts_ms),
+            lumen6_trace::SimTime(last.ts_ms),
+            (last.ts_ms - first.ts_ms) / lumen6_trace::DAY_MS + 1
+        )?;
+    }
+    writeln!(out, "distinct /128 sources: {}", srcs.len())?;
+    writeln!(out, "distinct destinations: {}", dsts.len())?;
+    for (proto, n) in by_proto {
+        writeln!(out, "{proto:<8} packets: {}", pkt_count(n))?;
+    }
+    Ok(())
+}
+
+/// `detect`: the paper's large-scale scan detection over a trace file.
+fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let mut records = load_trace(args)?;
+    if args.has("prefilter") {
+        let (kept, report) = ArtifactFilter::default().filter(&records);
+        writeln!(
+            out,
+            "prefilter: removed {} of {} packets ({} sources)",
+            report.removed_packets, report.input_packets, report.removed_sources
+        )?;
+        records = kept;
+    }
+    let config = ScanDetectorConfig {
+        agg: agg_of(args)?,
+        min_dsts: args.get_parsed("min-dsts", 100)?,
+        timeout_ms: args.get_parsed::<u64>("timeout-secs", 3_600)? * 1000,
+        ..Default::default()
+    };
+    let report = lumen6_detect::detector::detect(&records, config);
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&report.events)
+            .expect("scan events serialize");
+        writeln!(out, "{json}")?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{} scans from {} sources, {} packets",
+        report.scans(),
+        report.sources(),
+        pkt_count(report.packets())
+    )?;
+    let top = args.get_parsed::<usize>("top", 20)?;
+    let mut t = Table::new(vec!["source", "start", "duration", "packets", "dsts", "ports"]);
+    for c in 3..=5 {
+        t.align_right(c);
+    }
+    let mut events: Vec<_> = report.events.iter().collect();
+    events.sort_by_key(|e| std::cmp::Reverse(e.packets));
+    for e in events.into_iter().take(top) {
+        t.row(vec![
+            e.source.to_string(),
+            lumen6_trace::SimTime(e.start_ms).to_string(),
+            duration_human(e.duration_ms()),
+            e.packets.to_string(),
+            e.distinct_dsts.to_string(),
+            e.num_ports().to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// `mawi-detect`: per-day Fukuda–Heidemann-extended detection.
+fn mawi_detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let records = load_trace(args)?;
+    let det = MawiDetector::new(FhConfig {
+        agg: agg_of(args)?,
+        min_dsts: args.get_parsed("min-dsts", 100)?,
+        ..Default::default()
+    });
+    let start = records.first().map(|r| r.ts_ms / lumen6_trace::DAY_MS).unwrap_or(0);
+    let end = records
+        .last()
+        .map(|r| r.ts_ms / lumen6_trace::DAY_MS + 1)
+        .unwrap_or(0);
+    let mut all = Vec::new();
+    for (day, slice) in lumen6_mawi::split_days(&records, start, end) {
+        for scan in det.detect(slice) {
+            all.push((day, scan));
+        }
+    }
+    if args.has("json") {
+        let json = serde_json::to_string_pretty(&all).expect("scans serialize");
+        writeln!(out, "{json}")?;
+        return Ok(());
+    }
+    writeln!(out, "{} per-day scans detected", all.len())?;
+    let mut t = Table::new(vec!["day", "source", "services", "packets", "dsts", "icmpv6"]);
+    t.align_right(0).align_right(3).align_right(4);
+    for (day, s) in all.iter().take(40) {
+        t.row(vec![
+            day.to_string(),
+            s.source.to_string(),
+            s.services.len().to_string(),
+            s.packets.to_string(),
+            s.distinct_dsts.to_string(),
+            s.is_icmpv6().to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// `adaptive`: adaptive-aggregation alerting with collateral estimates.
+fn adaptive<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let records = load_trace(args)?;
+    let ids = AdaptiveIds::new(AdaptiveConfig {
+        min_dsts: args.get_parsed("min-dsts", 100)?,
+        ..Default::default()
+    });
+    let alerts = ids.analyze(&records);
+    writeln!(out, "{} alerts", alerts.len())?;
+    let mut t = Table::new(vec![
+        "prefix", "level", "packets", "dsts", "srcs", "collateral", "subsumed",
+    ]);
+    for c in 2..=6 {
+        t.align_right(c);
+    }
+    for a in alerts.iter().take(40) {
+        t.row(vec![
+            a.prefix.to_string(),
+            format!("/{}", a.prefix.len()),
+            a.packets.to_string(),
+            a.distinct_dsts.to_string(),
+            a.contributing_srcs.to_string(),
+            a.collateral_srcs.to_string(),
+            a.subsumed.len().to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// `fingerprint`: detect scans, then cluster them by traffic behavior.
+fn fingerprint_cmd<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let records = load_trace(args)?;
+    let config = ScanDetectorConfig {
+        agg: agg_of(args)?,
+        min_dsts: args.get_parsed("min-dsts", 100)?,
+        keep_dsts: true,
+        ..Default::default()
+    };
+    let report = lumen6_detect::detector::detect(&records, config);
+    let threshold = args.get_parsed::<f64>("threshold", 0.10)?;
+    let clusters = lumen6_detect::fingerprint::cluster(&report.events, threshold);
+    writeln!(
+        out,
+        "{} scan events -> {} behavior clusters (threshold {threshold})",
+        report.events.len(),
+        clusters.len()
+    )?;
+    let mut t = Table::new(vec![
+        "cluster", "events", "sources", "~packets", "~ports", "top-port frac", "example source",
+    ]);
+    for c in 0..=4 {
+        t.align_right(c);
+    }
+    for (i, c) in clusters.iter().enumerate().take(25) {
+        let sources: std::collections::HashSet<_> = c
+            .members
+            .iter()
+            .map(|&m| report.events[m].source)
+            .collect();
+        t.row(vec![
+            i.to_string(),
+            c.members.len().to_string(),
+            sources.len().to_string(),
+            format!("{:.0}", c.centroid.log_packets.exp2()),
+            format!("{:.0}", c.centroid.log_ports.exp2() - 1.0),
+            format!("{:.2}", c.centroid.top_port_frac),
+            report.events[c.members[0]].source.to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// `import`: convert a pcap capture to the native trace format.
+fn import_pcap<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let pcap_path = args
+        .get("pcap")
+        .ok_or_else(|| CliError::Usage("--pcap FILE is required".into()))?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let imported = lumen6_trace::pcap::read_pcap(BufReader::new(File::open(pcap_path)?))
+        .map_err(|e| CliError::Usage(format!("pcap import failed: {e}")))?;
+    let mut records = imported.records;
+    // Captures are usually time-sorted, but the codec requires it.
+    lumen6_trace::sort_by_time(&mut records);
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(out_path)?))?;
+    for r in &records {
+        writer.append(r)?;
+    }
+    writer.finish()?.flush()?;
+    writeln!(
+        out,
+        "imported {} IPv6 records ({} packets skipped) -> {out_path}",
+        records.len(),
+        imported.skipped
+    )?;
+    Ok(())
+}
+
+/// `export-pcap`: write a trace as real IPv6 packets for Wireshark/tcpdump.
+fn export_pcap<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let records = load_trace(args)?;
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let n = lumen6_trace::pcap::write_pcap(&records, BufWriter::new(File::create(out_path)?))
+        .map_err(|e| CliError::Usage(format!("pcap export failed: {e}")))?;
+    writeln!(out, "wrote {n} packets to {out_path}")?;
+    Ok(())
+}
+
+/// `backscatter`: simulate the reverse-zone authority's PTR stream for the
+/// trace and run querier-diversity detection on it.
+fn backscatter<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    use lumen6_backscatter::{generate_backscatter, BackscatterConfig, BackscatterDetector};
+    let records = load_trace(args)?;
+    let queries = generate_backscatter(&records, &BackscatterConfig::default(), 42);
+    let det = BackscatterDetector {
+        agg_len: args.get_parsed::<u8>("agg", 64)?,
+        min_queriers: args.get_parsed("min-queriers", 20)?,
+    };
+    let flagged = det.detect(&queries);
+    writeln!(
+        out,
+        "{} PTR queries observed; {} sources flagged (≥{} distinct resolvers)",
+        queries.len(),
+        flagged.len(),
+        det.min_queriers
+    )?;
+    let mut t = Table::new(vec!["source", "queriers", "queries", "first", "last"]);
+    t.align_right(1).align_right(2);
+    for s in flagged.iter().take(25) {
+        t.row(vec![
+            s.source.to_string(),
+            s.queriers.to_string(),
+            s.queries.to_string(),
+            lumen6_trace::SimTime(s.first_ms).to_string(),
+            lumen6_trace::SimTime(s.last_ms).to_string(),
+        ]);
+    }
+    writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(line: &[&str]) -> (String, Result<(), CliError>) {
+        let mut buf = Vec::new();
+        let res = run(line.iter().map(|s| s.to_string()).collect(), &mut buf);
+        (String::from_utf8(buf).unwrap(), res)
+    }
+
+    #[test]
+    fn no_command_is_usage() {
+        let (_, res) = run_cli(&[]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_command_is_usage() {
+        let (_, res) = run_cli(&["frobnicate"]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn detect_requires_trace() {
+        let (_, res) = run_cli(&["detect"]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_then_detect_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+
+        let (out, res) = run_cli(&[
+            "generate", "cdn", "--out", p, "--days", "5", "--seed", "3", "--small",
+        ]);
+        res.unwrap();
+        assert!(out.contains("wrote"));
+
+        let (out, res) = run_cli(&["info", "--trace", p]);
+        res.unwrap();
+        assert!(out.contains("records:"));
+        assert!(out.contains("TCP"));
+
+        let (out, res) = run_cli(&["detect", "--trace", p, "--prefilter", "--top", "5"]);
+        res.unwrap();
+        assert!(out.contains("scans from"), "{out}");
+
+        let (out, res) = run_cli(&["adaptive", "--trace", p]);
+        res.unwrap();
+        assert!(out.contains("alerts"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mawi_generate_and_detect() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-mawi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.l6tr");
+        let p = path.to_str().unwrap();
+
+        let (_, res) = run_cli(&[
+            "generate", "mawi", "--out", p, "--days", "4", "--seed", "3", "--small",
+        ]);
+        res.unwrap();
+        let (out, res) = run_cli(&["mawi-detect", "--trace", p, "--min-dsts", "5"]);
+        res.unwrap();
+        assert!(out.contains("per-day scans"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_output_is_valid() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "3", "--small"]).1.unwrap();
+        let (out, res) = run_cli(&["detect", "--trace", p, "--json", "--min-dsts", "50"]);
+        res.unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed.is_array());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_command_clusters() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "7", "--small"]).1.unwrap();
+        let (out, res) = run_cli(&["fingerprint", "--trace", p, "--min-dsts", "50"]);
+        res.unwrap();
+        assert!(out.contains("behavior clusters"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pcap_export_import_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-pcap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = dir.join("t.l6tr");
+        let p = dir.join("t.pcap");
+        let t2 = dir.join("t2.l6tr");
+        run_cli(&["generate", "cdn", "--out", t.to_str().unwrap(), "--days", "3", "--small"])
+            .1
+            .unwrap();
+        let (o, res) = run_cli(&["export-pcap", "--trace", t.to_str().unwrap(), "--out", p.to_str().unwrap()]);
+        res.unwrap();
+        assert!(o.contains("wrote"));
+        let (o, res) = run_cli(&["import", "--pcap", p.to_str().unwrap(), "--out", t2.to_str().unwrap()]);
+        res.unwrap();
+        assert!(o.contains("0 packets skipped"), "{o}");
+        // Detection over the re-imported trace matches the original.
+        let (a, _) = run_cli(&["detect", "--trace", t.to_str().unwrap(), "--min-dsts", "50"]);
+        let (b, _) = run_cli(&["detect", "--trace", t2.to_str().unwrap(), "--min-dsts", "50"]);
+        assert_eq!(
+            a.lines().next().unwrap(),
+            b.lines().next().unwrap(),
+            "same scans/sources/packets summary"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backscatter_command_flags_scanners() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-bs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "5", "--small"]).1.unwrap();
+        let (out, res) = run_cli(&["backscatter", "--trace", p, "--min-queriers", "30"]);
+        res.unwrap();
+        assert!(out.contains("sources flagged"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn custom_fleet_from_json() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fleet = dir.join("fleet.json");
+        let out = dir.join("custom.l6tr");
+        // One single-source hitlist scanner, defined entirely in JSON.
+        let actors = vec![lumen6_scanners::ScannerActor {
+            name: "json-scanner".into(),
+            asn: 65_001,
+            sources: lumen6_scanners::SourceSampler::Single(0x2001_0db8 << 96 | 1),
+            targets: lumen6_scanners::TargetSampler::Hitlist(
+                (1..=300u128).map(|i| i << 8).collect(),
+            ),
+            ports: lumen6_scanners::PortSampler::Single(lumen6_trace::Transport::Tcp, 22),
+            schedule: lumen6_scanners::Schedule::continuous(0, 3, 400),
+            probe_len: 60,
+        }];
+        std::fs::write(&fleet, serde_json::to_string_pretty(&actors).unwrap()).unwrap();
+
+        let (o, res) = run_cli(&[
+            "generate", "custom",
+            "--fleet", fleet.to_str().unwrap(),
+            "--out", out.to_str().unwrap(),
+        ]);
+        res.unwrap();
+        assert!(o.contains("wrote 1200 records"), "{o}");
+        let (o, res) = run_cli(&["detect", "--trace", out.to_str().unwrap(), "--agg", "128"]);
+        res.unwrap();
+        assert!(o.contains("1 sources"), "{o}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn custom_fleet_bad_json_is_usage_error() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-badfleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fleet = dir.join("fleet.json");
+        std::fs::write(&fleet, "{not json").unwrap();
+        let (_, res) = run_cli(&[
+            "generate", "custom",
+            "--fleet", fleet.to_str().unwrap(),
+            "--out", dir.join("x.l6tr").to_str().unwrap(),
+        ]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let (_, res) = run_cli(&["info", "--trace", "/nonexistent/x.l6tr"]);
+        assert!(matches!(res, Err(CliError::Io(_))));
+    }
+}

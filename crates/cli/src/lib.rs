@@ -1,0 +1,139 @@
+//! Library backing the `lumen6` CLI: command parsing and execution, kept in
+//! a library so integration tests can drive the tool without spawning
+//! processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage / unknown flags; the string is the message for stderr.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Trace decoding failure.
+    Codec(lumen6_trace::CodecError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Codec(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<lumen6_trace::CodecError> for CliError {
+    fn from(e: lumen6_trace::CodecError) -> Self {
+        CliError::Codec(e)
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses a raw argument list. Flags that take values are listed in
+    /// `valued`; everything else starting with `--` is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        valued: &[&str],
+    ) -> Result<Args, CliError> {
+        let mut out = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if valued.contains(&name) {
+                    let v = it.next().ok_or_else(|| {
+                        CliError::Usage(format!("flag --{name} requires a value"))
+                    })?;
+                    out.flags.push((name.to_string(), Some(v)));
+                } else {
+                    out.flags.push((name.to_string(), None));
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// A flag's raw value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// A flag parsed to any `FromStr` type, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string()), &["seed", "days", "out"]).unwrap()
+    }
+
+    #[test]
+    fn parses_positional_and_flags() {
+        let a = args(&["generate", "cdn", "--seed", "7", "--small", "--out", "x.l6tr"]);
+        assert_eq!(a.positional(), ["generate", "cdn"]);
+        assert!(a.has("small"));
+        assert!(!a.has("large"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_parsed::<u64>("days", 439).unwrap(), 439);
+    }
+
+    #[test]
+    fn missing_value_is_usage_error() {
+        let e = Args::parse(vec!["--seed".to_string()], &["seed"]).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn bad_parse_is_usage_error() {
+        let a = args(&["--seed", "zebra"]);
+        assert!(a.get_parsed::<u64>("seed", 0).is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! `lumen6` binary entry point; all logic lives in [`lumen6_cli::commands`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = lumen6_cli::commands::run(argv, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Scan-source aggregation levels.
+//!
+//! The central methodological knob of the paper (§2.2): whether to treat
+//! each 128-bit source address independently or to aggregate all packets
+//! from a covering prefix before applying the scan definition. Too specific
+//! misses spread scanners (AS#18 sourcing from an entire /32); too coarse
+//! conflates distinct actors and innocent hosts (the AS#6 cloud provider
+//! handing out prefixes more specific than /96).
+
+use lumen6_addr::Ipv6Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source aggregation level: the prefix length sources are truncated to
+/// before detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AggLevel(u8);
+
+impl AggLevel {
+    /// No aggregation: each /128 source address stands alone.
+    pub const L128: AggLevel = AggLevel(128);
+    /// /64 aggregation, the paper's primary reporting level.
+    pub const L64: AggLevel = AggLevel(64);
+    /// /48 aggregation — the smallest Internet-routable IPv6 entity.
+    pub const L48: AggLevel = AggLevel(48);
+    /// /32 aggregation — a typical RIR allocation for an entire network.
+    pub const L32: AggLevel = AggLevel(32);
+
+    /// The three levels the paper reports throughout (Table 1, Fig. 2, ...).
+    pub const PAPER_LEVELS: [AggLevel; 3] = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+
+    /// An arbitrary level; clamped to 0..=128.
+    pub fn new(len: u8) -> Self {
+        AggLevel(len.min(128))
+    }
+
+    /// The prefix length.
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container size
+    pub fn len(&self) -> u8 {
+        self.0
+    }
+
+    /// Aggregates a source address to this level.
+    #[inline]
+    pub fn source_of(&self, addr: u128) -> Ipv6Prefix {
+        Ipv6Prefix::new(addr, self.0)
+    }
+}
+
+impl fmt::Display for AggLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}", self.0)
+    }
+}
+
+impl From<u8> for AggLevel {
+    fn from(len: u8) -> Self {
+        AggLevel::new(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_of_truncates() {
+        let a: u128 = "2001:db8:1:2:3:4:5:6"
+            .parse::<std::net::Ipv6Addr>()
+            .unwrap()
+            .into();
+        assert_eq!(AggLevel::L64.source_of(a).to_string(), "2001:db8:1:2::/64");
+        assert_eq!(AggLevel::L48.source_of(a).to_string(), "2001:db8:1::/48");
+        assert_eq!(AggLevel::L128.source_of(a).bits(), a);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(AggLevel::L64.to_string(), "/64");
+        assert_eq!(AggLevel::new(96).to_string(), "/96");
+    }
+
+    #[test]
+    fn clamped_construction() {
+        assert_eq!(AggLevel::new(200).len(), 128);
+        assert_eq!(AggLevel::from(48u8), AggLevel::L48);
+    }
+
+    #[test]
+    fn ordering_coarser_is_smaller() {
+        assert!(AggLevel::L32 < AggLevel::L48);
+        assert!(AggLevel::L48 < AggLevel::L64);
+        assert!(AggLevel::L64 < AggLevel::L128);
+    }
+}

@@ -1,0 +1,523 @@
+//! The streaming large-scale scan detector (paper §2.2).
+//!
+//! A *scan* is a maximal sequence of packets from one aggregated source in
+//! which consecutive packets are never more than `timeout` apart, targeting
+//! at least `min_dsts` distinct destination addresses. The defaults are the
+//! paper's: 100 destinations, 3 600 s timeout. Aggregation is applied to the
+//! source address *before* detection, so a /48 can qualify while none of its
+//! /64s does.
+//!
+//! The detector is a push-based stream processor: feed it time-ordered
+//! [`PacketRecord`]s via [`ScanDetector::observe`], which returns an event
+//! whenever a source's previous activity run closes (by exceeding the
+//! timeout) and qualified as a scan. Call [`ScanDetector::finish`] at end of
+//! stream to flush all open runs. [`ScanDetector::flush_idle`] lets a
+//! long-running IDS garbage-collect idle state without ending the stream.
+
+use crate::aggregate::AggLevel;
+use crate::event::{ScanEvent, ScanReport};
+use crate::sketch::DistinctCounter;
+use lumen6_addr::Ipv6Prefix;
+use lumen6_trace::{PacketRecord, Transport};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Configuration of the large-scale scan definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanDetectorConfig {
+    /// Source aggregation level applied before detection.
+    pub agg: AggLevel,
+    /// Minimum distinct destination addresses for a run to qualify as a
+    /// scan. The paper uses 100 (and studies 50 in the sensitivity analysis;
+    /// related work used 25 or 5).
+    pub min_dsts: u64,
+    /// Maximum packet inter-arrival time within one scan, in milliseconds.
+    /// The paper uses one hour (3 600 000 ms) and studies 30 and 15 minutes.
+    pub timeout_ms: u64,
+    /// Retain the full destination-address set on emitted events (needed for
+    /// targeting analysis; costs memory, so off for IDS use).
+    pub keep_dsts: bool,
+    /// If set, per-source distinct counters spill from exact sets to
+    /// HyperLogLog sketches after `(spill_threshold, precision)`. Sketched
+    /// events cannot retain destination sets.
+    pub sketch: Option<(usize, u8)>,
+}
+
+impl Default for ScanDetectorConfig {
+    fn default() -> Self {
+        ScanDetectorConfig {
+            agg: AggLevel::L64,
+            min_dsts: 100,
+            timeout_ms: 3_600_000,
+            keep_dsts: false,
+            sketch: None,
+        }
+    }
+}
+
+impl ScanDetectorConfig {
+    /// The paper's configuration at a given aggregation level.
+    pub fn paper(agg: AggLevel) -> Self {
+        ScanDetectorConfig {
+            agg,
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with destination retention enabled.
+    pub fn with_dsts(mut self) -> Self {
+        self.keep_dsts = true;
+        self
+    }
+}
+
+/// Per-source accumulation state for one activity run.
+#[derive(Debug)]
+struct SourceRun {
+    start_ms: u64,
+    last_ms: u64,
+    packets: u64,
+    dsts: DistinctCounter,
+    dst_list: Option<HashSet<u128>>,
+    srcs: DistinctCounter,
+    ports: HashMap<(Transport, u16), u64>,
+}
+
+impl SourceRun {
+    fn new(ts: u64, keep_dsts: bool) -> Self {
+        SourceRun {
+            start_ms: ts,
+            last_ms: ts,
+            packets: 0,
+            dsts: DistinctCounter::new(),
+            dst_list: keep_dsts.then(HashSet::new),
+            srcs: DistinctCounter::new(),
+            ports: HashMap::new(),
+        }
+    }
+}
+
+/// Memory-footprint snapshot of a running detector (what an operator
+/// dashboards: per-source state is the thing that grows under attack).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectorMemory {
+    /// Sources with an open activity run.
+    pub open_runs: usize,
+    /// Exact destination-set entries held across all runs.
+    pub exact_dst_entries: usize,
+    /// Runs whose destination counter spilled to a HyperLogLog sketch.
+    pub sketched_runs: usize,
+    /// Distinct (service → count) histogram entries across all runs.
+    pub port_entries: usize,
+}
+
+/// Streaming large-scale scan detector. See the module docs for usage.
+///
+/// ```
+/// use lumen6_detect::{ScanDetector, ScanDetectorConfig, AggLevel};
+/// use lumen6_trace::PacketRecord;
+///
+/// let mut det = ScanDetector::new(ScanDetectorConfig::paper(AggLevel::L64));
+/// // 150 probes to distinct destinations, one second apart.
+/// for i in 0..150u64 {
+///     let pkt = PacketRecord::tcp(i * 1_000, 0x2001, 0xd000 + i as u128, 1, 22, 60);
+///     assert!(det.observe(&pkt).is_none()); // still within one run
+/// }
+/// let events = det.finish();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].distinct_dsts, 150);
+/// ```
+#[derive(Debug)]
+pub struct ScanDetector {
+    config: ScanDetectorConfig,
+    runs: HashMap<Ipv6Prefix, SourceRun>,
+    observed: u64,
+}
+
+impl ScanDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: ScanDetectorConfig) -> Self {
+        ScanDetector {
+            config,
+            runs: HashMap::new(),
+            observed: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScanDetectorConfig {
+        &self.config
+    }
+
+    /// Number of packets observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of sources with an open activity run (IDS memory footprint).
+    pub fn open_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Detailed memory snapshot (see [`DetectorMemory`]).
+    pub fn memory(&self) -> DetectorMemory {
+        let mut m = DetectorMemory {
+            open_runs: self.runs.len(),
+            ..Default::default()
+        };
+        for run in self.runs.values() {
+            match &run.dsts {
+                crate::sketch::DistinctCounter::Exact(set) => m.exact_dst_entries += set.len(),
+                crate::sketch::DistinctCounter::Sketch(_) => m.sketched_runs += 1,
+            }
+            m.port_entries += run.ports.len();
+        }
+        m
+    }
+
+    /// Feeds one packet. Returns a scan event if this packet's arrival
+    /// closed a qualifying previous run of the same source (i.e. the gap to
+    /// the source's last packet exceeded the timeout).
+    ///
+    /// Records are expected in non-decreasing time order; a timestamp below
+    /// a source's last seen time is tolerated and treated as simultaneous
+    /// (gap zero), which keeps the detector robust to mildly disordered
+    /// input without growing events backwards in time.
+    pub fn observe(&mut self, r: &PacketRecord) -> Option<ScanEvent> {
+        self.observed += 1;
+        let source = self.config.agg.source_of(r.src);
+        let (spill, precision) = self.config.sketch.unwrap_or((usize::MAX, 12));
+
+        let mut closed = None;
+        let run = match self.runs.entry(source) {
+            std::collections::hash_map::Entry::Occupied(mut occ) => {
+                let gap = r.ts_ms.saturating_sub(occ.get().last_ms);
+                if gap > self.config.timeout_ms {
+                    let old = std::mem::replace(
+                        occ.get_mut(),
+                        SourceRun::new(r.ts_ms, self.config.keep_dsts),
+                    );
+                    closed = Self::emit(&self.config, source, old);
+                }
+                occ.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(vac) => {
+                vac.insert(SourceRun::new(r.ts_ms, self.config.keep_dsts))
+            }
+        };
+
+        run.last_ms = run.last_ms.max(r.ts_ms);
+        run.packets += 1;
+        run.dsts.insert(r.dst, spill, precision);
+        if let Some(list) = run.dst_list.as_mut() {
+            list.insert(r.dst);
+        }
+        run.srcs.insert(r.src, spill, precision);
+        *run.ports.entry((r.proto, r.dport)).or_default() += 1;
+
+        closed
+    }
+
+    /// Closes and returns qualifying runs idle since before
+    /// `now - timeout`. Lets a long-running deployment bound state size.
+    pub fn flush_idle(&mut self, now_ms: u64) -> Vec<ScanEvent> {
+        let deadline = now_ms.saturating_sub(self.config.timeout_ms);
+        let idle: Vec<Ipv6Prefix> = self
+            .runs
+            .iter()
+            .filter(|(_, run)| run.last_ms < deadline)
+            .map(|(s, _)| *s)
+            .collect();
+        let mut out = Vec::new();
+        for s in idle {
+            let run = self.runs.remove(&s).expect("key collected above");
+            if let Some(e) = Self::emit(&self.config, s, run) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// Ends the stream: closes every open run and returns the qualifying
+    /// events, sorted by (start time, source) for determinism.
+    pub fn finish(mut self) -> Vec<ScanEvent> {
+        let mut out: Vec<ScanEvent> = self
+            .runs
+            .drain()
+            .filter_map(|(s, run)| Self::emit(&self.config, s, run))
+            .collect();
+        out.sort_by_key(|e| (e.start_ms, e.source));
+        out
+    }
+
+    fn emit(config: &ScanDetectorConfig, source: Ipv6Prefix, run: SourceRun) -> Option<ScanEvent> {
+        let distinct = run.dsts.count();
+        if distinct < config.min_dsts {
+            return None;
+        }
+        let ports: BTreeMap<(Transport, u16), u64> = run.ports.into_iter().collect();
+        let dsts = run.dst_list.map(|set| {
+            let mut v: Vec<u128> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        });
+        Some(ScanEvent {
+            source,
+            agg: config.agg,
+            start_ms: run.start_ms,
+            end_ms: run.last_ms,
+            packets: run.packets,
+            distinct_dsts: distinct,
+            distinct_srcs: run.srcs.count(),
+            ports: ports.into_iter().collect(),
+            dsts,
+        })
+    }
+}
+
+/// Runs the detector over a complete, time-sorted slice and returns the full
+/// report (mid-stream closures plus end-of-stream flush).
+pub fn detect(records: &[PacketRecord], config: ScanDetectorConfig) -> ScanReport {
+    let mut det = ScanDetector::new(config);
+    let mut events = Vec::new();
+    for r in records {
+        if let Some(e) = det.observe(r) {
+            events.push(e);
+        }
+    }
+    events.extend(det.finish());
+    events.sort_by_key(|e| (e.start_ms, e.source));
+    ScanReport::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: u64 = 3_600_000;
+
+    /// `n` packets from `src`, one per second, to distinct destinations.
+    fn burst(src: u128, t0: u64, n: u64, dport: u16) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::tcp(t0 + i * 1000, src, 0xdd00 + i as u128, 40000, dport, 60))
+            .collect()
+    }
+
+    #[test]
+    fn hundred_destinations_qualifies() {
+        let recs = burst(1, 0, 100, 22);
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 1);
+        let e = &report.events[0];
+        assert_eq!(e.packets, 100);
+        assert_eq!(e.distinct_dsts, 100);
+        assert_eq!(e.distinct_srcs, 1);
+        assert_eq!(e.start_ms, 0);
+        assert_eq!(e.end_ms, 99_000);
+    }
+
+    #[test]
+    fn ninety_nine_destinations_does_not() {
+        let recs = burst(1, 0, 99, 22);
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 0);
+    }
+
+    #[test]
+    fn repeated_destinations_do_not_count_twice() {
+        // 200 packets but only 50 distinct destinations.
+        let mut recs = Vec::new();
+        for i in 0..200u64 {
+            recs.push(PacketRecord::tcp(i * 1000, 1, (i % 50) as u128, 1, 22, 60));
+        }
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 0);
+    }
+
+    #[test]
+    fn timeout_splits_events() {
+        let mut recs = burst(1, 0, 100, 22);
+        recs.extend(burst(1, 100_000 + HOUR + 1, 100, 22));
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 2);
+        assert_eq!(report.sources(), 1);
+    }
+
+    #[test]
+    fn gap_exactly_at_timeout_does_not_split() {
+        // Last packet of first burst at t=99_000; next packet exactly
+        // `timeout` later must stay in the same event (strictly-greater gap
+        // splits).
+        let mut recs = burst(1, 0, 100, 22);
+        recs.extend(burst(1, 99_000 + HOUR, 100, 23));
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 1);
+        assert_eq!(report.events[0].packets, 200);
+    }
+
+    #[test]
+    fn gap_one_ms_over_timeout_splits() {
+        let mut recs = burst(1, 0, 100, 22);
+        recs.extend(burst(1, 99_000 + HOUR + 1, 100, 22));
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 2);
+    }
+
+    #[test]
+    fn mid_stream_emission_on_gap() {
+        let mut det = ScanDetector::new(ScanDetectorConfig::paper(AggLevel::L128));
+        for r in burst(1, 0, 100, 22) {
+            assert!(det.observe(&r).is_none());
+        }
+        // First packet after the timeout closes and emits the run.
+        let r = PacketRecord::tcp(99_000 + HOUR + 1, 1, 9, 1, 22, 60);
+        let e = det.observe(&r).expect("qualifying run closes");
+        assert_eq!(e.distinct_dsts, 100);
+        // The trailing single packet does not qualify.
+        assert!(det.finish().is_empty());
+    }
+
+    #[test]
+    fn aggregation_merges_spread_sources() {
+        // 100 distinct /128 sources in one /64, each sending ONE packet to a
+        // distinct destination: invisible at /128, a scan at /64. This is
+        // the paper's central methodological point.
+        let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+        let recs: Vec<PacketRecord> = (0..100u64)
+            .map(|i| PacketRecord::tcp(i * 1000, base + i as u128, 0xee00 + i as u128, 1, 22, 60))
+            .collect();
+        let at128 = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(at128.scans(), 0);
+        let at64 = detect(&recs, ScanDetectorConfig::paper(AggLevel::L64));
+        assert_eq!(at64.scans(), 1);
+        assert_eq!(at64.events[0].distinct_srcs, 100);
+        assert_eq!(at64.events[0].source.len(), 64);
+    }
+
+    #[test]
+    fn forty_eight_can_qualify_when_no_64_does() {
+        // Two /64s in one /48, each targeting 60 destinations: no /64 scan,
+        // one /48 scan (Table 2, AS#18 situation).
+        let p64a: u128 = 0x2001_0db8_0001_0000_0000_0000_0000_0001;
+        let p64b: u128 = 0x2001_0db8_0001_0001_0000_0000_0000_0001;
+        let mut recs = burst(p64a, 0, 60, 22);
+        recs.extend(burst(p64b, 500, 60, 22));
+        // Distinct destinations across the two bursts:
+        for (i, r) in recs.iter_mut().enumerate() {
+            r.dst = 0xaa00 + i as u128;
+        }
+        lumen6_trace::sort_by_time(&mut recs);
+        assert_eq!(detect(&recs, ScanDetectorConfig::paper(AggLevel::L64)).scans(), 0);
+        let at48 = detect(&recs, ScanDetectorConfig::paper(AggLevel::L48));
+        assert_eq!(at48.scans(), 1);
+        assert_eq!(at48.events[0].distinct_dsts, 120);
+    }
+
+    #[test]
+    fn keep_dsts_returns_sorted_targets() {
+        let recs = burst(1, 0, 100, 22);
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128).with_dsts());
+        let dsts = report.events[0].dsts.as_ref().unwrap();
+        assert_eq!(dsts.len(), 100);
+        assert!(dsts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(dsts[0], 0xdd00);
+    }
+
+    #[test]
+    fn ports_histogram_accumulates() {
+        let mut recs = burst(1, 0, 100, 22);
+        recs.extend(burst(1, 100_000, 50, 443));
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        let e = &report.events[0];
+        assert_eq!(e.num_ports(), 2);
+        assert!(e.targets(Transport::Tcp, 22));
+        assert_eq!(e.top_port().unwrap(), ((Transport::Tcp, 22), 100));
+    }
+
+    #[test]
+    fn flush_idle_bounds_state() {
+        let mut det = ScanDetector::new(ScanDetectorConfig::paper(AggLevel::L128));
+        for r in burst(1, 0, 100, 22) {
+            det.observe(&r);
+        }
+        for r in burst(2, HOUR, 5, 22) {
+            det.observe(&r);
+        }
+        assert_eq!(det.open_runs(), 2);
+        // Source 1 idle since 99s; flush at a time where only it is expired.
+        let flushed = det.flush_idle(99_000 + HOUR + 1);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(det.open_runs(), 1);
+        // Non-qualifying idle runs are dropped silently.
+        let flushed2 = det.flush_idle(HOUR + 5_000 + HOUR + 1);
+        assert!(flushed2.is_empty());
+        assert_eq!(det.open_runs(), 0);
+    }
+
+    #[test]
+    fn out_of_order_timestamp_tolerated() {
+        let mut recs = burst(1, 10_000, 100, 22);
+        // A straggler 5 s in the past.
+        recs.push(PacketRecord::tcp(5_000, 1, 0xffff, 1, 22, 60));
+        let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        assert_eq!(report.scans(), 1);
+        let e = &report.events[0];
+        assert_eq!(e.packets, 101);
+        // Event does not extend backwards past its first-seen packet.
+        assert_eq!(e.start_ms, 10_000);
+    }
+
+    #[test]
+    fn sketched_detection_close_to_exact() {
+        let recs = burst(1, 0, 5_000, 22);
+        let exact = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
+        let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
+        cfg.sketch = Some((256, 12));
+        let sketched = detect(&recs, cfg);
+        assert_eq!(exact.scans(), 1);
+        assert_eq!(sketched.scans(), 1);
+        let a = exact.events[0].distinct_dsts as f64;
+        let b = sketched.events[0].distinct_dsts as f64;
+        assert!((a - b).abs() / a < 0.05, "exact={a} sketched={b}");
+    }
+
+    #[test]
+    fn min_dsts_five_matches_loose_definition() {
+        let recs = burst(1, 0, 7, 22);
+        let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
+        cfg.min_dsts = 5;
+        assert_eq!(detect(&recs, cfg).scans(), 1);
+        assert_eq!(detect(&recs, ScanDetectorConfig::paper(AggLevel::L128)).scans(), 0);
+    }
+
+    #[test]
+    fn memory_snapshot_tracks_state_and_spills() {
+        let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
+        cfg.sketch = Some((64, 12));
+        let mut det = ScanDetector::new(cfg);
+        // Source 1: 200 distinct destinations → spills past 64.
+        for r in burst(1, 0, 200, 22) {
+            det.observe(&r);
+        }
+        // Source 2: 10 destinations → stays exact.
+        for r in burst(2, 0, 10, 23) {
+            det.observe(&r);
+        }
+        let m = det.memory();
+        assert_eq!(m.open_runs, 2);
+        assert_eq!(m.sketched_runs, 1);
+        assert_eq!(m.exact_dst_entries, 10);
+        assert_eq!(m.port_entries, 2);
+        // Sketch caps the per-source footprint: the spilled run no longer
+        // contributes destination entries.
+        let empty = ScanDetector::new(ScanDetectorConfig::default());
+        assert_eq!(empty.memory(), DetectorMemory::default());
+    }
+
+    #[test]
+    fn empty_input_empty_report() {
+        let report = detect(&[], ScanDetectorConfig::default());
+        assert_eq!(report.scans(), 0);
+        assert_eq!(report.packets(), 0);
+    }
+}

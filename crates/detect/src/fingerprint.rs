@@ -1,0 +1,291 @@
+//! Traffic-feature fingerprinting of scans — actor attribution beyond
+//! source prefixes.
+//!
+//! The paper's discussion (§5) concludes that IDSes "may have to rely on
+//! traffic features and other header fields to fingerprint individual
+//! scans and hosts", and Appendix A.4 performs exactly such an inference by
+//! hand: two /64s in *different* /48s were attributed to one actor because
+//! their port coverage, in-DNS fractions, activity spans, and target sets
+//! almost coincide. This module mechanizes that reasoning:
+//!
+//! - [`Fingerprint::of`] reduces a [`ScanEvent`] to a feature vector
+//!   (volume, destination spread, port behavior, probe size, target IID
+//!   structure);
+//! - [`distance`] compares fingerprints on a scale-free footing;
+//! - [`cluster`] greedily groups events whose fingerprints are closer than
+//!   a threshold — events of one scanning entity cluster together even
+//!   when their source prefixes share nothing.
+
+use crate::event::ScanEvent;
+use lumen6_addr::hamming_weight_iid;
+use serde::{Deserialize, Serialize};
+
+/// A scale-free feature vector of one scan event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// log₂(packets).
+    pub log_packets: f64,
+    /// log₂(distinct destinations).
+    pub log_dsts: f64,
+    /// Packets per destination (repeat factor).
+    pub pkts_per_dst: f64,
+    /// log₂(1 + number of targeted services).
+    pub log_ports: f64,
+    /// Fraction of packets on the busiest port.
+    pub top_port_frac: f64,
+    /// Mean Hamming weight of target IIDs (0 when destinations were not
+    /// retained): separates hitlist-driven from random targeting.
+    pub target_iid_weight: f64,
+    /// Mean distinct targets per destination /64 (0 when unavailable):
+    /// separates neighborhood-probing from spread targeting.
+    pub targets_per_64: f64,
+}
+
+impl Fingerprint {
+    /// Extracts the fingerprint of an event.
+    pub fn of(event: &ScanEvent) -> Fingerprint {
+        let top = event
+            .ports
+            .iter()
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap_or(0) as f64;
+        let (weight, per64) = match event.dsts.as_ref() {
+            Some(dsts) if !dsts.is_empty() => {
+                let w = dsts
+                    .iter()
+                    .map(|&d| f64::from(hamming_weight_iid(d)))
+                    .sum::<f64>()
+                    / dsts.len() as f64;
+                let mut nets: Vec<u64> = dsts.iter().map(|&d| (d >> 64) as u64).collect();
+                nets.sort_unstable();
+                nets.dedup();
+                (w, dsts.len() as f64 / nets.len() as f64)
+            }
+            _ => (0.0, 0.0),
+        };
+        Fingerprint {
+            log_packets: (event.packets.max(1) as f64).log2(),
+            log_dsts: (event.distinct_dsts.max(1) as f64).log2(),
+            pkts_per_dst: event.packets as f64 / event.distinct_dsts.max(1) as f64,
+            log_ports: (1.0 + event.num_ports() as f64).log2(),
+            top_port_frac: if event.packets > 0 {
+                top / event.packets as f64
+            } else {
+                0.0
+            },
+            target_iid_weight: weight,
+            targets_per_64: per64,
+        }
+    }
+
+    /// The feature vector, normalized to comparable scales.
+    fn vector(&self) -> [f64; 7] {
+        [
+            self.log_packets / 20.0,
+            self.log_dsts / 20.0,
+            (self.pkts_per_dst.min(16.0)) / 16.0,
+            self.log_ports / 16.0,
+            self.top_port_frac,
+            self.target_iid_weight / 64.0,
+            (self.targets_per_64.min(16.0)) / 16.0,
+        ]
+    }
+}
+
+/// Euclidean distance between normalized fingerprints (0 ≈ same behavior).
+pub fn distance(a: &Fingerprint, b: &Fingerprint) -> f64 {
+    a.vector()
+        .iter()
+        .zip(b.vector().iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A cluster of behaviorally similar scan events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Indices into the input event slice.
+    pub members: Vec<usize>,
+    /// Centroid fingerprint.
+    pub centroid: Fingerprint,
+}
+
+/// Greedy centroid clustering: each event joins the first cluster whose
+/// centroid is within `threshold`, else founds a new one. Order-dependent
+/// but deterministic; events should be in canonical (start, source) order.
+pub fn cluster(events: &[ScanEvent], threshold: f64) -> Vec<Cluster> {
+    let mut clusters: Vec<(Vec<usize>, Vec<f64>)> = Vec::new();
+    let prints: Vec<Fingerprint> = events.iter().map(Fingerprint::of).collect();
+    for (i, fp) in prints.iter().enumerate() {
+        let v = fp.vector();
+        let mut placed = false;
+        for (members, centroid) in clusters.iter_mut() {
+            let d = centroid
+                .iter()
+                .zip(v.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            if d <= threshold {
+                // Running-mean centroid update.
+                let n = members.len() as f64;
+                for (c, y) in centroid.iter_mut().zip(v.iter()) {
+                    *c = (*c * n + y) / (n + 1.0);
+                }
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push((vec![i], v.to_vec()));
+        }
+    }
+    clusters
+        .into_iter()
+        .map(|(members, centroid)| {
+            // Recover a representative Fingerprint from the centroid vector.
+            let rep = Fingerprint {
+                log_packets: centroid[0] * 20.0,
+                log_dsts: centroid[1] * 20.0,
+                pkts_per_dst: centroid[2] * 16.0,
+                log_ports: centroid[3] * 16.0,
+                top_port_frac: centroid[4],
+                target_iid_weight: centroid[5] * 64.0,
+                targets_per_64: centroid[6] * 16.0,
+            };
+            Cluster {
+                members,
+                centroid: rep,
+            }
+        })
+        .collect()
+}
+
+/// Pairwise similarity verdict for two *sources*' aggregate behavior: the
+/// Appendix A.4 question ("are these two /64s the same actor?"). Averages
+/// each source's event fingerprints and thresholds the distance.
+pub fn same_actor(a_events: &[&ScanEvent], b_events: &[&ScanEvent], threshold: f64) -> bool {
+    fn mean(events: &[&ScanEvent]) -> Option<[f64; 7]> {
+        if events.is_empty() {
+            return None;
+        }
+        let mut acc = [0.0; 7];
+        for e in events {
+            for (a, v) in acc.iter_mut().zip(Fingerprint::of(e).vector().iter()) {
+                *a += v;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= events.len() as f64;
+        }
+        Some(acc)
+    }
+    match (mean(a_events), mean(b_events)) {
+        (Some(a), Some(b)) => {
+            let d: f64 = a
+                .iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            d <= threshold
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggLevel;
+    use lumen6_trace::Transport;
+
+    fn ev(packets: u64, dsts: u64, ports: usize, iid_max: u64) -> ScanEvent {
+        let per_port = packets / ports as u64;
+        let dst_list: Vec<u128> = (0..dsts)
+            .map(|i| ((i as u128 % 7) << 64) | u128::from(i % iid_max.max(1)))
+            .collect();
+        ScanEvent {
+            source: lumen6_addr::Ipv6Prefix::new(0x2001 << 112, 64),
+            agg: AggLevel::L64,
+            start_ms: 0,
+            end_ms: 1000,
+            packets,
+            distinct_dsts: dsts,
+            distinct_srcs: 1,
+            ports: (0..ports as u16)
+                .map(|p| ((Transport::Tcp, 22 + p), per_port))
+                .collect(),
+            dsts: Some(dst_list),
+        }
+    }
+
+    #[test]
+    fn identical_behavior_zero_distance() {
+        let a = Fingerprint::of(&ev(1000, 500, 8, 16));
+        let b = Fingerprint::of(&ev(1000, 500, 8, 16));
+        assert!(distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn different_behavior_larger_distance() {
+        let single_port = Fingerprint::of(&ev(1000, 900, 1, 4));
+        let wide_sweep = Fingerprint::of(&ev(1000, 200, 400, u64::MAX));
+        let similar = Fingerprint::of(&ev(1100, 850, 1, 4));
+        assert!(distance(&single_port, &wide_sweep) > 4.0 * distance(&single_port, &similar));
+    }
+
+    #[test]
+    fn clustering_groups_like_with_like() {
+        // Two behavior families, interleaved: 6 single-port hitlist scans
+        // and 6 wide port sweeps.
+        let mut events = Vec::new();
+        for i in 0..6u64 {
+            events.push(ev(900 + i * 20, 800 + i * 10, 1, 4));
+            events.push(ev(900 + i * 20, 150 + i * 10, 300, u64::MAX));
+        }
+        let clusters = cluster(&events, 0.12);
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        // Members alternate even/odd indices.
+        for c in &clusters {
+            let parity = c.members[0] % 2;
+            assert!(c.members.iter().all(|m| m % 2 == parity));
+            assert_eq!(c.members.len(), 6);
+        }
+    }
+
+    #[test]
+    fn tight_threshold_splits_everything() {
+        let events = vec![ev(1000, 500, 8, 16), ev(4000, 100, 1, 4)];
+        let clusters = cluster(&events, 1e-9);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn same_actor_inference() {
+        // A.4-style: two sources with near-identical behavior (one 3× the
+        // volume), a third completely different.
+        let a = [ev(1000, 700, 20, 8)];
+        let b = [ev(3000, 1900, 20, 8)];
+        let c = [ev(500, 480, 1, 2)];
+        let ar: Vec<&ScanEvent> = a.iter().collect();
+        let br: Vec<&ScanEvent> = b.iter().collect();
+        let cr: Vec<&ScanEvent> = c.iter().collect();
+        assert!(same_actor(&ar, &br, 0.15));
+        assert!(!same_actor(&ar, &cr, 0.15));
+        assert!(!same_actor(&[], &br, 0.15), "empty side never matches");
+    }
+
+    #[test]
+    fn events_without_dsts_still_fingerprint() {
+        let mut e = ev(1000, 500, 8, 16);
+        e.dsts = None;
+        let fp = Fingerprint::of(&e);
+        assert_eq!(fp.target_iid_weight, 0.0);
+        assert_eq!(fp.targets_per_64, 0.0);
+        assert!(fp.log_packets > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Single- vs multi-port scan classification (paper footnote 9, Figs. 4, 8).
+//!
+//! A scan is tagged by the fraction `f` of its packets that hit the most
+//! common port: `f > 0.5` → single port; `f > 0.09` → fewer than 10 ports;
+//! `f > 0.009` → fewer than 100 ports; otherwise more than 100 ports. This
+//! avoids misclassifying a scan as multi-port when only a tiny fraction of
+//! its packets stray across many ports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's four ports-per-scan buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PortClass {
+    /// One dominant port (f > 0.5).
+    Single,
+    /// Fewer than 10 ports (f > 0.09).
+    LessThan10,
+    /// Fewer than 100 ports (f > 0.009).
+    LessThan100,
+    /// More than 100 ports.
+    MoreThan100,
+}
+
+impl PortClass {
+    /// All buckets in display order.
+    pub const ALL: [PortClass; 4] = [
+        PortClass::Single,
+        PortClass::LessThan10,
+        PortClass::LessThan100,
+        PortClass::MoreThan100,
+    ];
+
+    /// Label matching the paper's Fig. 4 x-axis.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PortClass::Single => "1 port",
+            PortClass::LessThan10 => "<10 ports",
+            PortClass::LessThan100 => "<100 ports",
+            PortClass::MoreThan100 => ">100 ports",
+        }
+    }
+}
+
+impl fmt::Display for PortClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies a scan from its per-port packet counts and total packet count.
+///
+/// `per_port` yields the packet count of each targeted (protocol, port);
+/// `total` is the event's total packets. An empty event classifies as
+/// `Single` (degenerate, but keeps the function total).
+pub fn classify_ports<I: IntoIterator<Item = u64>>(per_port: I, total: u64) -> PortClass {
+    if total == 0 {
+        return PortClass::Single;
+    }
+    let max = per_port.into_iter().max().unwrap_or(0);
+    let f = max as f64 / total as f64;
+    if f > 0.5 {
+        PortClass::Single
+    } else if f > 0.09 {
+        PortClass::LessThan10
+    } else if f > 0.009 {
+        PortClass::LessThan100
+    } else {
+        PortClass::MoreThan100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_port_is_single() {
+        // 60% of packets on one port.
+        assert_eq!(classify_ports([60, 20, 20], 100), PortClass::Single);
+        assert_eq!(classify_ports([100], 100), PortClass::Single);
+    }
+
+    #[test]
+    fn exactly_half_is_not_single() {
+        assert_eq!(classify_ports([50, 50], 100), PortClass::LessThan10);
+    }
+
+    #[test]
+    fn even_spread_over_8_ports() {
+        let counts = vec![125u64; 8];
+        assert_eq!(classify_ports(counts, 1000), PortClass::LessThan10);
+    }
+
+    #[test]
+    fn even_spread_over_50_ports() {
+        let counts = vec![20u64; 50];
+        assert_eq!(classify_ports(counts, 1000), PortClass::LessThan100);
+    }
+
+    #[test]
+    fn even_spread_over_500_ports() {
+        let counts = vec![2u64; 500];
+        assert_eq!(classify_ports(counts, 1000), PortClass::MoreThan100);
+    }
+
+    #[test]
+    fn stray_packets_do_not_flip_single_port() {
+        // 94% on one port, 6% sprayed across 600 ports: still single.
+        let mut counts = vec![1u64; 60];
+        counts.push(940);
+        assert_eq!(classify_ports(counts, 1000), PortClass::Single);
+    }
+
+    #[test]
+    fn empty_event_is_degenerate_single() {
+        assert_eq!(classify_ports([], 0), PortClass::Single);
+    }
+
+    #[test]
+    fn boundaries() {
+        // f exactly 0.09 → not <10, falls to <100.
+        assert_eq!(classify_ports([9], 100), PortClass::LessThan100);
+        // f just above 0.09 → <10.
+        assert_eq!(classify_ports([10], 100), PortClass::LessThan10);
+        // f exactly 0.009 → >100 bucket.
+        assert_eq!(classify_ports([9], 1000), PortClass::MoreThan100);
+        // f just above 0.009 → <100.
+        assert_eq!(classify_ports([10], 1000), PortClass::LessThan100);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PortClass::Single.label(), "1 port");
+        assert_eq!(PortClass::MoreThan100.to_string(), ">100 ports");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for detector invariants: conservation, event separation,
+//! and monotonicity in the scan-definition parameters.
+
+use lumen6_detect::detector::detect;
+use lumen6_detect::{AggLevel, ScanDetectorConfig};
+use lumen6_trace::PacketRecord;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Generates a random but time-sorted workload with a handful of sources and
+/// destinations, deltas small enough that both split and no-split cases occur.
+fn arb_workload() -> impl Strategy<Value = Vec<PacketRecord>> {
+    proptest::collection::vec(
+        (0u64..200_000, 0u8..6, 0u16..300, 1u16..5),
+        1..300,
+    )
+    .prop_map(|steps| {
+        let mut ts = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, src, dst, port)| {
+                ts += dt;
+                PacketRecord::tcp(
+                    ts,
+                    (u128::from(src) << 64) | 1,
+                    u128::from(dst),
+                    40_000,
+                    port,
+                    60,
+                )
+            })
+            .collect()
+    })
+}
+
+fn cfg(min_dsts: u64, timeout_ms: u64) -> ScanDetectorConfig {
+    ScanDetectorConfig {
+        agg: AggLevel::L64,
+        min_dsts,
+        timeout_ms,
+        keep_dsts: true,
+        sketch: None,
+    }
+}
+
+proptest! {
+    /// With min_dsts = 1, every packet belongs to exactly one event.
+    #[test]
+    fn conservation_at_min_dsts_one(recs in arb_workload(), timeout in 1_000u64..100_000) {
+        let report = detect(&recs, cfg(1, timeout));
+        let total: u64 = report.events.iter().map(|e| e.packets).sum();
+        prop_assert_eq!(total, recs.len() as u64);
+        // Per-event port histograms also conserve packets.
+        for e in &report.events {
+            let by_port: u64 = e.ports.iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(by_port, e.packets);
+        }
+    }
+
+    /// Qualifying events never contain more packets than the input, and
+    /// distinct_dsts is bounded by packets.
+    #[test]
+    fn events_are_bounded(recs in arb_workload()) {
+        let report = detect(&recs, cfg(10, 50_000));
+        let total: u64 = report.events.iter().map(|e| e.packets).sum();
+        prop_assert!(total <= recs.len() as u64);
+        for e in &report.events {
+            prop_assert!(e.distinct_dsts <= e.packets);
+            prop_assert!(e.distinct_srcs <= e.packets);
+            prop_assert!(e.start_ms <= e.end_ms);
+            prop_assert_eq!(e.dsts.as_ref().unwrap().len() as u64, e.distinct_dsts);
+        }
+    }
+
+    /// Same-source events are separated by more than the timeout.
+    #[test]
+    fn event_separation(recs in arb_workload(), timeout in 1_000u64..100_000) {
+        let report = detect(&recs, cfg(1, timeout));
+        let mut per_source: HashMap<_, Vec<(u64, u64)>> = HashMap::new();
+        for e in &report.events {
+            per_source.entry(e.source).or_default().push((e.start_ms, e.end_ms));
+        }
+        for spans in per_source.values_mut() {
+            spans.sort();
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 > w[0].1 + timeout,
+                    "events {:?} and {:?} closer than timeout {}", w[0], w[1], timeout);
+            }
+        }
+    }
+
+    /// Lowering min_dsts can only add scans (superset of sources).
+    #[test]
+    fn min_dsts_monotone(recs in arb_workload()) {
+        let strict = detect(&recs, cfg(50, 50_000));
+        let loose = detect(&recs, cfg(5, 50_000));
+        prop_assert!(loose.scans() >= strict.scans());
+        let loose_sources = loose.source_set();
+        for s in strict.source_set() {
+            prop_assert!(loose_sources.contains(&s));
+        }
+    }
+
+    /// Raising the timeout can only merge runs: every source detected with a
+    /// short timeout is detected with a longer one.
+    #[test]
+    fn timeout_monotone_in_sources(recs in arb_workload()) {
+        let short = detect(&recs, cfg(20, 5_000));
+        let long = detect(&recs, cfg(20, 500_000));
+        let long_sources = long.source_set();
+        for s in short.source_set() {
+            prop_assert!(long_sources.contains(&s));
+        }
+        // Scan *events* can only shrink or stay equal in number when runs merge.
+        prop_assert!(long.scans() <= short.scans() || short.scans() == 0);
+    }
+
+    /// Coarser aggregation never loses scan packets when every run
+    /// qualifies (min_dsts = 1): the same packets regroup into fewer sources.
+    #[test]
+    fn aggregation_conserves_packets_at_min_one(recs in arb_workload()) {
+        let fine = detect(&recs, ScanDetectorConfig { agg: AggLevel::L128, ..cfg(1, 50_000) });
+        let coarse = detect(&recs, ScanDetectorConfig { agg: AggLevel::L48, ..cfg(1, 50_000) });
+        prop_assert_eq!(fine.packets(), coarse.packets());
+        prop_assert!(coarse.sources() <= fine.sources());
+    }
+
+    /// Artifact prefilter invariants: kept + removed = input, and kept
+    /// packets are exactly the input minus removed-source-day packets
+    /// (order preserved).
+    #[test]
+    fn prefilter_conserves_and_preserves_order(recs in arb_workload()) {
+        use lumen6_detect::ArtifactFilter;
+        let (kept, report) = ArtifactFilter::default().filter(&recs);
+        prop_assert_eq!(kept.len() as u64 + report.removed_packets, recs.len() as u64);
+        prop_assert_eq!(report.input_packets, recs.len() as u64);
+        prop_assert!(kept.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        // Removed-by-service totals match the removed packet count.
+        let by_service: u64 = report.removed_by_service.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(by_service, report.removed_packets);
+        // Idempotence: filtering the kept stream removes nothing new
+        // (sources that survived were below the duplicate fraction, and
+        // removal never changes a surviving source's own packets).
+        let (kept2, report2) = ArtifactFilter::default().filter(&kept);
+        prop_assert_eq!(kept2.len(), kept.len());
+        prop_assert_eq!(report2.removed_packets, 0);
+    }
+
+    /// The streaming detector with flush_idle produces the same qualifying
+    /// events as the batch run (GC must never change results).
+    #[test]
+    fn flush_idle_is_transparent(recs in arb_workload()) {
+        use lumen6_detect::ScanDetector;
+        let config = cfg(5, 20_000);
+        let batch = detect(&recs, config.clone());
+
+        let mut det = ScanDetector::new(config);
+        let mut events = Vec::new();
+        for (i, r) in recs.iter().enumerate() {
+            if let Some(e) = det.observe(r) {
+                events.push(e);
+            }
+            if i % 37 == 0 {
+                events.extend(det.flush_idle(r.ts_ms));
+            }
+        }
+        events.extend(det.finish());
+        events.sort_by_key(|e| (e.start_ms, e.source));
+        let mut batch_events = batch.events.clone();
+        batch_events.sort_by_key(|e| (e.start_ms, e.source));
+        prop_assert_eq!(events, batch_events);
+    }
+}

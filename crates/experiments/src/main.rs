@@ -1,0 +1,114 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--small] [--seed N] [--csv DIR] <experiment>|all
+//! ```
+//!
+//! CDN experiments: fig1 table1 sensitivity fig2 fig3 table2 durations fig4
+//! table3 targets fig8 a1 a4. MAWI experiments: fig5 fig6 icmpv6 fig7
+//! hitlist. `all` runs everything on one shared world.
+
+use lumen6_experiments::{run_cdn, run_mawi, CdnLab, MawiLab, CDN_EXPERIMENTS, MAWI_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--small] [--seed N] [--csv DIR] <experiment>|all");
+    eprintln!("CDN:  {}", CDN_EXPERIMENTS.join(" "));
+    eprintln!("MAWI: {}", MAWI_EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut small = false;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--csv" => {
+                csv_dir = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--help" | "-h" => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    if names.iter().any(|n| n == "all") {
+        names = CDN_EXPERIMENTS
+            .iter()
+            .chain(MAWI_EXPERIMENTS)
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let needs_cdn = names.iter().any(|n| CDN_EXPERIMENTS.contains(&n.as_str()));
+    let needs_mawi = names.iter().any(|n| MAWI_EXPERIMENTS.contains(&n.as_str()));
+    for n in &names {
+        if !CDN_EXPERIMENTS.contains(&n.as_str()) && !MAWI_EXPERIMENTS.contains(&n.as_str()) {
+            eprintln!("unknown experiment: {n}");
+            usage();
+        }
+    }
+
+    let cdn = needs_cdn.then(|| {
+        eprintln!("# building CDN lab (seed {seed}, {}) ...", if small { "small" } else { "full 439 days" });
+        if small {
+            CdnLab::small(seed)
+        } else {
+            CdnLab::full(seed)
+        }
+    });
+    let mawi = needs_mawi.then(|| {
+        eprintln!("# building MAWI lab ...");
+        let mut cfg = lumen6_mawi::MawiConfig {
+            seed,
+            ..Default::default()
+        };
+        if small {
+            cfg = lumen6_mawi::MawiConfig {
+                seed,
+                ..lumen6_mawi::MawiConfig::small()
+            };
+        }
+        MawiLab::build(cfg, cdn.as_ref().map(|lab| &lab.world))
+    });
+
+    if let Some(dir) = csv_dir.as_ref() {
+        if let Some(lab) = cdn.as_ref() {
+            match lumen6_experiments::csv_out::export_cdn(lab, dir) {
+                Ok(files) => eprintln!("# wrote {} CDN CSV files to {}", files.len(), dir.display()),
+                Err(e) => eprintln!("# CSV export failed: {e}"),
+            }
+        }
+        if let Some(lab) = mawi.as_ref() {
+            match lumen6_experiments::csv_out::export_mawi(lab, dir) {
+                Ok(files) => eprintln!("# wrote {} MAWI CSV files to {}", files.len(), dir.display()),
+                Err(e) => eprintln!("# CSV export failed: {e}"),
+            }
+        }
+    }
+
+    for name in &names {
+        let text = if let Some(lab) = cdn.as_ref() {
+            run_cdn(name, lab)
+        } else {
+            None
+        }
+        .or_else(|| mawi.as_ref().and_then(|lab| run_mawi(name, lab)));
+        match text {
+            Some(t) => println!("{t}"),
+            None => eprintln!("skipping {name}: lab not built"),
+        }
+    }
+}

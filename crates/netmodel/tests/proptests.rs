@@ -1,0 +1,92 @@
+//! Property tests for the registry's attribution semantics.
+
+use lumen6_addr::Ipv6Prefix;
+use lumen6_netmodel::{AsType, InternetRegistry};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = AsType> {
+    prop_oneof![
+        Just(AsType::Datacenter),
+        Just(AsType::Cloud),
+        Just(AsType::CloudTransit),
+        Just(AsType::Transit),
+        Just(AsType::Isp),
+        Just(AsType::Research),
+        Just(AsType::University),
+        Just(AsType::Cybersecurity),
+        Just(AsType::Cdn),
+        Just(AsType::Enterprise),
+    ]
+}
+
+proptest! {
+    /// Deterministic allocations are mutually disjoint and attribute every
+    /// contained address back to their AS.
+    #[test]
+    fn allocations_disjoint_and_attributable(types in proptest::collection::vec(arb_type(), 1..25)) {
+        let mut reg = InternetRegistry::new();
+        let prefixes: Vec<(u32, Ipv6Prefix)> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| {
+                let asn = 70_000 + i as u32;
+                (asn, reg.register_with_allocation(asn, ty, "XX", &format!("as-{i}"), 1 + i as u32))
+            })
+            .collect();
+        for (i, (asn, p)) in prefixes.iter().enumerate() {
+            // Interior, first and last addresses attribute correctly.
+            for addr in [p.first_addr(), p.last_addr(), p.first_addr() + p.size() / 2] {
+                prop_assert_eq!(reg.origin_asn(addr), Some(*asn), "prefix {}", p);
+            }
+            for (j, (_, q)) in prefixes.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.contains(q), "{p} contains {q}");
+                }
+            }
+        }
+    }
+
+    /// Longest-prefix match: a customer prefix carved from a provider
+    /// allocation always wins for its own addresses, regardless of
+    /// announcement order.
+    #[test]
+    fn more_specific_wins_any_order(bits in any::<u128>(), flip in any::<bool>()) {
+        let provider = Ipv6Prefix::new(bits, 32);
+        let customer = Ipv6Prefix::new(bits, 48);
+        let mut reg = InternetRegistry::new();
+        reg.register(1, AsType::Transit, "XX", "provider");
+        reg.register(2, AsType::Enterprise, "XX", "customer");
+        if flip {
+            reg.announce(provider, 1).unwrap();
+            reg.announce(customer, 2).unwrap();
+        } else {
+            reg.announce(customer, 2).unwrap();
+            reg.announce(provider, 1).unwrap();
+        }
+        prop_assert_eq!(reg.origin_asn(customer.first_addr()), Some(2));
+        prop_assert_eq!(reg.origin_asn(customer.last_addr()), Some(2));
+        // An address in the provider space outside the customer /48.
+        let outside = customer.sibling().unwrap().first_addr();
+        if provider.contains_addr(outside) {
+            prop_assert_eq!(reg.origin_asn(outside), Some(1));
+        }
+    }
+
+    /// distinct_origin_ases is bounded by both the number of registered
+    /// ASes and the number of queried addresses.
+    #[test]
+    fn distinct_ases_bounded(addr_count in 1usize..60, as_count in 1usize..10) {
+        let mut reg = InternetRegistry::new();
+        let mut prefixes = Vec::new();
+        for i in 0..as_count {
+            let asn = 100 + i as u32;
+            prefixes.push(reg.register_with_allocation(asn, AsType::Isp, "XX", "x", 1 + i as u32));
+        }
+        let addrs: Vec<u128> = (0..addr_count)
+            .map(|i| prefixes[i % prefixes.len()].first_addr() + i as u128)
+            .collect();
+        let n = reg.distinct_origin_ases(addrs.iter().copied(), false);
+        prop_assert!(n <= as_count.min(addr_count));
+        prop_assert!(n >= 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Number and duration formatting in the paper's style.
+
+/// Formats a packet count the way Table 2 does: `839M`, `4.7M`, `0.6M`,
+/// `950K`, `421`.
+pub fn pkt_count(n: u64) -> String {
+    if n >= 100_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1_000_000.0)
+    } else if n >= 10_000 {
+        format!("{:.0}K", n as f64 / 1_000.0)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a fraction as the paper's share column: `39.2%`, `≤ 0.1%`.
+pub fn pct(f: f64) -> String {
+    let p = f * 100.0;
+    if p > 0.0 && p < 0.1 {
+        "≤ 0.1%".to_string()
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+/// `839M (39.2%)` — the packets column of Table 2.
+pub fn pkt_with_share(n: u64, share: f64) -> String {
+    format!("{} ({})", pkt_count(n), pct(share))
+}
+
+/// Human-readable duration from milliseconds: `94 seconds`, `2.7 hours`,
+/// `128.4 days`.
+pub fn duration_human(ms: u64) -> String {
+    let s = ms as f64 / 1000.0;
+    if s < 120.0 {
+        format!("{s:.0} seconds")
+    } else if s < 7_200.0 {
+        format!("{:.1} minutes", s / 60.0)
+    } else if s < 172_800.0 {
+        format!("{:.1} hours", s / 3600.0)
+    } else {
+        format!("{:.1} days", s / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_counts_match_paper_style() {
+        assert_eq!(pkt_count(839_000_000), "839M");
+        assert_eq!(pkt_count(4_700_000), "4.7M");
+        assert_eq!(pkt_count(600_000), "600K");
+        assert_eq!(pkt_count(45_000), "45K");
+        assert_eq!(pkt_count(421), "421");
+    }
+
+    #[test]
+    fn percents() {
+        assert_eq!(pct(0.392), "39.2%");
+        assert_eq!(pct(0.0004), "≤ 0.1%");
+        assert_eq!(pct(0.0), "0.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn combined() {
+        assert_eq!(pkt_with_share(839_000_000, 0.392), "839M (39.2%)");
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(duration_human(94_000), "94 seconds");
+        assert_eq!(duration_human(9_720_000), "2.7 hours");
+        assert_eq!(duration_human(12_240_000), "3.4 hours");
+        assert!(duration_human(129 * 86_400_000).contains("days"));
+        assert!(duration_human(600_000).contains("minutes"));
+    }
+}

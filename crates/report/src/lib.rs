@@ -1,0 +1,50 @@
+//! Report rendering: ASCII tables, CSV series, and the paper's number
+//! formats ("839M (39.2%)", "≤ 0.1%", "2.7 hours").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fmt;
+pub mod table;
+
+pub use fmt::{duration_human, pct, pkt_count, pkt_with_share};
+pub use table::Table;
+
+/// Renders a (header, rows) series as CSV. Fields containing commas or
+/// quotes are quoted.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1,5".into(), "plain".into()], vec!["x\"y".into(), "".into()]],
+        );
+        assert_eq!(csv, "a,b\n\"1,5\",plain\n\"x\"\"y\",\n");
+    }
+
+    #[test]
+    fn csv_empty_rows() {
+        assert_eq!(to_csv(&["h"], &[]), "h\n");
+    }
+}

@@ -1,0 +1,152 @@
+//! A minimal ASCII table renderer for experiment output.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An ASCII table with a header row and uniform column padding.
+///
+/// ```
+/// use lumen6_report::Table;
+/// let mut t = Table::new(vec!["rank", "AS type", "packets"]);
+/// t.align_right(0).align_right(2);
+/// t.row(vec!["#1".into(), "Datacenter (CN)".into(), "839M".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Datacenter (CN)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        Table {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Right-aligns a column (builder style).
+    pub fn align_right(&mut self, col: usize) -> &mut Self {
+        if col < self.aligns.len() {
+            self.aligns[col] = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        // Column widths by character count (display width approximation).
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(c.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(c);
+                        if i + 1 < cells.len() {
+                            line.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(c);
+                    }
+                }
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "n"]);
+        t.align_right(1);
+        t.row(vec!["a".into(), "5".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a      "));
+        assert!(lines[2].ends_with("    5"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(vec!["only", "header"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.starts_with("only  header\n"));
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = Table::new(vec!["p"]);
+        t.row(vec!["≤ 0.1%".into()]);
+        assert!(t.render().contains("≤ 0.1%"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The scanner actor: samplers plus a temporal schedule, generating a
+//! packet stream.
+
+use crate::samplers::{PortSampler, SourceSampler, TargetSampler};
+use lumen6_trace::{PacketRecord, DAY_MS, HOUR_MS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// When an actor scans, and how hard.
+///
+/// Activity is organized in *sessions*: contiguous scanning episodes of
+/// `session_hours`, with packets spread uniformly inside. Between sessions
+/// the actor is silent, so with the paper's one-hour inter-arrival timeout
+/// each session resolves into (at most) one scan event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// First active day (index from the epoch).
+    pub start_day: u64,
+    /// One past the last active day.
+    pub end_day: u64,
+    /// Expected scanning sessions per week (Poisson-ish via per-day
+    /// Bernoulli draws; values ≥ 7 mean one session every day, plus
+    /// extras).
+    pub sessions_per_week: f64,
+    /// Session length in hours.
+    pub session_hours: f64,
+    /// Packets emitted per session.
+    pub packets_per_session: u64,
+    /// If set, sessions start at exactly this millisecond offset within the
+    /// day instead of a random time. Used to coordinate actors that must
+    /// scan simultaneously (e.g. two /64s of one /48 whose *combined*
+    /// traffic forms a single scan run).
+    pub pin_start_ms_in_day: Option<u64>,
+}
+
+impl Schedule {
+    /// A continuous scanner active every day of `[start_day, end_day)`.
+    pub fn continuous(start_day: u64, end_day: u64, packets_per_day: u64) -> Schedule {
+        Schedule {
+            start_day,
+            end_day,
+            sessions_per_week: 7.0,
+            session_hours: 20.0,
+            packets_per_session: packets_per_day,
+            pin_start_ms_in_day: None,
+        }
+    }
+
+    /// A single burst on one day (the MAWI peak events).
+    pub fn burst(day: u64, hours: f64, packets: u64) -> Schedule {
+        Schedule {
+            start_day: day,
+            end_day: day + 1,
+            sessions_per_week: 7.0,
+            session_hours: hours,
+            packets_per_session: packets,
+            pin_start_ms_in_day: None,
+        }
+    }
+
+    /// Expands the schedule into concrete sessions.
+    pub fn sessions(&self, rng: &mut SmallRng) -> Vec<Session> {
+        let mut out = Vec::new();
+        let daily_prob = (self.sessions_per_week / 7.0).min(1.0);
+        let extra = (self.sessions_per_week / 7.0 - 1.0).max(0.0);
+        for day in self.start_day..self.end_day {
+            let mut n = u64::from(rng.gen_bool(daily_prob));
+            // Fractional surplus beyond one session per day.
+            n += extra as u64 + u64::from(rng.gen_bool(extra.fract()));
+            for _ in 0..n {
+                let span = (self.session_hours * HOUR_MS as f64) as u64;
+                let latest_start = DAY_MS.saturating_sub(span.min(DAY_MS)).max(1);
+                let offset = match self.pin_start_ms_in_day {
+                    Some(pin) => pin.min(latest_start - 1),
+                    None => rng.gen_range(0..latest_start),
+                };
+                let start = day * DAY_MS + offset;
+                out.push(Session {
+                    start_ms: start,
+                    duration_ms: span.max(1),
+                    packets: self.packets_per_session,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One concrete scanning episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Episode start (ms since epoch).
+    pub start_ms: u64,
+    /// Episode length in ms.
+    pub duration_ms: u64,
+    /// Packets emitted.
+    pub packets: u64,
+}
+
+/// A complete scanner actor.
+///
+/// Serializable: custom fleets can be defined as JSON and fed to the
+/// `lumen6 generate custom --fleet` command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScannerActor {
+    /// Human-readable name (e.g. `as1-datacenter-cn`).
+    pub name: String,
+    /// Origin AS number (for ground-truth bookkeeping).
+    pub asn: u32,
+    /// Source-address strategy.
+    pub sources: SourceSampler,
+    /// Target-address strategy.
+    pub targets: TargetSampler,
+    /// Port strategy.
+    pub ports: PortSampler,
+    /// Temporal schedule.
+    pub schedule: Schedule,
+    /// Probe packet length (constant per actor — scan probes are uniform,
+    /// which is exactly what the MAWI detector's entropy criterion keys on).
+    pub probe_len: u16,
+}
+
+impl ScannerActor {
+    /// Generates this actor's complete packet stream, time-sorted.
+    ///
+    /// Determinism: the stream is a pure function of the actor definition
+    /// and `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<PacketRecord> {
+        // Mix the actor's name into the seed: actors of the same AS (e.g.
+        // the per-/128 mini-actors of a cloud) must have independent
+        // streams, or they would scan the same days and probe the same
+        // target sequences in lockstep.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in self.name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(self.asn) << 32) ^ h);
+        let sessions = self.schedule.sessions(&mut rng);
+        let mut out = Vec::new();
+        let mut targets_buf = Vec::with_capacity(2);
+        for s in &sessions {
+            let mut emitted = 0u64;
+            while emitted < s.packets {
+                targets_buf.clear();
+                self.targets.sample(&mut rng, &mut targets_buf);
+                // Offset within the session; follow-up (nearby) probes get
+                // strictly later timestamps than their seed probe.
+                let base = s.start_ms + rng.gen_range(0..s.duration_ms);
+                for (k, &dst) in targets_buf.iter().enumerate() {
+                    if emitted >= s.packets {
+                        break;
+                    }
+                    let ts = base + (k as u64) * rng.gen_range(50..2_000);
+                    let (proto, dport) = self.ports.sample(&mut rng, ts);
+                    out.push(PacketRecord {
+                        ts_ms: ts,
+                        src: self.sources.sample(&mut rng, ts),
+                        dst,
+                        proto,
+                        sport: if proto == lumen6_trace::Transport::Icmpv6 {
+                            128
+                        } else {
+                            rng.gen_range(32_768..61_000)
+                        },
+                        dport,
+                        len: self.probe_len,
+                    });
+                    emitted += 1;
+                }
+            }
+        }
+        lumen6_trace::sort_by_time(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::IidMode;
+    use lumen6_addr::Ipv6Prefix;
+    use lumen6_trace::Transport;
+
+    fn actor() -> ScannerActor {
+        ScannerActor {
+            name: "test".into(),
+            asn: 64500,
+            sources: SourceSampler::Single(0x5001),
+            targets: TargetSampler::Hitlist((1..=400u128).map(|i| i << 8).collect()),
+            ports: PortSampler::Single(Transport::Tcp, 22),
+            schedule: Schedule::continuous(0, 7, 500),
+            probe_len: 60,
+        }
+    }
+
+    #[test]
+    fn generates_scheduled_volume() {
+        let recs = actor().generate(1);
+        assert_eq!(recs.len(), 7 * 500);
+        assert!(recs.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        assert!(recs.iter().all(|r| r.src == 0x5001 && r.dport == 22));
+        assert!(recs.iter().all(|r| r.ts_ms < 8 * DAY_MS));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = actor().generate(9);
+        let b = actor().generate(9);
+        assert_eq!(a, b);
+        let c = actor().generate(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schedule_window_respected() {
+        let mut a = actor();
+        a.schedule = Schedule::continuous(10, 12, 100);
+        let recs = a.generate(1);
+        assert!(recs.iter().all(|r| r.ts_ms >= 10 * DAY_MS && r.ts_ms < 12 * DAY_MS));
+    }
+
+    #[test]
+    fn burst_is_single_day() {
+        let s = Schedule::burst(355, 0.25, 10_000); // Dec 22-ish, 15 minutes
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sessions = s.sessions(&mut rng);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].packets, 10_000);
+        assert!(sessions[0].duration_ms <= 15 * 60 * 1000);
+    }
+
+    #[test]
+    fn sparse_schedule_produces_fewer_sessions() {
+        let s = Schedule {
+            start_day: 0,
+            end_day: 70,
+            sessions_per_week: 1.0,
+            session_hours: 2.0,
+            packets_per_session: 10,
+            pin_start_ms_in_day: None,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sessions = s.sessions(&mut rng);
+        // ~10 expected over 10 weeks; allow wide tolerance.
+        assert!((3..=25).contains(&sessions.len()), "{}", sessions.len());
+    }
+
+    #[test]
+    fn actor_detected_by_pipeline() {
+        // End-to-end sanity: a hitlist scanner shows up as scan events.
+        let recs = actor().generate(4);
+        let report = lumen6_detect::detector::detect(
+            &recs,
+            lumen6_detect::ScanDetectorConfig::paper(lumen6_detect::AggLevel::L128),
+        );
+        assert!(report.scans() >= 1);
+        assert_eq!(report.sources(), 1);
+        assert_eq!(report.packets(), recs.len() as u64);
+    }
+
+    #[test]
+    fn random_iid_sweeper_has_gaussian_weights() {
+        let mut a = actor();
+        a.targets = TargetSampler::PrefixSweep {
+            prefixes: vec!["2001:db8::/32".parse::<Ipv6Prefix>().unwrap()],
+            iid: IidMode::Random,
+            subnets_per_prefix: 1 << 16,
+        };
+        let recs = a.generate(2);
+        let dist = lumen6_addr::HammingDistribution::from_addrs(recs.iter().map(|r| r.dst));
+        assert!(dist.looks_random());
+    }
+
+    #[test]
+    fn icmpv6_actor_emits_echo() {
+        let mut a = actor();
+        a.ports = PortSampler::Icmpv6Echo;
+        let recs = a.generate(2);
+        assert!(recs.iter().all(|r| r.proto == Transport::Icmpv6 && r.sport == 128));
+    }
+}

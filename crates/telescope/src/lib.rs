@@ -1,0 +1,31 @@
+//! CDN firewall telescope simulator.
+//!
+//! The paper's primary vantage point is the firewall of ~230,000 CDN
+//! machines in over 700 ASes, logging unsolicited IPv6 packets on all ports
+//! except TCP/80 and TCP/443 (and excluding ICMPv6). Each machine carries
+//! *client-facing* addresses (returned in DNS responses) and *non
+//! client-facing* addresses (never exposed via DNS), and a subset of the
+//! telescope consists of 160,000 in-DNS / not-in-DNS address *pairs* that
+//! are close in address space (often within a /123) — the instrument behind
+//! the paper's targeting analysis (§3.3).
+//!
+//! This crate reproduces that instrument at configurable scale:
+//!
+//! - [`deployment::CdnDeployment`]: machines, their addresses, the DNS
+//!   exposure registry, and the paired-address subset.
+//! - [`capture::FirewallCapture`]: the capture filter (destination must be a
+//!   telescope address; TCP/80, TCP/443 and ICMPv6 are dropped).
+//! - [`artifacts`]: generators for the connection artifacts the paper has
+//!   to filter out — SMTP fallback deliveries, IPsec/ISAKMP retries,
+//!   NetBIOS-style chatter — which reach *many* machines because the CDN
+//!   mapping process maps a client to a growing set of machines over time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod capture;
+pub mod deployment;
+
+pub use capture::{CaptureConfig, FirewallCapture};
+pub use deployment::{CdnDeployment, DeploymentConfig};

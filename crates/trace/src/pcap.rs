@@ -1,0 +1,499 @@
+//! Classic pcap import/export (LINKTYPE_RAW, IPv6).
+//!
+//! The native `.l6tr` format stores exactly what detection needs; this
+//! module bridges to the rest of the world:
+//!
+//! - [`write_pcap`] synthesizes real IPv6 packets — proper headers, valid
+//!   TCP/UDP/ICMPv6 checksums over the IPv6 pseudo-header — so generated
+//!   traces open in Wireshark/tcpdump and can drive other tools.
+//! - [`read_pcap`] ingests captures (both endiannesses, micro- and
+//!   nanosecond variants, LINKTYPE_RAW and LINKTYPE_ETHERNET) and reduces
+//!   each IPv6 TCP/UDP/ICMPv6 packet to a [`PacketRecord`]; anything else
+//!   (IPv4, ARP, extension-header chains) is counted and skipped, never an
+//!   error.
+//!
+//! Timestamps map between pcap epoch seconds and the simulation clock
+//! 1:1 — a capture taken "now" simply lands far past the simulated window,
+//! which is irrelevant to detection (only deltas matter).
+
+use crate::record::{PacketRecord, Transport};
+use std::io::{self, Read, Write};
+
+/// LINKTYPE_RAW: packets start directly with the IP header.
+pub const LINKTYPE_RAW: u32 = 101;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+const MAGIC_US: u32 = 0xa1b2_c3d4;
+const MAGIC_NS: u32 = 0xa1b2_3c4d;
+
+/// Errors from pcap parsing.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Not a pcap file (unknown magic).
+    BadMagic(u32),
+    /// Link type this reader does not handle.
+    UnsupportedLinkType(u32),
+    /// Truncated global or record header.
+    Truncated,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
+            PcapError::UnsupportedLinkType(lt) => write!(f, "unsupported link type {lt}"),
+            PcapError::Truncated => write!(f, "truncated pcap"),
+            PcapError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Internet checksum (RFC 1071) over the given byte slices.
+fn checksum(parts: &[&[u8]]) -> u16 {
+    let mut sum = 0u32;
+    for part in parts {
+        let mut chunks = part.chunks_exact(2);
+        for c in &mut chunks {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds the on-wire IPv6 packet for a record: header + transport header +
+/// zero padding up to the recorded packet length.
+fn build_packet(r: &PacketRecord) -> Vec<u8> {
+    let next_header = r.proto.to_byte();
+    let transport_len = match r.proto {
+        Transport::Tcp => 20usize,
+        Transport::Udp => 8,
+        Transport::Icmpv6 => 8,
+        Transport::Other(_) => 0,
+    };
+    // Total IP length is the recorded length, but never shorter than the
+    // headers we must emit.
+    let total = usize::from(r.len).max(40 + transport_len);
+    let payload_len = total - 40;
+    let mut pkt = Vec::with_capacity(total);
+
+    // IPv6 header.
+    pkt.extend_from_slice(&[0x60, 0, 0, 0]); // version 6, tc 0, flow 0
+    pkt.extend_from_slice(&(payload_len as u16).to_be_bytes());
+    pkt.push(next_header);
+    pkt.push(64); // hop limit
+    pkt.extend_from_slice(&r.src.to_be_bytes());
+    pkt.extend_from_slice(&r.dst.to_be_bytes());
+
+    // Pseudo-header for transport checksums.
+    let mut pseudo = Vec::with_capacity(40);
+    pseudo.extend_from_slice(&r.src.to_be_bytes());
+    pseudo.extend_from_slice(&r.dst.to_be_bytes());
+    pseudo.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    pseudo.extend_from_slice(&[0, 0, 0, next_header]);
+
+    let pad = payload_len - transport_len;
+    let padding = vec![0u8; pad];
+    match r.proto {
+        Transport::Tcp => {
+            let mut tcp = Vec::with_capacity(20);
+            tcp.extend_from_slice(&r.sport.to_be_bytes());
+            tcp.extend_from_slice(&r.dport.to_be_bytes());
+            tcp.extend_from_slice(&1u32.to_be_bytes()); // seq
+            tcp.extend_from_slice(&0u32.to_be_bytes()); // ack
+            tcp.push(5 << 4); // data offset 5 words
+            tcp.push(0x02); // SYN
+            tcp.extend_from_slice(&64_240u16.to_be_bytes()); // window
+            tcp.extend_from_slice(&[0, 0]); // checksum placeholder
+            tcp.extend_from_slice(&[0, 0]); // urgent
+            let ck = checksum(&[&pseudo, &tcp, &padding]);
+            tcp[16..18].copy_from_slice(&ck.to_be_bytes());
+            pkt.extend_from_slice(&tcp);
+        }
+        Transport::Udp => {
+            let mut udp = Vec::with_capacity(8);
+            udp.extend_from_slice(&r.sport.to_be_bytes());
+            udp.extend_from_slice(&r.dport.to_be_bytes());
+            udp.extend_from_slice(&(payload_len as u16).to_be_bytes());
+            udp.extend_from_slice(&[0, 0]);
+            let ck = checksum(&[&pseudo, &udp, &padding]);
+            // UDP checksum 0 means "none" — RFC 8200 forbids it for IPv6;
+            // an all-zero result is transmitted as 0xffff.
+            let ck = if ck == 0 { 0xffff } else { ck };
+            udp[6..8].copy_from_slice(&ck.to_be_bytes());
+            pkt.extend_from_slice(&udp);
+        }
+        Transport::Icmpv6 => {
+            // sport carries the type, dport the code.
+            let mut icmp = vec![r.sport as u8, r.dport as u8, 0, 0];
+            icmp.extend_from_slice(&[0, 0x2a, 0, 1]); // identifier/sequence
+            let ck = checksum(&[&pseudo, &icmp, &padding]);
+            icmp[2..4].copy_from_slice(&ck.to_be_bytes());
+            pkt.extend_from_slice(&icmp);
+        }
+        Transport::Other(_) => {}
+    }
+    pkt.extend_from_slice(&padding);
+    pkt
+}
+
+/// Writes records as a classic pcap file (microsecond timestamps,
+/// LINKTYPE_RAW). Returns the number of packets written.
+pub fn write_pcap<W: Write>(records: &[PacketRecord], mut out: W) -> Result<u64, PcapError> {
+    // Global header.
+    out.write_all(&MAGIC_US.to_le_bytes())?;
+    out.write_all(&2u16.to_le_bytes())?; // major
+    out.write_all(&4u16.to_le_bytes())?; // minor
+    out.write_all(&0i32.to_le_bytes())?; // thiszone
+    out.write_all(&0u32.to_le_bytes())?; // sigfigs
+    out.write_all(&65_535u32.to_le_bytes())?; // snaplen
+    out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+
+    for r in records {
+        let pkt = build_packet(r);
+        out.write_all(&((r.ts_ms / 1000) as u32).to_le_bytes())?;
+        out.write_all(&(((r.ts_ms % 1000) * 1000) as u32).to_le_bytes())?;
+        out.write_all(&(pkt.len() as u32).to_le_bytes())?;
+        out.write_all(&(pkt.len() as u32).to_le_bytes())?;
+        out.write_all(&pkt)?;
+    }
+    out.flush()?;
+    Ok(records.len() as u64)
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// Outcome of importing a pcap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcapImport {
+    /// Parsed IPv6 TCP/UDP/ICMPv6 records, in capture order.
+    pub records: Vec<PacketRecord>,
+    /// Packets skipped (non-IPv6, unhandled next header, truncated data).
+    pub skipped: u64,
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+fn u16_at(b: &[u8], o: usize) -> u16 {
+    u16::from_be_bytes([b[o], b[o + 1]])
+}
+
+/// Parses one link-layer frame into a record. Returns `None` for anything
+/// that is not a plain IPv6 TCP/UDP/ICMPv6 packet.
+fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord> {
+    let ip = match link_type {
+        LINKTYPE_RAW => frame,
+        LINKTYPE_ETHERNET => {
+            if frame.len() < 14 || u16_at(frame, 12) != 0x86dd {
+                return None;
+            }
+            &frame[14..]
+        }
+        _ => return None,
+    };
+    if ip.len() < 40 || ip[0] >> 4 != 6 {
+        return None;
+    }
+    let next_header = ip[6];
+    let src = u128::from_be_bytes(ip[8..24].try_into().ok()?);
+    let dst = u128::from_be_bytes(ip[24..40].try_into().ok()?);
+    let transport = &ip[40..];
+    let (proto, sport, dport) = match next_header {
+        6 if transport.len() >= 4 => {
+            (Transport::Tcp, u16_at(transport, 0), u16_at(transport, 2))
+        }
+        17 if transport.len() >= 4 => {
+            (Transport::Udp, u16_at(transport, 0), u16_at(transport, 2))
+        }
+        58 if transport.len() >= 2 => (
+            Transport::Icmpv6,
+            u16::from(transport[0]),
+            u16::from(transport[1]),
+        ),
+        _ => return None,
+    };
+    Some(PacketRecord {
+        ts_ms,
+        src,
+        dst,
+        proto,
+        sport,
+        dport,
+        len: ip.len().min(usize::from(u16::MAX)) as u16,
+    })
+}
+
+/// Reads a classic pcap capture.
+pub fn read_pcap<R: Read>(mut src: R) -> Result<PcapImport, PcapError> {
+    let mut data = Vec::new();
+    src.read_to_end(&mut data)?;
+    let mut cur = Cursor { data: &data, pos: 0 };
+
+    let header = cur.take(24).ok_or(PcapError::Truncated)?;
+    let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let magic_be = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+    let (big_endian, nanos) = if magic_le == MAGIC_US {
+        (false, false)
+    } else if magic_le == MAGIC_NS {
+        (false, true)
+    } else if magic_be == MAGIC_US {
+        (true, false)
+    } else if magic_be == MAGIC_NS {
+        (true, true)
+    } else {
+        return Err(PcapError::BadMagic(magic_le));
+    };
+    let read_u32 = |b: &[u8], o: usize| -> u32 {
+        let arr: [u8; 4] = b[o..o + 4].try_into().expect("4 bytes");
+        if big_endian {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+    let link_type = read_u32(header, 20);
+    if link_type != LINKTYPE_RAW && link_type != LINKTYPE_ETHERNET {
+        return Err(PcapError::UnsupportedLinkType(link_type));
+    }
+
+    let mut import = PcapImport::default();
+    while !cur.done() {
+        let Some(rec_hdr) = cur.take(16) else {
+            // Trailing garbage shorter than a record header: count and stop.
+            import.skipped += 1;
+            break;
+        };
+        let ts_sec = u64::from(read_u32(rec_hdr, 0));
+        let ts_frac = u64::from(read_u32(rec_hdr, 4));
+        let incl = read_u32(rec_hdr, 8) as usize;
+        let Some(frame) = cur.take(incl) else {
+            import.skipped += 1;
+            break;
+        };
+        let ts_ms = ts_sec * 1000 + if nanos { ts_frac / 1_000_000 } else { ts_frac / 1000 };
+        match parse_frame(link_type, ts_ms, frame) {
+            Some(r) => import.records.push(r),
+            None => import.skipped += 1,
+        }
+    }
+    Ok(import)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PacketRecord> {
+        vec![
+            PacketRecord::tcp(1_500, 0x2001 << 112 | 1, 0x2001 << 112 | 2, 40_000, 22, 60),
+            PacketRecord::udp(2_000, 3, 4, 500, 500, 120),
+            PacketRecord::icmpv6_echo(3_250, 5, 6, 96),
+            PacketRecord::tcp(4_000, 7, 8, 1, 65_535, 1_400),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        assert_eq!(write_pcap(&recs, &mut buf).unwrap(), 4);
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert_eq!(imported.skipped, 0);
+        assert_eq!(imported.records.len(), recs.len());
+        for (got, want) in imported.records.iter().zip(&recs) {
+            assert_eq!(got.src, want.src);
+            assert_eq!(got.dst, want.dst);
+            assert_eq!(got.proto, want.proto);
+            assert_eq!(got.dport, want.dport);
+            assert_eq!(got.sport, want.sport);
+            // Millisecond timestamps survive the µs encoding.
+            assert_eq!(got.ts_ms, want.ts_ms);
+            // Length may be padded up to the minimum wire size.
+            assert!(got.len >= want.len.min(60));
+        }
+    }
+
+    #[test]
+    fn tcp_checksum_is_valid() {
+        // Verify our own checksum: recomputing over the emitted packet with
+        // the checksum field zeroed must reproduce the stored value.
+        let r = PacketRecord::tcp(0, 0xaaaa, 0xbbbb, 1234, 80, 80);
+        let pkt = build_packet(&r);
+        assert_eq!(pkt[0] >> 4, 6, "IPv6 version");
+        let payload_len = usize::from(u16_at(&pkt, 4));
+        let stored = u16_at(&pkt, 40 + 16);
+        let mut zeroed = pkt.clone();
+        zeroed[40 + 16] = 0;
+        zeroed[40 + 17] = 0;
+        let mut pseudo = Vec::new();
+        pseudo.extend_from_slice(&r.src.to_be_bytes());
+        pseudo.extend_from_slice(&r.dst.to_be_bytes());
+        pseudo.extend_from_slice(&(payload_len as u32).to_be_bytes());
+        pseudo.extend_from_slice(&[0, 0, 0, 6]);
+        assert_eq!(checksum(&[&pseudo, &zeroed[40..]]), stored);
+    }
+
+    #[test]
+    fn udp_and_icmpv6_checksums_verify_to_zero() {
+        // RFC 1071: checksumming a packet *including* its checksum yields 0.
+        for r in [
+            PacketRecord::udp(0, 1, 2, 500, 500, 200),
+            PacketRecord::icmpv6_echo(0, 1, 2, 96),
+        ] {
+            let pkt = build_packet(&r);
+            let payload_len = usize::from(u16_at(&pkt, 4));
+            let mut pseudo = Vec::new();
+            pseudo.extend_from_slice(&r.src.to_be_bytes());
+            pseudo.extend_from_slice(&r.dst.to_be_bytes());
+            pseudo.extend_from_slice(&(payload_len as u32).to_be_bytes());
+            pseudo.extend_from_slice(&[0, 0, 0, r.proto.to_byte()]);
+            let full = checksum(&[&pseudo, &pkt[40..]]);
+            assert_eq!(full, 0, "{:?}", r.proto);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_pcap(&b"NOTPCAP_AT_ALL_________"[..]).unwrap_err();
+        assert!(matches!(err, PcapError::Truncated | PcapError::BadMagic(_)));
+        let mut bogus = [0u8; 24];
+        bogus[0..4].copy_from_slice(&0xdeadbeefu32.to_le_bytes());
+        assert!(matches!(read_pcap(&bogus[..]).unwrap_err(), PcapError::BadMagic(_)));
+    }
+
+    #[test]
+    fn truncated_record_counts_as_skipped() {
+        let mut buf = Vec::new();
+        write_pcap(&sample(), &mut buf).unwrap();
+        let cut = &buf[..buf.len() - 10];
+        let imported = read_pcap(cut).unwrap();
+        assert_eq!(imported.records.len(), 3);
+        assert_eq!(imported.skipped, 1);
+    }
+
+    #[test]
+    fn ethernet_frames_parse_and_non_ipv6_skipped() {
+        // Hand-build an Ethernet-linktype capture with one IPv6 TCP packet
+        // and one ARP frame.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_US.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0i32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&65_535u32.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+
+        let r = PacketRecord::tcp(5_000, 0x11, 0x22, 1000, 443, 60);
+        let ip = build_packet(&r);
+        let mut frame = vec![0u8; 12];
+        frame.extend_from_slice(&0x86ddu16.to_be_bytes());
+        frame.extend_from_slice(&ip);
+        buf.extend_from_slice(&5u32.to_le_bytes()); // ts_sec
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&frame);
+
+        // An ARP frame (ethertype 0x0806).
+        let mut arp = vec![0u8; 12];
+        arp.extend_from_slice(&0x0806u16.to_be_bytes());
+        arp.extend_from_slice(&[0u8; 28]);
+        buf.extend_from_slice(&6u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(arp.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(arp.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&arp);
+
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert_eq!(imported.records.len(), 1);
+        assert_eq!(imported.skipped, 1);
+        assert_eq!(imported.records[0].dport, 443);
+        assert_eq!(imported.records[0].src, 0x11);
+    }
+
+    #[test]
+    fn big_endian_and_nanosecond_captures_parse() {
+        // Big-endian, nanosecond-resolution header with one RAW IPv6 packet.
+        let r = PacketRecord::udp(7_000, 9, 10, 53, 53, 80);
+        let ip = build_packet(&r);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65_535u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        buf.extend_from_slice(&7u32.to_be_bytes()); // sec
+        buf.extend_from_slice(&500_000u32.to_be_bytes()); // ns = 0.5 ms
+        buf.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&(ip.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&ip);
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert_eq!(imported.records.len(), 1);
+        assert_eq!(imported.records[0].ts_ms, 7_000);
+        assert_eq!(imported.records[0].dport, 53);
+    }
+
+    #[test]
+    fn unsupported_link_type_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_US.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&147u32.to_le_bytes()); // USER0
+        assert!(matches!(
+            read_pcap(&buf[..]).unwrap_err(),
+            PcapError::UnsupportedLinkType(147)
+        ));
+    }
+
+    #[test]
+    fn empty_capture_is_fine() {
+        let mut buf = Vec::new();
+        write_pcap(&[], &mut buf).unwrap();
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert!(imported.records.is_empty());
+        assert_eq!(imported.skipped, 0);
+    }
+}
