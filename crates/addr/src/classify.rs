@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn anycast_is_zero_iid() {
-        assert_eq!(classify_iid(0xdead_0000_0000_0000_0000_0000_0000_0000), IidClass::SubnetAnycast);
+        assert_eq!(
+            classify_iid(0xdead_0000_0000_0000_0000_0000_0000_0000),
+            IidClass::SubnetAnycast
+        );
     }
 
     #[test]
@@ -148,7 +151,10 @@ mod tests {
     #[test]
     fn random_iids_classified_random() {
         // Alternating bits: weight 32.
-        assert_eq!(classify_iid(0xaaaa_aaaa_aaaa_aaaau64 as u128), IidClass::Random);
+        assert_eq!(
+            classify_iid(0xaaaa_aaaa_aaaa_aaaau64 as u128),
+            IidClass::Random
+        );
     }
 
     #[test]

@@ -190,9 +190,7 @@ mod tests {
     fn random_iids_have_high_iid_entropy() {
         let mut rng = SmallRng::seed_from_u64(5);
         let base: u128 = 0x2001_0db8 << 96;
-        let p = EntropyProfile::from_addrs(
-            (0..5000).map(|_| base | u128::from(rng.gen::<u64>())),
-        );
+        let p = EntropyProfile::from_addrs((0..5000).map(|_| base | u128::from(rng.gen::<u64>())));
         assert!(p.iid_entropy() > 3.8, "iid entropy {}", p.iid_entropy());
         // Network half stays fixed.
         assert!(p.profile()[..8].iter().all(|&h| h == 0.0));
@@ -209,9 +207,7 @@ mod tests {
     fn signature_readable() {
         let base: u128 = 0x2001_0db8 << 96;
         let mut rng = SmallRng::seed_from_u64(6);
-        let p = EntropyProfile::from_addrs(
-            (0..2000).map(|_| base | u128::from(rng.gen::<u16>())),
-        );
+        let p = EntropyProfile::from_addrs((0..2000).map(|_| base | u128::from(rng.gen::<u16>())));
         let sig = p.signature();
         assert_eq!(sig.len(), 32);
         assert!(sig.starts_with("...."));

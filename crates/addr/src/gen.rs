@@ -41,7 +41,11 @@ pub fn vary_low_bits<R: Rng + ?Sized>(rng: &mut R, base: u128, n: u8) -> u128 {
         return base;
     }
     let n = n.min(128);
-    let mask = if n >= 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mask = if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     (base & !mask) | (rng.gen::<u128>() & mask)
 }
 
@@ -56,7 +60,7 @@ pub fn low_weight_iid<R: Rng + ?Sized>(rng: &mut R, net64: u64, max_weight: u32)
     let mut placed = 0;
     while placed < w {
         // Bias: 80% of bits land in the low 16 bit positions.
-        let pos = if rng.gen_bool(0.8) {
+        let pos: u32 = if rng.gen_bool(0.8) {
             rng.gen_range(0..16)
         } else {
             rng.gen_range(0..64)
@@ -196,7 +200,10 @@ mod tests {
     #[test]
     fn sequential_hosts_enumerate() {
         let v: Vec<u128> = sequential_hosts(0x1, 3).collect();
-        assert_eq!(v, vec![(1u128 << 64) | 1, (1u128 << 64) | 2, (1u128 << 64) | 3]);
+        assert_eq!(
+            v,
+            vec![(1u128 << 64) | 1, (1u128 << 64) | 2, (1u128 << 64) | 3]
+        );
     }
 
     #[test]

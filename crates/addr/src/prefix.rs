@@ -326,7 +326,10 @@ mod tests {
 
     #[test]
     fn constructor_masks_host_bits() {
-        let a = Ipv6Prefix::new(u128::from_str_radix("20010db8000000010000000000000001", 16).unwrap(), 32);
+        let a = Ipv6Prefix::new(
+            u128::from_str_radix("20010db8000000010000000000000001", 16).unwrap(),
+            32,
+        );
         assert_eq!(a, p("2001:db8::/32"));
     }
 

@@ -81,10 +81,7 @@ pub fn detect_port_shift(
         };
         let better = match &best {
             None => true,
-            Some(b) => {
-                quality
-                    > b.before_coherence + b.after_coherence - 2.0 * b.cross_similarity
-            }
+            Some(b) => quality > b.before_coherence + b.after_coherence - 2.0 * b.cross_similarity,
         };
         if better {
             best = Some(candidate);

@@ -1,8 +1,8 @@
 //! Scan-traffic concentration: top-k source packet shares (Fig. 3, Fig. 6).
 
 use crate::series::{Bucket, SeriesPoint};
-use lumen6_detect::event::ScanReport;
 use lumen6_addr::Ipv6Prefix;
+use lumen6_detect::event::ScanReport;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -45,7 +45,11 @@ pub fn per_bucket_topk(
         let duration = (e.end_ms - e.start_ms) as f64;
         for b in first..=last {
             let frac = if duration == 0.0 {
-                if b == first { 1.0 } else { 0.0 }
+                if b == first {
+                    1.0
+                } else {
+                    0.0
+                }
             } else {
                 let lo = (b * w).max(e.start_ms);
                 let hi = ((b + 1) * w).min(e.end_ms);

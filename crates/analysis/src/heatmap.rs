@@ -61,12 +61,7 @@ impl Heatmap {
         assert!(bins >= 2, "need at least 2 bins");
         let edges: Vec<u64> = (0..bins as u32).map(|i| 2u64.saturating_pow(i)).collect();
         let mut cells = vec![vec![0u64; bins]; bins];
-        let bin_of = |v: u64| -> usize {
-            edges
-                .iter()
-                .position(|&e| v <= e)
-                .unwrap_or(bins - 1)
-        };
+        let bin_of = |v: u64| -> usize { edges.iter().position(|&e| v <= e).unwrap_or(bins - 1) };
         for p in points {
             cells[bin_of(p.packets)][bin_of(p.dsts.max(1))] += 1;
         }
@@ -118,16 +113,37 @@ mod tests {
         ];
         let pts = source_points(&records, AggLevel::L64);
         assert_eq!(pts.len(), 2);
-        assert_eq!(pts[0], SourcePoint { dsts: 1, packets: 1 });
-        assert_eq!(pts[1], SourcePoint { dsts: 2, packets: 3 });
+        assert_eq!(
+            pts[0],
+            SourcePoint {
+                dsts: 1,
+                packets: 1
+            }
+        );
+        assert_eq!(
+            pts[1],
+            SourcePoint {
+                dsts: 2,
+                packets: 3
+            }
+        );
     }
 
     #[test]
     fn heatmap_bins_and_total() {
         let pts = vec![
-            SourcePoint { dsts: 1, packets: 1 },
-            SourcePoint { dsts: 1, packets: 2 },
-            SourcePoint { dsts: 1000, packets: 100_000 },
+            SourcePoint {
+                dsts: 1,
+                packets: 1,
+            },
+            SourcePoint {
+                dsts: 1,
+                packets: 2,
+            },
+            SourcePoint {
+                dsts: 1000,
+                packets: 100_000,
+            },
         ];
         let h = Heatmap::build(&pts, 20);
         assert_eq!(h.sources, 3);
@@ -142,9 +158,15 @@ mod tests {
     fn origin_cluster_dominates_mixed_population() {
         // 95 tiny sources + 5 heavy scanners: the origin mass is ≥ 95%.
         let mut pts: Vec<SourcePoint> = (0..95)
-            .map(|i| SourcePoint { dsts: 1 + i % 3, packets: 1 + i % 7 })
+            .map(|i| SourcePoint {
+                dsts: 1 + i % 3,
+                packets: 1 + i % 7,
+            })
             .collect();
-        pts.extend((0..5).map(|_| SourcePoint { dsts: 5_000, packets: 80_000 }));
+        pts.extend((0..5).map(|_| SourcePoint {
+            dsts: 5_000,
+            packets: 80_000,
+        }));
         let h = Heatmap::build(&pts, 24);
         assert_eq!(h.mass_below(8, 8), 95);
     }
@@ -153,7 +175,13 @@ mod tests {
     fn zero_dst_clamped() {
         // Degenerate safety: a point with dsts = 0 (cannot occur from
         // source_points, but the API is total).
-        let h = Heatmap::build(&[SourcePoint { dsts: 0, packets: 1 }], 4);
+        let h = Heatmap::build(
+            &[SourcePoint {
+                dsts: 0,
+                packets: 1,
+            }],
+            4,
+        );
         assert_eq!(h.sources, 1);
     }
 

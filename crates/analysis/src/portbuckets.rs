@@ -115,7 +115,10 @@ mod tests {
             events.push(ev(&format!("2001:db8:{i}::/64"), vec![(22, 500)]));
         }
         let rows = port_buckets(&ScanReport::new(events), |_| false);
-        let wide_row = rows.iter().find(|r| r.class == PortClass::MoreThan100).unwrap();
+        let wide_row = rows
+            .iter()
+            .find(|r| r.class == PortClass::MoreThan100)
+            .unwrap();
         assert!((wide_row.packets - 0.8).abs() < 1e-9);
         assert!((wide_row.scans - 0.2).abs() < 1e-9);
         assert!((wide_row.sources - 0.2).abs() < 1e-9);
@@ -148,7 +151,10 @@ mod tests {
             ev("2001:db8::/64", (1..=400).map(|p| (p, 1)).collect()),
         ];
         let rows = port_buckets(&ScanReport::new(events), |_| false);
-        let wide = rows.iter().find(|r| r.class == PortClass::MoreThan100).unwrap();
+        let wide = rows
+            .iter()
+            .find(|r| r.class == PortClass::MoreThan100)
+            .unwrap();
         assert_eq!(wide.sources, 1.0);
         let single = rows.iter().find(|r| r.class == PortClass::Single).unwrap();
         assert_eq!(single.sources, 0.0);

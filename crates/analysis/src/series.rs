@@ -171,9 +171,21 @@ mod tests {
     #[test]
     fn median_sources_works() {
         let pts = vec![
-            SeriesPoint { bucket: 0, sources: 5, packets: 0.0 },
-            SeriesPoint { bucket: 1, sources: 22, packets: 0.0 },
-            SeriesPoint { bucket: 2, sources: 40, packets: 0.0 },
+            SeriesPoint {
+                bucket: 0,
+                sources: 5,
+                packets: 0.0,
+            },
+            SeriesPoint {
+                bucket: 1,
+                sources: 22,
+                packets: 0.0,
+            },
+            SeriesPoint {
+                bucket: 2,
+                sources: 40,
+                packets: 0.0,
+            },
         ];
         assert_eq!(median_sources(&pts), 22);
     }

@@ -40,7 +40,9 @@ where
 {
     let mut per: HashMap<Ipv6Prefix, (HashSet<u128>, HashSet<u128>)> = HashMap::new();
     for e in &report.events {
-        let Some(dsts) = e.dsts.as_ref() else { continue };
+        let Some(dsts) = e.dsts.as_ref() else {
+            continue;
+        };
         let entry = per.entry(e.source).or_default();
         for &d in dsts {
             if is_in_dns(d) {
@@ -97,8 +99,14 @@ pub fn summarize_dns(breakdowns: &[SourceDns]) -> DnsSummary {
         all_in_dns_frac: all_in as f64 / n as f64,
         heavy_not_in_dns_frac: heavy as f64 / n as f64,
         size_vs_hidden_correlation: rank_correlation(
-            &breakdowns.iter().map(|b| b.total() as f64).collect::<Vec<_>>(),
-            &breakdowns.iter().map(|b| b.not_in_dns_frac()).collect::<Vec<_>>(),
+            &breakdowns
+                .iter()
+                .map(|b| b.total() as f64)
+                .collect::<Vec<_>>(),
+            &breakdowns
+                .iter()
+                .map(|b| b.not_in_dns_frac())
+                .collect::<Vec<_>>(),
         ),
     }
 }
@@ -278,10 +286,10 @@ mod tests {
     #[test]
     fn summary_fractions() {
         let r = ScanReport::new(vec![
-            ev("2001:db8:0::/64", vec![2, 4]),       // all in DNS
-            ev("2001:db8:1::/64", vec![2, 4, 6]),    // all in DNS
+            ev("2001:db8:0::/64", vec![2, 4]),    // all in DNS
+            ev("2001:db8:1::/64", vec![2, 4, 6]), // all in DNS
             ev("2001:db8:2::/64", vec![2, 4, 8, 10, 12, 14, 16, 18, 20, 3]), // 10% hidden
-            ev("2001:db8:3::/64", vec![2, 3, 5]),    // 67% hidden
+            ev("2001:db8:3::/64", vec![2, 3, 5]), // 67% hidden
         ]);
         let s = summarize_dns(&dns_breakdown(&r, in_dns));
         assert_eq!(s.sources, 4);
@@ -292,9 +300,21 @@ mod tests {
     #[test]
     fn correlation_positive_when_bigger_scans_hide_more() {
         let breakdowns = vec![
-            SourceDns { source: "2001:db8::/64".parse().unwrap(), in_dns: 10, not_in_dns: 0 },
-            SourceDns { source: "2001:db8:1::/64".parse().unwrap(), in_dns: 50, not_in_dns: 10 },
-            SourceDns { source: "2001:db8:2::/64".parse().unwrap(), in_dns: 100, not_in_dns: 100 },
+            SourceDns {
+                source: "2001:db8::/64".parse().unwrap(),
+                in_dns: 10,
+                not_in_dns: 0,
+            },
+            SourceDns {
+                source: "2001:db8:1::/64".parse().unwrap(),
+                in_dns: 50,
+                not_in_dns: 10,
+            },
+            SourceDns {
+                source: "2001:db8:2::/64".parse().unwrap(),
+                in_dns: 100,
+                not_in_dns: 100,
+            },
         ];
         let s = summarize_dns(&breakdowns);
         assert!(s.size_vs_hidden_correlation > 0.9);

@@ -164,7 +164,13 @@ mod tests {
     fn unknown_sources_grouped() {
         let reg = registry();
         let r64 = ScanReport::new(vec![ev("3fff::/64", AggLevel::L64, 10)]);
-        let rows = top_as_table(&reg, &ScanReport::default(), &r64, &ScanReport::default(), 20);
+        let rows = top_as_table(
+            &reg,
+            &ScanReport::default(),
+            &r64,
+            &ScanReport::default(),
+            20,
+        );
         assert_eq!(rows[0].asn, None);
         assert_eq!(rows[0].descriptor, "Unknown");
     }
@@ -176,7 +182,13 @@ mod tests {
             ev("2001:db8::/64", AggLevel::L64, 900),
             ev("2001:dc8::/64", AggLevel::L64, 100),
         ]);
-        let rows = top_as_table(&reg, &ScanReport::default(), &r64, &ScanReport::default(), 1);
+        let rows = top_as_table(
+            &reg,
+            &ScanReport::default(),
+            &r64,
+            &ScanReport::default(),
+            1,
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].rank, 1);
         assert!((topk_as_share(&rows, 1) - 0.9).abs() < 1e-12);

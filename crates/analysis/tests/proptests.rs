@@ -9,17 +9,20 @@ use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = ScanEvent> {
     (
-        0u64..200,         // source index
-        0u64..5_000_000,   // start
-        0u64..2_000_000,   // duration
-        1u64..50_000,      // packets
-        1u64..5_000,       // dsts
+        0u64..200,       // source index
+        0u64..5_000_000, // start
+        0u64..2_000_000, // duration
+        1u64..50_000,    // packets
+        1u64..5_000,     // dsts
         proptest::collection::vec((1u16..1000, 1u64..1000), 1..12),
     )
         .prop_map(|(src, start, dur, packets, dsts, ports)| {
             let port_total: u64 = ports.iter().map(|(_, n)| n).sum();
             ScanEvent {
-                source: lumen6_addr::Ipv6Prefix::new((0x2001u128 << 112) | (u128::from(src) << 64), 64),
+                source: lumen6_addr::Ipv6Prefix::new(
+                    (0x2001u128 << 112) | (u128::from(src) << 64),
+                    64,
+                ),
                 agg: AggLevel::L64,
                 start_ms: start,
                 end_ms: start + dur,

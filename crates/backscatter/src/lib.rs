@@ -176,13 +176,15 @@ impl BackscatterDetector {
         let mut out: Vec<BackscatterScanner> = per
             .into_iter()
             .filter(|(_, (queriers, _, _, _))| queriers.len() as u64 >= self.min_queriers)
-            .map(|(source, (queriers, queries, first, last))| BackscatterScanner {
-                source,
-                queriers: queriers.len() as u64,
-                queries,
-                first_ms: first,
-                last_ms: last,
-            })
+            .map(
+                |(source, (queriers, queries, first, last))| BackscatterScanner {
+                    source,
+                    queriers: queriers.len() as u64,
+                    queries,
+                    first_ms: first,
+                    last_ms: last,
+                },
+            )
             .collect();
         out.sort_by(|a, b| b.queriers.cmp(&a.queriers).then(a.source.cmp(&b.source)));
         out
@@ -196,9 +198,7 @@ mod tests {
     /// A scanner probing many distinct victim /48s.
     fn scan_traffic(src: u128, victims: u64) -> Vec<PacketRecord> {
         (0..victims)
-            .map(|i| {
-                PacketRecord::tcp(i * 500, src, (u128::from(i) << 80) | 1, 1, 22, 60)
-            })
+            .map(|i| PacketRecord::tcp(i * 500, src, (u128::from(i) << 80) | 1, 1, 22, 60))
             .collect()
     }
 
@@ -265,7 +265,14 @@ mod tests {
         let base = 0x2001_0db8_0000_0000_0000_0000_0000_0000u128;
         let traffic: Vec<PacketRecord> = (0..400u64)
             .map(|i| {
-                PacketRecord::tcp(i * 500, base | u128::from(i), (u128::from(i) << 80) | 1, 1, 22, 60)
+                PacketRecord::tcp(
+                    i * 500,
+                    base | u128::from(i),
+                    (u128::from(i) << 80) | 1,
+                    1,
+                    22,
+                    60,
+                )
             })
             .collect();
         let config = BackscatterConfig {
@@ -290,7 +297,10 @@ mod tests {
         let traffic = scan_traffic(7, 100);
         let queries = generate_backscatter(&traffic, &BackscatterConfig::default(), 5);
         assert!(queries.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
-        assert!(queries.iter().all(|q| q.ts_ms % 500 == 50), "latency applied");
+        assert!(
+            queries.iter().all(|q| q.ts_ms % 500 == 50),
+            "latency applied"
+        );
     }
 
     #[test]
@@ -331,7 +341,10 @@ mod tests {
             .truth
             .iter()
             .find(|t| t.prefix.contains(&top.source));
-        assert!(owner.is_some(), "top backscatter source {top:?} is a fleet scanner");
+        assert!(
+            owner.is_some(),
+            "top backscatter source {top:?} is a fleet scanner"
+        );
         assert!(owner.unwrap().rank <= 3);
     }
 }

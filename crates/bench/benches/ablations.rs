@@ -42,7 +42,13 @@ fn adaptive_vs_fixed(c: &mut Criterion) {
     let mut g = c.benchmark_group("adaptive_vs_fixed");
     g.sample_size(10);
     g.bench_function("fixed_64", |b| {
-        b.iter(|| detect(black_box(&fx.filtered), ScanDetectorConfig::paper(AggLevel::L64)).scans());
+        b.iter(|| {
+            detect(
+                black_box(&fx.filtered),
+                ScanDetectorConfig::paper(AggLevel::L64),
+            )
+            .scans()
+        });
     });
     g.bench_function("adaptive", |b| {
         b.iter(|| {
@@ -61,7 +67,13 @@ fn sketch_vs_exact_detector(c: &mut Criterion) {
     let mut g = c.benchmark_group("sketch_vs_exact_detector");
     g.sample_size(10);
     g.bench_function("exact", |b| {
-        b.iter(|| detect(black_box(&fx.filtered), ScanDetectorConfig::paper(AggLevel::L64)).scans());
+        b.iter(|| {
+            detect(
+                black_box(&fx.filtered),
+                ScanDetectorConfig::paper(AggLevel::L64),
+            )
+            .scans()
+        });
     });
     g.bench_function("sketched_spill_256_p12", |b| {
         b.iter(|| {

@@ -1,12 +1,25 @@
 //! Detection-pipeline benchmarks: Table 1 (per-level detection), the §2.2
-//! sensitivity sweep, the artifact prefilter, and the MAWI detector.
+//! sensitivity sweep, the artifact prefilter, the MAWI detector, and the
+//! sharded-parallel / streaming-decode comparisons (machine-readable
+//! results land in `BENCH_detection.json` at the workspace root).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lumen6_bench::{CdnFixture, MawiFixture};
+use lumen6_detect::multi::detect_multi;
+use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 use lumen6_detect::{
     detector::detect, AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector,
     ScanDetectorConfig,
 };
+use lumen6_trace::codec::{decode, decode_chunks, encode};
+use std::time::Instant;
+
+/// The multi-level workload both pipeline benches run: the paper's three
+/// aggregation levels over the filtered CDN trace.
+const LEVELS: [AggLevel; 3] = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+
+/// Shard counts the tentpole comparison sweeps.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Table 1: full scan detection at each aggregation level.
 fn table1_detection(c: &mut Criterion) {
@@ -89,6 +102,156 @@ fn mawi_detection(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole comparison: sequential multi-level detection vs the sharded
+/// parallel pipeline at 1/2/4/8 shards on the same workload.
+fn sharded_vs_sequential(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let mut g = c.benchmark_group("sharded_vs_sequential");
+    g.throughput(Throughput::Elements(fx.filtered.len() as u64));
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            detect_multi(
+                black_box(&fx.filtered),
+                &LEVELS,
+                ScanDetectorConfig::default(),
+            )
+        });
+    });
+    for shards in SHARD_COUNTS {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &s| {
+            b.iter(|| {
+                detect_multi_sharded(
+                    black_box(&fx.filtered),
+                    &LEVELS,
+                    ScanDetectorConfig::default(),
+                    ShardPlan::with_shards(s),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Streaming chunked decode feeding the sharded detector vs materializing
+/// the whole trace up front and detecting over the slice.
+fn streaming_vs_materialized(c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let bytes = encode(&fx.filtered).expect("encode fixture trace");
+    let mut g = c.benchmark_group("streaming_vs_materialized");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.sample_size(10);
+    g.bench_function("materialized", |b| {
+        b.iter(|| {
+            let records = decode(black_box(&bytes)).expect("decode");
+            detect_multi(&records, &LEVELS, ScanDetectorConfig::default())
+        });
+    });
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            let chunks = decode_chunks(black_box(&bytes[..]), 8_192).expect("header");
+            let mut det = ShardedDetector::new(
+                &LEVELS,
+                ScanDetectorConfig::default(),
+                ShardPlan::with_shards(2),
+            );
+            for chunk in chunks {
+                for r in chunk.expect("chunk") {
+                    det.observe(&r);
+                }
+            }
+            det.finish()
+        });
+    });
+    g.finish();
+}
+
+/// Median wall-clock seconds over `n` runs of `f`.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..n.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Writes `BENCH_detection.json` at the workspace root: throughput of the
+/// sequential and sharded pipelines, the streaming-vs-materialized decode
+/// comparison, and the host core count (shard speedups are bounded by it —
+/// a single-core host shows parity, not gains).
+fn emit_bench_json(_c: &mut Criterion) {
+    let fx = CdnFixture::new();
+    let records = fx.filtered.len();
+    let bytes = encode(&fx.filtered).expect("encode fixture trace");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    const RUNS: usize = 5;
+
+    let sequential_s = median_secs(RUNS, || {
+        black_box(detect_multi(
+            &fx.filtered,
+            &LEVELS,
+            ScanDetectorConfig::default(),
+        ));
+    });
+    let mut sharded = Vec::new();
+    for shards in SHARD_COUNTS {
+        let secs = median_secs(RUNS, || {
+            black_box(detect_multi_sharded(
+                &fx.filtered,
+                &LEVELS,
+                ScanDetectorConfig::default(),
+                ShardPlan::with_shards(shards),
+            ));
+        });
+        sharded.push((shards, secs));
+    }
+    let materialized_s = median_secs(RUNS, || {
+        let recs = decode(&bytes).expect("decode");
+        black_box(detect_multi(&recs, &LEVELS, ScanDetectorConfig::default()));
+    });
+    let streaming_s = median_secs(RUNS, || {
+        let chunks = decode_chunks(&bytes[..], 8_192).expect("header");
+        let mut det = ShardedDetector::new(
+            &LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::with_shards(2),
+        );
+        for chunk in chunks {
+            for r in chunk.expect("chunk") {
+                det.observe(&r);
+            }
+        }
+        black_box(det.finish());
+    });
+
+    let sharded_json: Vec<String> = sharded
+        .iter()
+        .map(|&(n, s)| {
+            format!(
+                "    {{\"shards\": {n}, \"seconds\": {s:.6}, \"records_per_s\": {:.0}, \"speedup\": {:.3}}}",
+                records as f64 / s,
+                sequential_s / s
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sharded speedup is bounded by host_cores; on a single-core host expect parity with sequential, not gains\"\n}}\n",
+        bytes.len(),
+        records as f64 / sequential_s,
+        sharded_json.join(",\n"),
+        bytes.len() as f64 / streaming_s / (1u64 << 20) as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detection.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group! {
     name = benches;
     // Short windows keep the full suite to a few minutes; these are
@@ -100,6 +263,9 @@ criterion_group! {
     targets = table1_detection,
     sensitivity_sweep,
     a1_prefilter,
-    mawi_detection
+    mawi_detection,
+    sharded_vs_sequential,
+    streaming_vs_materialized,
+    emit_bench_json
 }
 criterion_main!(benches);

@@ -62,12 +62,7 @@ fn blocklist_throughput(c: &mut Criterion) {
     bl.ingest(0, &alerts);
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("check_100k", |b| {
-        b.iter(|| {
-            addrs
-                .iter()
-                .filter(|&&a| bl.check(black_box(a), 1))
-                .count()
-        });
+        b.iter(|| addrs.iter().filter(|&&a| bl.check(black_box(a), 1)).count());
     });
     g.finish();
 }

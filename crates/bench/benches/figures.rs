@@ -73,7 +73,8 @@ fn figures(c: &mut Criterion) {
     });
     g.bench_function("targets_dns_breakdown", |b| {
         b.iter(|| {
-            let bd = targeting::dns_breakdown(black_box(&r64), |a| fx.world.deployment.is_in_dns(a));
+            let bd =
+                targeting::dns_breakdown(black_box(&r64), |a| fx.world.deployment.is_in_dns(a));
             targeting::summarize_dns(&bd)
         });
     });
@@ -85,9 +86,7 @@ fn figures(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig7_hamming", |b| {
         b.iter(|| {
-            lumen6_addr::HammingDistribution::from_addrs(
-                black_box(&mx.trace).iter().map(|r| r.dst),
-            )
+            lumen6_addr::HammingDistribution::from_addrs(black_box(&mx.trace).iter().map(|r| r.dst))
         });
     });
     let hitlist: std::collections::HashSet<u128> = mx.world.hitlist.iter().copied().collect();

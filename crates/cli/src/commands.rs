@@ -15,11 +15,12 @@
 use crate::{Args, CliError};
 use lumen6_detect::adaptive::{AdaptiveConfig, AdaptiveIds};
 use lumen6_detect::{
-    AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector, ScanDetectorConfig,
+    detect_multi_sharded, AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector,
+    ScanDetectorConfig, ShardPlan, ShardedDetector,
 };
 use lumen6_report::{duration_human, pkt_count, Table};
 use lumen6_scanners::{FleetConfig, World};
-use lumen6_trace::{PacketRecord, TraceReader, TraceWriter};
+use lumen6_trace::{decode_chunks, PacketRecord, TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 
@@ -33,6 +34,7 @@ USAGE:
   lumen6 info --trace FILE
   lumen6 detect --trace FILE [--agg 128|64|48|32] [--min-dsts N]
                 [--timeout-secs N] [--prefilter] [--top N] [--json]
+                [--threads N] [--sequential]
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -47,8 +49,19 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
     let args = Args::parse(
         argv,
         &[
-            "out", "days", "seed", "agg", "min-dsts", "timeout-secs", "trace", "top",
-            "threshold", "pcap", "min-queriers", "fleet",
+            "out",
+            "days",
+            "seed",
+            "agg",
+            "min-dsts",
+            "timeout-secs",
+            "trace",
+            "top",
+            "threshold",
+            "pcap",
+            "min-queriers",
+            "fleet",
+            "threads",
         ],
     )?;
     let cmd = args
@@ -178,28 +191,68 @@ fn info<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds the shard plan from `--threads N` (0 or absent = one shard per
+/// hardware thread).
+fn shard_plan(args: &Args) -> Result<ShardPlan, CliError> {
+    let threads = args.get_parsed::<usize>("threads", 0)?;
+    Ok(if threads == 0 {
+        ShardPlan::default()
+    } else {
+        ShardPlan::with_shards(threads)
+    })
+}
+
 /// `detect`: the paper's large-scale scan detection over a trace file.
+///
+/// Runs the sharded parallel pipeline by default (`--threads N` to pin the
+/// shard count, `--sequential` for the single-threaded reference path). The
+/// parallel path without `--prefilter` streams the trace from disk in
+/// bounded memory; prefiltering needs the whole trace resident.
 fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
-    let mut records = load_trace(args)?;
-    if args.has("prefilter") {
-        let (kept, report) = ArtifactFilter::default().filter(&records);
-        writeln!(
-            out,
-            "prefilter: removed {} of {} packets ({} sources)",
-            report.removed_packets, report.input_packets, report.removed_sources
-        )?;
-        records = kept;
-    }
     let config = ScanDetectorConfig {
         agg: agg_of(args)?,
         min_dsts: args.get_parsed("min-dsts", 100)?,
         timeout_ms: args.get_parsed::<u64>("timeout-secs", 3_600)? * 1000,
         ..Default::default()
     };
-    let report = lumen6_detect::detector::detect(&records, config);
+    let sequential = args.has("sequential");
+    let agg = config.agg;
+
+    let report = if args.has("prefilter") || sequential {
+        let mut records = load_trace(args)?;
+        if args.has("prefilter") {
+            let (kept, report) = ArtifactFilter::default().filter(&records);
+            writeln!(
+                out,
+                "prefilter: removed {} of {} packets ({} sources)",
+                report.removed_packets, report.input_packets, report.removed_sources
+            )?;
+            records = kept;
+        }
+        if sequential {
+            lumen6_detect::detector::detect(&records, config)
+        } else {
+            detect_multi_sharded(&records, &[agg], config, shard_plan(args)?)
+                .remove(&agg)
+                .expect("requested level present")
+        }
+    } else {
+        // Parallel + no prefilter: stream the trace straight off disk so
+        // peak memory does not scale with trace size.
+        let path = args
+            .get("trace")
+            .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+        let chunks = decode_chunks(BufReader::new(File::open(path)?), 65_536)?;
+        let mut det = ShardedDetector::new(&[agg], config, shard_plan(args)?);
+        for chunk in chunks {
+            for r in chunk? {
+                det.observe(&r);
+            }
+        }
+        det.finish().remove(&agg).expect("requested level present")
+    };
     if args.has("json") {
-        let json = serde_json::to_string_pretty(&report.events)
-            .expect("scan events serialize");
+        let json = serde_json::to_string_pretty(&report.events).expect("scan events serialize");
         writeln!(out, "{json}")?;
         return Ok(());
     }
@@ -211,7 +264,9 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         pkt_count(report.packets())
     )?;
     let top = args.get_parsed::<usize>("top", 20)?;
-    let mut t = Table::new(vec!["source", "start", "duration", "packets", "dsts", "ports"]);
+    let mut t = Table::new(vec![
+        "source", "start", "duration", "packets", "dsts", "ports",
+    ]);
     for c in 3..=5 {
         t.align_right(c);
     }
@@ -239,7 +294,10 @@ fn mawi_detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliErr
         min_dsts: args.get_parsed("min-dsts", 100)?,
         ..Default::default()
     });
-    let start = records.first().map(|r| r.ts_ms / lumen6_trace::DAY_MS).unwrap_or(0);
+    let start = records
+        .first()
+        .map(|r| r.ts_ms / lumen6_trace::DAY_MS)
+        .unwrap_or(0);
     let end = records
         .last()
         .map(|r| r.ts_ms / lumen6_trace::DAY_MS + 1)
@@ -256,7 +314,9 @@ fn mawi_detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliErr
         return Ok(());
     }
     writeln!(out, "{} per-day scans detected", all.len())?;
-    let mut t = Table::new(vec!["day", "source", "services", "packets", "dsts", "icmpv6"]);
+    let mut t = Table::new(vec![
+        "day", "source", "services", "packets", "dsts", "icmpv6",
+    ]);
     t.align_right(0).align_right(3).align_right(4);
     for (day, s) in all.iter().take(40) {
         t.row(vec![
@@ -282,7 +342,13 @@ fn adaptive<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError>
     let alerts = ids.analyze(&records);
     writeln!(out, "{} alerts", alerts.len())?;
     let mut t = Table::new(vec![
-        "prefix", "level", "packets", "dsts", "srcs", "collateral", "subsumed",
+        "prefix",
+        "level",
+        "packets",
+        "dsts",
+        "srcs",
+        "collateral",
+        "subsumed",
     ]);
     for c in 2..=6 {
         t.align_right(c);
@@ -321,17 +387,20 @@ fn fingerprint_cmd<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), Cl
         clusters.len()
     )?;
     let mut t = Table::new(vec![
-        "cluster", "events", "sources", "~packets", "~ports", "top-port frac", "example source",
+        "cluster",
+        "events",
+        "sources",
+        "~packets",
+        "~ports",
+        "top-port frac",
+        "example source",
     ]);
     for c in 0..=4 {
         t.align_right(c);
     }
     for (i, c) in clusters.iter().enumerate().take(25) {
-        let sources: std::collections::HashSet<_> = c
-            .members
-            .iter()
-            .map(|&m| report.events[m].source)
-            .collect();
+        let sources: std::collections::HashSet<_> =
+            c.members.iter().map(|&m| report.events[m].source).collect();
         t.row(vec![
             i.to_string(),
             c.members.len().to_string(),
@@ -476,6 +545,43 @@ mod tests {
     }
 
     #[test]
+    fn sharded_detect_matches_sequential() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&[
+            "generate", "cdn", "--out", p, "--days", "6", "--seed", "9", "--small",
+        ])
+        .1
+        .unwrap();
+
+        let (seq, res) = run_cli(&["detect", "--trace", p, "--min-dsts", "50", "--sequential"]);
+        res.unwrap();
+        for threads in ["1", "2", "4"] {
+            let (par, res) = run_cli(&[
+                "detect",
+                "--trace",
+                p,
+                "--min-dsts",
+                "50",
+                "--threads",
+                threads,
+            ]);
+            res.unwrap();
+            assert_eq!(
+                par, seq,
+                "--threads {threads} output differs from --sequential"
+            );
+        }
+        // Default (auto thread count) also matches.
+        let (auto, res) = run_cli(&["detect", "--trace", p, "--min-dsts", "50"]);
+        res.unwrap();
+        assert_eq!(auto, seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mawi_generate_and_detect() {
         let dir = std::env::temp_dir().join(format!("lumen6-cli-mawi-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -499,7 +605,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.l6tr");
         let p = path.to_str().unwrap();
-        run_cli(&["generate", "cdn", "--out", p, "--days", "3", "--small"]).1.unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "3", "--small"])
+            .1
+            .unwrap();
         let (out, res) = run_cli(&["detect", "--trace", p, "--json", "--min-dsts", "50"]);
         res.unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -513,7 +621,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.l6tr");
         let p = path.to_str().unwrap();
-        run_cli(&["generate", "cdn", "--out", p, "--days", "7", "--small"]).1.unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "7", "--small"])
+            .1
+            .unwrap();
         let (out, res) = run_cli(&["fingerprint", "--trace", p, "--min-dsts", "50"]);
         res.unwrap();
         assert!(out.contains("behavior clusters"), "{out}");
@@ -527,18 +637,44 @@ mod tests {
         let t = dir.join("t.l6tr");
         let p = dir.join("t.pcap");
         let t2 = dir.join("t2.l6tr");
-        run_cli(&["generate", "cdn", "--out", t.to_str().unwrap(), "--days", "3", "--small"])
-            .1
-            .unwrap();
-        let (o, res) = run_cli(&["export-pcap", "--trace", t.to_str().unwrap(), "--out", p.to_str().unwrap()]);
+        run_cli(&[
+            "generate",
+            "cdn",
+            "--out",
+            t.to_str().unwrap(),
+            "--days",
+            "3",
+            "--small",
+        ])
+        .1
+        .unwrap();
+        let (o, res) = run_cli(&[
+            "export-pcap",
+            "--trace",
+            t.to_str().unwrap(),
+            "--out",
+            p.to_str().unwrap(),
+        ]);
         res.unwrap();
         assert!(o.contains("wrote"));
-        let (o, res) = run_cli(&["import", "--pcap", p.to_str().unwrap(), "--out", t2.to_str().unwrap()]);
+        let (o, res) = run_cli(&[
+            "import",
+            "--pcap",
+            p.to_str().unwrap(),
+            "--out",
+            t2.to_str().unwrap(),
+        ]);
         res.unwrap();
         assert!(o.contains("0 packets skipped"), "{o}");
         // Detection over the re-imported trace matches the original.
         let (a, _) = run_cli(&["detect", "--trace", t.to_str().unwrap(), "--min-dsts", "50"]);
-        let (b, _) = run_cli(&["detect", "--trace", t2.to_str().unwrap(), "--min-dsts", "50"]);
+        let (b, _) = run_cli(&[
+            "detect",
+            "--trace",
+            t2.to_str().unwrap(),
+            "--min-dsts",
+            "50",
+        ]);
         assert_eq!(
             a.lines().next().unwrap(),
             b.lines().next().unwrap(),
@@ -553,7 +689,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.l6tr");
         let p = path.to_str().unwrap();
-        run_cli(&["generate", "cdn", "--out", p, "--days", "5", "--small"]).1.unwrap();
+        run_cli(&["generate", "cdn", "--out", p, "--days", "5", "--small"])
+            .1
+            .unwrap();
         let (out, res) = run_cli(&["backscatter", "--trace", p, "--min-queriers", "30"]);
         res.unwrap();
         assert!(out.contains("sources flagged"), "{out}");
@@ -581,9 +719,12 @@ mod tests {
         std::fs::write(&fleet, serde_json::to_string_pretty(&actors).unwrap()).unwrap();
 
         let (o, res) = run_cli(&[
-            "generate", "custom",
-            "--fleet", fleet.to_str().unwrap(),
-            "--out", out.to_str().unwrap(),
+            "generate",
+            "custom",
+            "--fleet",
+            fleet.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
         ]);
         res.unwrap();
         assert!(o.contains("wrote 1200 records"), "{o}");
@@ -600,9 +741,12 @@ mod tests {
         let fleet = dir.join("fleet.json");
         std::fs::write(&fleet, "{not json").unwrap();
         let (_, res) = run_cli(&[
-            "generate", "custom",
-            "--fleet", fleet.to_str().unwrap(),
-            "--out", dir.join("x.l6tr").to_str().unwrap(),
+            "generate",
+            "custom",
+            "--fleet",
+            fleet.to_str().unwrap(),
+            "--out",
+            dir.join("x.l6tr").to_str().unwrap(),
         ]);
         assert!(matches!(res, Err(CliError::Usage(_))));
         std::fs::remove_dir_all(&dir).ok();

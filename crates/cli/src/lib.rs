@@ -116,7 +116,9 @@ mod tests {
 
     #[test]
     fn parses_positional_and_flags() {
-        let a = args(&["generate", "cdn", "--seed", "7", "--small", "--out", "x.l6tr"]);
+        let a = args(&[
+            "generate", "cdn", "--seed", "7", "--small", "--out", "x.l6tr",
+        ]);
         assert_eq!(a.positional(), ["generate", "cdn"]);
         assert!(a.has("small"));
         assert!(!a.has("large"));

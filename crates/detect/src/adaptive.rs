@@ -261,7 +261,14 @@ mod tests {
         let mut recs = heavy_host(net | 0x1000, 150);
         recs.extend(heavy_host(net | 0x2000, 140));
         for i in 0..200u64 {
-            recs.push(PacketRecord::tcp(i, net | (0x9000 + i as u128), 0xf000, 1, 443, 60));
+            recs.push(PacketRecord::tcp(
+                i,
+                net | (0x9000 + i as u128),
+                0xf000,
+                1,
+                443,
+                60,
+            ));
         }
         let alerts = analyze(&recs);
         assert_eq!(alerts.len(), 2, "{alerts:?}");
@@ -292,7 +299,14 @@ mod tests {
         let net: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
         let mut recs = heavy_host(net | 0xff, 150);
         recs.extend((0..100u64).map(|i| {
-            PacketRecord::tcp(i, net | (0x1_0000 + i as u128), 0xc000 + i as u128, 1, 22, 60)
+            PacketRecord::tcp(
+                i,
+                net | (0x1_0000 + i as u128),
+                0xc000 + i as u128,
+                1,
+                22,
+                60,
+            )
         }));
         let alerts = analyze(&recs);
         assert_eq!(alerts.len(), 1, "{alerts:?}");

@@ -90,10 +90,7 @@ impl Blocklist {
     /// Offers a batch of alerts at time `now_ms`; returns one decision per
     /// alert, in order.
     pub fn ingest(&mut self, now_ms: u64, alerts: &[Alert]) -> Vec<Decision> {
-        alerts
-            .iter()
-            .map(|a| self.offer(now_ms, a))
-            .collect()
+        alerts.iter().map(|a| self.offer(now_ms, a)).collect()
     }
 
     fn offer(&mut self, now_ms: u64, alert: &Alert) -> Decision {
@@ -240,8 +237,14 @@ mod tests {
                 alert("2001::/16", 1_000_000, 0),
             ],
         );
-        assert!(matches!(d[0], Decision::Rejected(_, RejectReason::TooFewPackets)));
-        assert!(matches!(d[1], Decision::Rejected(_, RejectReason::TooCoarse)));
+        assert!(matches!(
+            d[0],
+            Decision::Rejected(_, RejectReason::TooFewPackets)
+        ));
+        assert!(matches!(
+            d[1],
+            Decision::Rejected(_, RejectReason::TooCoarse)
+        ));
     }
 
     #[test]
@@ -274,7 +277,10 @@ mod tests {
         let mut b = bl();
         b.ingest(0, &[alert("2001:db8::/32", 100_000, 0)]);
         let d = b.ingest(10, &[alert("2001:db8:1::/48", 5_000, 0)]);
-        assert!(matches!(d[0], Decision::Rejected(_, RejectReason::AlreadyCovered)));
+        assert!(matches!(
+            d[0],
+            Decision::Rejected(_, RejectReason::AlreadyCovered)
+        ));
         assert_eq!(b.len(), 1);
     }
 

@@ -184,8 +184,24 @@ impl ScanDetector {
     /// (gap zero), which keeps the detector robust to mildly disordered
     /// input without growing events backwards in time.
     pub fn observe(&mut self, r: &PacketRecord) -> Option<ScanEvent> {
-        self.observed += 1;
         let source = self.config.agg.source_of(r.src);
+        self.observe_aggregated(source, r)
+    }
+
+    /// [`observe`](Self::observe) with the source aggregation already
+    /// applied. Callers that fan one packet out to several detectors (the
+    /// multi-level and sharded pipelines) compute each aggregation once and
+    /// pass it here instead of having every detector re-mask the address.
+    ///
+    /// `source` must equal `self.config().agg.source_of(r.src)`; passing
+    /// anything else corrupts per-source state attribution.
+    pub fn observe_aggregated(
+        &mut self,
+        source: Ipv6Prefix,
+        r: &PacketRecord,
+    ) -> Option<ScanEvent> {
+        debug_assert_eq!(source, self.config.agg.source_of(r.src));
+        self.observed += 1;
         let (spill, precision) = self.config.sketch.unwrap_or((usize::MAX, 12));
 
         let mut closed = None;
@@ -407,7 +423,10 @@ mod tests {
             r.dst = 0xaa00 + i as u128;
         }
         lumen6_trace::sort_by_time(&mut recs);
-        assert_eq!(detect(&recs, ScanDetectorConfig::paper(AggLevel::L64)).scans(), 0);
+        assert_eq!(
+            detect(&recs, ScanDetectorConfig::paper(AggLevel::L64)).scans(),
+            0
+        );
         let at48 = detect(&recs, ScanDetectorConfig::paper(AggLevel::L48));
         assert_eq!(at48.scans(), 1);
         assert_eq!(at48.events[0].distinct_dsts, 120);
@@ -487,7 +506,10 @@ mod tests {
         let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
         cfg.min_dsts = 5;
         assert_eq!(detect(&recs, cfg).scans(), 1);
-        assert_eq!(detect(&recs, ScanDetectorConfig::paper(AggLevel::L128)).scans(), 0);
+        assert_eq!(
+            detect(&recs, ScanDetectorConfig::paper(AggLevel::L128)).scans(),
+            0
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl ScanEvent {
 
 /// A set of scan events plus the summary statistics the paper's Table 1
 /// reports per aggregation level.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScanReport {
     /// All detected events, in flush order (≈ end-time order).
     pub events: Vec<ScanEvent>,

@@ -44,12 +44,7 @@ pub struct Fingerprint {
 impl Fingerprint {
     /// Extracts the fingerprint of an event.
     pub fn of(event: &ScanEvent) -> Fingerprint {
-        let top = event
-            .ports
-            .iter()
-            .map(|&(_, n)| n)
-            .max()
-            .unwrap_or(0) as f64;
+        let top = event.ports.iter().map(|&(_, n)| n).max().unwrap_or(0) as f64;
         let (weight, per64) = match event.dsts.as_ref() {
             Some(dsts) if !dsts.is_empty() => {
                 let w = dsts

@@ -24,6 +24,9 @@
 //!   a packet-length entropy criterion, merged per source.
 //! - [`multi`]: one-pass simultaneous detection at several aggregation
 //!   levels (an IDS cannot afford one trace pass per level).
+//! - [`parallel`]: the sharded parallel pipeline — partitions the stream by
+//!   the coarsest configured source prefix across worker threads and merges
+//!   deterministically, producing output identical to [`multi`].
 //! - [`adaptive`]: the adaptive-aggregation IDS sketched in the paper's
 //!   discussion (§5): start non-aggregated, promote to coarser prefixes when
 //!   sibling density indicates a spread source, and report the collateral
@@ -44,17 +47,19 @@ pub mod fingerprint;
 pub mod ids;
 pub mod mawi;
 pub mod multi;
+pub mod parallel;
 pub mod portclass;
 pub mod prefilter;
 pub mod sketch;
 
 pub use aggregate::AggLevel;
 pub use blocklist::{Blocklist, BlocklistConfig};
-pub use fingerprint::Fingerprint;
-pub use ids::{Ids, IdsAction, IdsConfig};
 pub use detector::{ScanDetector, ScanDetectorConfig};
 pub use event::{ScanEvent, ScanReport};
+pub use fingerprint::Fingerprint;
+pub use ids::{Ids, IdsAction, IdsConfig};
 pub use mawi::{MawiConfig, MawiDetector, MawiScan};
+pub use parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 pub use portclass::{classify_ports, PortClass};
 pub use prefilter::{ArtifactFilter, FilterReport};
 pub use sketch::HyperLogLog;

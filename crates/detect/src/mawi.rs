@@ -148,11 +148,13 @@ impl MawiDetector {
         let mut groups: HashMap<(Ipv6Prefix, Transport, u16), Group> = HashMap::new();
         for r in records {
             let s = self.config.agg.source_of(r.src);
-            let g = groups.entry((s, r.proto, r.dport)).or_insert_with(|| Group {
-                start_ms: r.ts_ms,
-                end_ms: r.ts_ms,
-                ..Default::default()
-            });
+            let g = groups
+                .entry((s, r.proto, r.dport))
+                .or_insert_with(|| Group {
+                    start_ms: r.ts_ms,
+                    end_ms: r.ts_ms,
+                    ..Default::default()
+                });
             *g.per_dst.entry(r.dst).or_default() += 1;
             *g.len_hist.entry(r.len).or_default() += 1;
             g.packets += 1;
@@ -169,7 +171,10 @@ impl MawiDetector {
             if (g.per_dst.len() as u64) < self.config.min_dsts {
                 continue;
             }
-            if g.per_dst.values().any(|&n| n >= self.config.max_pkts_per_dst) {
+            if g.per_dst
+                .values()
+                .any(|&n| n >= self.config.max_pkts_per_dst)
+            {
                 continue;
             }
             if shannon_entropy(g.len_hist.values().copied()) >= self.config.max_len_entropy {
@@ -278,7 +283,14 @@ mod tests {
         let mut recs = Vec::new();
         for d in 0..150u64 {
             for k in 0..10u64 {
-                recs.push(PacketRecord::tcp(d * 100 + k, 1, 0xd000 + d as u128, 1, 25, 60));
+                recs.push(PacketRecord::tcp(
+                    d * 100 + k,
+                    1,
+                    0xd000 + d as u128,
+                    1,
+                    25,
+                    60,
+                ));
             }
         }
         assert!(det(100).detect(&recs).is_empty());
@@ -289,7 +301,14 @@ mod tests {
         let mut recs = Vec::new();
         for d in 0..150u64 {
             for k in 0..9u64 {
-                recs.push(PacketRecord::tcp(d * 100 + k, 1, 0xd000 + d as u128, 1, 25, 60));
+                recs.push(PacketRecord::tcp(
+                    d * 100 + k,
+                    1,
+                    0xd000 + d as u128,
+                    1,
+                    25,
+                    60,
+                ));
             }
         }
         assert_eq!(det(100).detect(&recs).len(), 1);
@@ -298,17 +317,16 @@ mod tests {
     #[test]
     fn multi_port_scans_merged_per_source() {
         let mut recs = clean_scan(1, 120, 22, 60);
-        recs.extend(
-            clean_scan(1, 130, 80, 60)
-                .into_iter()
-                .map(|mut r| {
-                    r.ts_ms += 100_000;
-                    r
-                }),
-        );
+        recs.extend(clean_scan(1, 130, 80, 60).into_iter().map(|mut r| {
+            r.ts_ms += 100_000;
+            r
+        }));
         let scans = det(100).detect(&recs);
         assert_eq!(scans.len(), 1, "merged into one scan record");
-        assert_eq!(scans[0].services, vec![(Transport::Tcp, 22), (Transport::Tcp, 80)]);
+        assert_eq!(
+            scans[0].services,
+            vec![(Transport::Tcp, 22), (Transport::Tcp, 80)]
+        );
         assert_eq!(scans[0].packets, 250);
         // Destination union, not sum: both port groups probed the same host
         // range (the 120-target set is a subset of the 130-target set).

@@ -10,6 +10,7 @@
 use crate::aggregate::AggLevel;
 use crate::detector::{ScanDetector, ScanDetectorConfig};
 use crate::event::{ScanEvent, ScanReport};
+use lumen6_addr::Ipv6Prefix;
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
 
@@ -45,9 +46,20 @@ impl MultiLevelDetector {
     }
 
     /// Feeds one packet to every level.
+    ///
+    /// The source aggregation is computed once per packet and narrowed from
+    /// the previous level when levels are ordered fine-to-coarse (as
+    /// [`AggLevel::PAPER_LEVELS`] is), instead of every detector re-masking
+    /// the full 128-bit address.
     pub fn observe(&mut self, r: &PacketRecord) {
+        let mut prev: Option<Ipv6Prefix> = None;
         for (lvl, det) in &mut self.detectors {
-            if let Some(e) = det.observe(r) {
+            let source = match prev {
+                Some(p) if p.len() >= lvl.len() => p.aggregate(lvl.len()),
+                _ => lvl.source_of(r.src),
+            };
+            prev = Some(source);
+            if let Some(e) = det.observe_aggregated(source, r) {
                 self.pending.entry(*lvl).or_default().push(e);
             }
         }
@@ -102,7 +114,11 @@ mod tests {
     #[test]
     fn single_pass_equals_multi_pass() {
         let recs = spread_scan();
-        let multi = detect_multi(&recs, &AggLevel::PAPER_LEVELS, ScanDetectorConfig::default());
+        let multi = detect_multi(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+        );
         for lvl in AggLevel::PAPER_LEVELS {
             let single = detect(&recs, ScanDetectorConfig::paper(lvl));
             let m = &multi[&lvl];
@@ -115,7 +131,11 @@ mod tests {
     #[test]
     fn levels_see_different_pictures() {
         let recs = spread_scan();
-        let multi = detect_multi(&recs, &AggLevel::PAPER_LEVELS, ScanDetectorConfig::default());
+        let multi = detect_multi(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+        );
         // /128: only the heavy source qualifies. /64: heavy + spread = 2.
         assert_eq!(multi[&AggLevel::L128].scans(), 1);
         assert_eq!(multi[&AggLevel::L64].scans(), 2);
@@ -136,9 +156,8 @@ mod tests {
             .map(|i| PacketRecord::tcp(i * 1000, 1, 0xa000 + i as u128, 1, 22, 60))
             .collect();
         recs.extend(
-            (0..100u64).map(|i| {
-                PacketRecord::tcp(8_000_000 + i * 1000, 1, 0xa000 + i as u128, 1, 22, 60)
-            }),
+            (0..100u64)
+                .map(|i| PacketRecord::tcp(8_000_000 + i * 1000, 1, 0xa000 + i as u128, 1, 22, 60)),
         );
         let multi = detect_multi(&recs, &[AggLevel::L128], ScanDetectorConfig::default());
         assert_eq!(multi[&AggLevel::L128].scans(), 2);

@@ -1,0 +1,422 @@
+//! Sharded parallel multi-level scan detection.
+//!
+//! Eventization state is keyed by the *aggregated* source prefix, which
+//! makes detection embarrassingly parallel across sources: partition the
+//! packet stream by source prefix, run an independent
+//! [`MultiLevelDetector`] per partition, and merge. The partition key is the
+//! **coarsest** configured aggregation level — two addresses equal at a
+//! finer level are necessarily equal at every coarser one, so hashing the
+//! coarsest prefix routes all packets that share state at *any* level to
+//! the same shard. Within a shard packets arrive in stream order (one FIFO
+//! channel per shard), so each per-source run accumulates exactly as it
+//! would sequentially.
+//!
+//! The merge is deterministic: per level, `(start_ms, source)` is unique —
+//! one source's runs have distinct start times and distinct sources are
+//! distinct keys — so sorting the concatenated shard outputs by that key is
+//! a total order, independent of shard count and thread scheduling. The
+//! result is byte-identical to [`detect_multi`](crate::multi::detect_multi)
+//! (a property-tested invariant, see `crates/detect/tests/`).
+//!
+//! ```
+//! use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan};
+//! use lumen6_detect::{AggLevel, ScanDetectorConfig};
+//! use lumen6_trace::PacketRecord;
+//!
+//! let recs: Vec<PacketRecord> = (0..200u64)
+//!     .map(|i| PacketRecord::tcp(i * 1000, 7, 0xd000 + i as u128, 1, 22, 60))
+//!     .collect();
+//! let reports = detect_multi_sharded(
+//!     &recs,
+//!     &AggLevel::PAPER_LEVELS,
+//!     ScanDetectorConfig::default(),
+//!     ShardPlan::with_shards(4),
+//! );
+//! assert_eq!(reports[&AggLevel::L128].scans(), 1);
+//! ```
+
+use crate::aggregate::AggLevel;
+use crate::detector::ScanDetectorConfig;
+use crate::event::{ScanEvent, ScanReport};
+use crate::multi::MultiLevelDetector;
+use lumen6_trace::PacketRecord;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+/// How a sharded detection run is laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of worker shards. Clamped to at least 1.
+    pub shards: usize,
+    /// Packets per batch handed to a shard channel. Batching amortizes
+    /// channel synchronization; the value does not affect results.
+    pub batch: usize,
+    /// Batches allowed in flight per shard before the router blocks.
+    /// Bounds pipeline memory to roughly
+    /// `shards * depth * batch * size_of::<PacketRecord>()`.
+    pub depth: usize,
+}
+
+impl Default for ShardPlan {
+    /// One shard per available hardware thread.
+    fn default() -> Self {
+        ShardPlan::with_shards(
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        )
+    }
+}
+
+impl ShardPlan {
+    /// A plan with an explicit shard count and default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPlan {
+            shards: shards.max(1),
+            batch: 4096,
+            depth: 4,
+        }
+    }
+}
+
+/// Seed-free 64-bit mixer (SplitMix64 finalizer). Shard routing must be
+/// deterministic across runs, so no `RandomState`.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Sharded multi-level detector with the same push interface as
+/// [`MultiLevelDetector`]: feed time-ordered packets via
+/// [`observe`](Self::observe), then [`finish`](Self::finish).
+///
+/// Worker threads are spawned on construction and joined by `finish`;
+/// dropping without finishing shuts the workers down and discards results.
+#[derive(Debug)]
+pub struct ShardedDetector {
+    senders: Vec<SyncSender<Vec<PacketRecord>>>,
+    workers: Vec<JoinHandle<BTreeMap<AggLevel, Vec<ScanEvent>>>>,
+    buffers: Vec<Vec<PacketRecord>>,
+    levels: Vec<AggLevel>,
+    coarsest: AggLevel,
+    batch: usize,
+    observed: u64,
+}
+
+impl ShardedDetector {
+    /// Spawns `plan.shards` workers, each owning a [`MultiLevelDetector`]
+    /// over `levels` with the shared base configuration.
+    pub fn new(levels: &[AggLevel], base: ScanDetectorConfig, plan: ShardPlan) -> Self {
+        let shards = plan.shards.max(1);
+        let coarsest = levels.iter().copied().min().unwrap_or(AggLevel::L128);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel::<Vec<PacketRecord>>(plan.depth.max(1));
+            let levels = levels.to_vec();
+            let base = base.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut det = MultiLevelDetector::new(&levels, base);
+                while let Ok(batch) = rx.recv() {
+                    for r in &batch {
+                        det.observe(r);
+                    }
+                }
+                det.finish()
+                    .into_iter()
+                    .map(|(lvl, report)| (lvl, report.events))
+                    .collect()
+            }));
+            senders.push(tx);
+        }
+        ShardedDetector {
+            senders,
+            workers,
+            buffers: vec![Vec::with_capacity(plan.batch.max(1)); shards],
+            levels: levels.to_vec(),
+            coarsest,
+            batch: plan.batch.max(1),
+            observed: 0,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of packets routed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The shard owning all state for `src` (and every source sharing its
+    /// coarsest-level prefix).
+    #[inline]
+    fn shard_of(&self, src: u128) -> usize {
+        let p = self.coarsest.source_of(src);
+        let bits = p.bits();
+        let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(p.len()));
+        (h % self.senders.len() as u64) as usize
+    }
+
+    /// Routes one packet to its owning shard. Packets must arrive in
+    /// non-decreasing time order, as for the sequential detectors.
+    pub fn observe(&mut self, r: &PacketRecord) {
+        self.observed += 1;
+        let shard = self.shard_of(r.src);
+        self.buffers[shard].push(*r);
+        if self.buffers[shard].len() >= self.batch {
+            let full = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+            self.senders[shard].send(full).expect("shard worker alive");
+        }
+    }
+
+    /// Ends the stream: flushes buffered batches, joins the workers, and
+    /// merges per-shard events into per-level reports sorted by
+    /// `(start_ms, source)`.
+    pub fn finish(mut self) -> BTreeMap<AggLevel, ScanReport> {
+        for (shard, buf) in self.buffers.drain(..).enumerate() {
+            if !buf.is_empty() {
+                self.senders[shard].send(buf).expect("shard worker alive");
+            }
+        }
+        // Closing the channels ends each worker's recv loop.
+        self.senders.clear();
+        let mut merged: BTreeMap<AggLevel, Vec<ScanEvent>> =
+            self.levels.iter().map(|&lvl| (lvl, Vec::new())).collect();
+        for worker in self.workers.drain(..) {
+            for (lvl, events) in worker.join().expect("shard worker panicked") {
+                merged.entry(lvl).or_default().extend(events);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(lvl, mut events)| {
+                events.sort_by_key(|e| (e.start_ms, e.source));
+                (lvl, ScanReport::new(events))
+            })
+            .collect()
+    }
+}
+
+/// Runs sharded multi-level detection over a complete time-sorted slice.
+///
+/// Produces output identical to
+/// [`detect_multi`](crate::multi::detect_multi) for any shard count.
+pub fn detect_multi_sharded(
+    records: &[PacketRecord],
+    levels: &[AggLevel],
+    base: ScanDetectorConfig,
+    plan: ShardPlan,
+) -> BTreeMap<AggLevel, ScanReport> {
+    let mut det = ShardedDetector::new(levels, base, plan);
+    for r in records {
+        det.observe(r);
+    }
+    det.finish()
+}
+
+/// Runs sharded detection over a packet stream without materializing it —
+/// pair with [`lumen6_trace::codec::decode_chunks`] to keep peak memory
+/// independent of trace size.
+pub fn detect_multi_sharded_stream(
+    records: impl IntoIterator<Item = PacketRecord>,
+    levels: &[AggLevel],
+    base: ScanDetectorConfig,
+    plan: ShardPlan,
+) -> BTreeMap<AggLevel, ScanReport> {
+    let mut det = ShardedDetector::new(levels, base, plan);
+    for r in records {
+        det.observe(&r);
+    }
+    det.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::detect_multi;
+
+    fn workload() -> Vec<PacketRecord> {
+        // Several sources across distinct /48s and /64s, one spread /64,
+        // a timeout split, and sub-threshold noise.
+        let mut recs = Vec::new();
+        for s in 0..6u64 {
+            let src = ((0x2001_0db8_0000_0000u128 + u128::from(s)) << 64) | 0x1;
+            for i in 0..120u64 {
+                recs.push(PacketRecord::tcp(
+                    s * 77 + i * 1000,
+                    src,
+                    0xa000 + u128::from(s) * 0x1000 + u128::from(i),
+                    1,
+                    22,
+                    60,
+                ));
+            }
+        }
+        // Spread /64: 100 /128s, one packet each.
+        for i in 0..100u64 {
+            recs.push(PacketRecord::tcp(
+                i * 500,
+                0x2600_0000_0000_0000_0000_0000_0000_0000u128 + u128::from(i),
+                0xb000 + u128::from(i),
+                1,
+                443,
+                60,
+            ));
+        }
+        // Second burst past the timeout for source 0.
+        let src0 = (0x2001_0db8_0000_0000u128 << 64) | 0x1;
+        for i in 0..110u64 {
+            recs.push(PacketRecord::tcp(
+                8_000_000 + i * 1000,
+                src0,
+                0xc000 + u128::from(i),
+                1,
+                22,
+                60,
+            ));
+        }
+        // Noise below min_dsts.
+        for i in 0..40u64 {
+            recs.push(PacketRecord::udp(
+                i * 2000,
+                0x99,
+                0xd000 + u128::from(i),
+                1,
+                53,
+                80,
+            ));
+        }
+        lumen6_trace::sort_by_time(&mut recs);
+        recs
+    }
+
+    #[test]
+    fn identical_to_sequential_for_all_shard_counts() {
+        let recs = workload();
+        let seq = detect_multi(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+        );
+        for shards in [1, 2, 3, 4, 8, 17] {
+            let par = detect_multi_sharded(
+                &recs,
+                &AggLevel::PAPER_LEVELS,
+                ScanDetectorConfig::default(),
+                ShardPlan {
+                    shards,
+                    batch: 64,
+                    depth: 2,
+                },
+            );
+            assert_eq!(par, seq, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn identical_with_dsts_and_sketch() {
+        let recs = workload();
+        let cfg = ScanDetectorConfig {
+            keep_dsts: true,
+            ..Default::default()
+        };
+        let seq = detect_multi(&recs, &AggLevel::PAPER_LEVELS, cfg.clone());
+        let par = detect_multi_sharded(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            cfg,
+            ShardPlan::with_shards(4),
+        );
+        assert_eq!(par, seq);
+
+        let sk = ScanDetectorConfig {
+            sketch: Some((64, 12)),
+            ..Default::default()
+        };
+        let seq = detect_multi(&recs, &[AggLevel::L64], sk.clone());
+        let par = detect_multi_sharded(&recs, &[AggLevel::L64], sk, ShardPlan::with_shards(3));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn streaming_entry_point_matches() {
+        let recs = workload();
+        let seq = detect_multi(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+        );
+        let par = detect_multi_sharded_stream(
+            recs.iter().copied(),
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::with_shards(2),
+        );
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let out = detect_multi_sharded(
+            &[],
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::default(),
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out.values().all(|r| r.scans() == 0));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let det = ShardedDetector::new(
+            &[AggLevel::L64],
+            ScanDetectorConfig::default(),
+            ShardPlan {
+                shards: 0,
+                batch: 0,
+                depth: 0,
+            },
+        );
+        assert_eq!(det.shards(), 1);
+        let out = det.finish();
+        assert_eq!(out[&AggLevel::L64].scans(), 0);
+    }
+
+    #[test]
+    fn observed_counts_routed_packets() {
+        let recs = workload();
+        let mut det = ShardedDetector::new(
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::with_shards(2),
+        );
+        for r in &recs {
+            det.observe(r);
+        }
+        assert_eq!(det.observed(), recs.len() as u64);
+        det.finish();
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_level_consistent() {
+        // All packets whose /48s are equal must land on the same shard when
+        // /48 is the coarsest level.
+        let det = ShardedDetector::new(
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::with_shards(7),
+        );
+        let base: u128 = 0x2001_0db8_0001_0000_0000_0000_0000_0000;
+        let first = det.shard_of(base);
+        for host in 1..2_000u128 {
+            assert_eq!(det.shard_of(base | host), first);
+            assert_eq!(det.shard_of(base | (host << 64)), first);
+        }
+        det.finish();
+    }
+}

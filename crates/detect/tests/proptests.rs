@@ -10,27 +10,25 @@ use std::collections::HashMap;
 /// Generates a random but time-sorted workload with a handful of sources and
 /// destinations, deltas small enough that both split and no-split cases occur.
 fn arb_workload() -> impl Strategy<Value = Vec<PacketRecord>> {
-    proptest::collection::vec(
-        (0u64..200_000, 0u8..6, 0u16..300, 1u16..5),
-        1..300,
+    proptest::collection::vec((0u64..200_000, 0u8..6, 0u16..300, 1u16..5), 1..300).prop_map(
+        |steps| {
+            let mut ts = 0u64;
+            steps
+                .into_iter()
+                .map(|(dt, src, dst, port)| {
+                    ts += dt;
+                    PacketRecord::tcp(
+                        ts,
+                        (u128::from(src) << 64) | 1,
+                        u128::from(dst),
+                        40_000,
+                        port,
+                        60,
+                    )
+                })
+                .collect()
+        },
     )
-    .prop_map(|steps| {
-        let mut ts = 0u64;
-        steps
-            .into_iter()
-            .map(|(dt, src, dst, port)| {
-                ts += dt;
-                PacketRecord::tcp(
-                    ts,
-                    (u128::from(src) << 64) | 1,
-                    u128::from(dst),
-                    40_000,
-                    port,
-                    60,
-                )
-            })
-            .collect()
-    })
 }
 
 fn cfg(min_dsts: u64, timeout_ms: u64) -> ScanDetectorConfig {
@@ -144,6 +142,38 @@ proptest! {
         let (kept2, report2) = ArtifactFilter::default().filter(&kept);
         prop_assert_eq!(kept2.len(), kept.len());
         prop_assert_eq!(report2.removed_packets, 0);
+    }
+
+    /// The sharded parallel pipeline is exactly equivalent to the
+    /// sequential multi-level detector — same events, same order, same
+    /// reports — for any workload, shard count, and batch geometry.
+    #[test]
+    fn sharded_equals_sequential(
+        recs in arb_workload(),
+        shards in 1usize..9,
+        batch in 1usize..600,
+        depth in 1usize..5,
+    ) {
+        use lumen6_detect::multi::detect_multi;
+        use lumen6_detect::{detect_multi_sharded, ShardPlan};
+        let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+        let base = cfg(5, 20_000);
+        let seq = detect_multi(&recs, &levels, base.clone());
+        let par = detect_multi_sharded(&recs, &levels, base, ShardPlan { shards, batch, depth });
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Sharded single-level detection with destination retention and
+    /// sketched counters also matches the sequential run exactly.
+    #[test]
+    fn sharded_equals_sequential_with_sketch(recs in arb_workload(), shards in 1usize..6) {
+        use lumen6_detect::multi::detect_multi;
+        use lumen6_detect::{detect_multi_sharded, ShardPlan};
+        let base = ScanDetectorConfig { sketch: Some((16, 12)), ..cfg(3, 30_000) };
+        let levels = [AggLevel::L64];
+        let seq = detect_multi(&recs, &levels, base.clone());
+        let par = detect_multi_sharded(&recs, &levels, base, ShardPlan { shards, batch: 17, depth: 2 });
+        prop_assert_eq!(par, seq);
     }
 
     /// The streaming detector with flush_idle produces the same qualifying

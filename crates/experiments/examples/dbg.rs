@@ -1,4 +1,4 @@
-use lumen6_detect::{detector::detect, AggLevel, ScanDetectorConfig, ArtifactFilter};
+use lumen6_detect::{detector::detect, AggLevel, ArtifactFilter, ScanDetectorConfig};
 use lumen6_scanners::{FleetConfig, World};
 fn main() {
     let world = World::build(FleetConfig::default());
@@ -8,11 +8,34 @@ fn main() {
     let r64 = detect(&filtered, ScanDetectorConfig::paper(AggLevel::L64));
     let r128 = detect(&filtered, ScanDetectorConfig::paper(AggLevel::L128));
     for t in &world.fleet.truth {
-        let raw = trace.iter().filter(|r| t.prefix.contains_addr(r.src)).count();
-        let kept = filtered.iter().filter(|r| t.prefix.contains_addr(r.src)).count();
-        let s64: std::collections::HashSet<_> = r64.events.iter().filter(|e| t.prefix.contains(&e.source)).map(|e| e.source).collect();
-        let s128: std::collections::HashSet<_> = r128.events.iter().filter(|e| t.prefix.contains(&e.source)).map(|e| e.source).collect();
-        println!("AS{:<2} raw={:<7} kept={:<7} src64={:<4} src128={}", t.rank, raw, kept, s64.len(), s128.len());
+        let raw = trace
+            .iter()
+            .filter(|r| t.prefix.contains_addr(r.src))
+            .count();
+        let kept = filtered
+            .iter()
+            .filter(|r| t.prefix.contains_addr(r.src))
+            .count();
+        let s64: std::collections::HashSet<_> = r64
+            .events
+            .iter()
+            .filter(|e| t.prefix.contains(&e.source))
+            .map(|e| e.source)
+            .collect();
+        let s128: std::collections::HashSet<_> = r128
+            .events
+            .iter()
+            .filter(|e| t.prefix.contains(&e.source))
+            .map(|e| e.source)
+            .collect();
+        println!(
+            "AS{:<2} raw={:<7} kept={:<7} src64={:<4} src128={}",
+            t.rank,
+            raw,
+            kept,
+            s64.len(),
+            s128.len()
+        );
     }
     println!("filter removed {} pkts", freport.removed_packets);
 }

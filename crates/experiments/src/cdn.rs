@@ -49,7 +49,11 @@ pub fn fig1_heatmap(lab: &CdnLab) -> String {
     )
     .unwrap();
     // Compact grid: 8×8 coarse view (log₂ bins pooled 3:1).
-    writeln!(out, "\npackets \\ dsts (log₂-binned source counts, pooled 3:1):").unwrap();
+    writeln!(
+        out,
+        "\npackets \\ dsts (log₂-binned source counts, pooled 3:1):"
+    )
+    .unwrap();
     for by in (0..24).step_by(3).rev() {
         let mut row = String::new();
         for bx in (0..24).step_by(3) {
@@ -57,7 +61,16 @@ pub fn fig1_heatmap(lab: &CdnLab) -> String {
                 .flat_map(|y| (bx..bx + 3).map(move |x| (y, x)))
                 .map(|(y, x)| h.cells[y][x])
                 .sum();
-            write!(row, "{:>7}", if sum == 0 { ".".into() } else { sum.to_string() }).unwrap();
+            write!(
+                row,
+                "{:>7}",
+                if sum == 0 {
+                    ".".into()
+                } else {
+                    sum.to_string()
+                }
+            )
+            .unwrap();
         }
         writeln!(out, "2^{:>2} |{row}", by).unwrap();
     }
@@ -73,10 +86,10 @@ pub fn table1_totals(lab: &CdnLab) -> String {
     }
     for lvl in [AggLevel::L128, AggLevel::L64, AggLevel::L48] {
         let r = &lab.reports[&lvl];
-        let ases = lab.world.registry.distinct_origin_ases(
-            r.source_set().iter().map(|s| s.bits()),
-            true,
-        );
+        let ases = lab
+            .world
+            .registry
+            .distinct_origin_ases(r.source_set().iter().map(|s| s.bits()), true);
         t.row(vec![
             lvl.to_string(),
             r.scans().to_string(),
@@ -85,7 +98,10 @@ pub fn table1_totals(lab: &CdnLab) -> String {
             ases.to_string(),
         ]);
     }
-    format!("## Table 1 — scan totals per source aggregation\n{}", t.render())
+    format!(
+        "## Table 1 — scan totals per source aggregation\n{}",
+        t.render()
+    )
 }
 
 /// §2.2 parameter sensitivity: timeout 3600/1800/900 s and min-dst 100 vs
@@ -94,7 +110,13 @@ pub fn table1_totals(lab: &CdnLab) -> String {
 pub fn sensitivity(lab: &CdnLab) -> String {
     let base = &lab.reports[&AggLevel::L64];
     let mut out = String::from("## §2.2 — parameter sensitivity (/64 aggregation)\n");
-    let mut t = Table::new(vec!["configuration", "scans", "sources", "Δscans", "Δsources"]);
+    let mut t = Table::new(vec![
+        "configuration",
+        "scans",
+        "sources",
+        "Δscans",
+        "Δsources",
+    ]);
     for c in 1..=4 {
         t.align_right(c);
     }
@@ -244,7 +266,15 @@ pub fn table2_top_as(lab: &CdnLab) -> String {
         &lab.reports[&AggLevel::L48],
         20,
     );
-    let mut t = Table::new(vec!["rank", "AS type", "packets", "/48s", "/64s", "/128s", "paper(/48,/64,/128)"]);
+    let mut t = Table::new(vec![
+        "rank",
+        "AS type",
+        "packets",
+        "/48s",
+        "/64s",
+        "/128s",
+        "paper(/48,/64,/128)",
+    ]);
     for c in [0usize, 2, 3, 4, 5] {
         t.align_right(c);
     }
@@ -269,7 +299,10 @@ pub fn table2_top_as(lab: &CdnLab) -> String {
             paper,
         ]);
     }
-    let mut out = format!("## Table 2 — top source ASes by scan packets\n{}", t.render());
+    let mut out = format!(
+        "## Table 2 — top source ASes by scan packets\n{}",
+        t.render()
+    );
     writeln!(
         out,
         "top-5 AS share: {}   top-10 AS share: {}",
@@ -296,7 +329,11 @@ pub fn table2_top_as(lab: &CdnLab) -> String {
         "AS#18 packets in qualifying scans: {} at /48 vs {} at /32 aggregation ({:.1}×)",
         pkt_count(at48),
         pkt_count(at32),
-        if at48 > 0 { at32 as f64 / at48 as f64 } else { 0.0 }
+        if at48 > 0 {
+            at32 as f64 / at48 as f64
+        } else {
+            0.0
+        }
     )
     .unwrap();
     out
@@ -352,7 +389,10 @@ pub fn table3_top_ports(lab: &CdnLab) -> String {
     let mut t = Table::new(vec![
         "rank", "by pkts", "%", "by scans", "%", "by /64s", "%",
     ]);
-    t.align_right(0).align_right(2).align_right(4).align_right(6);
+    t.align_right(0)
+        .align_right(2)
+        .align_right(4)
+        .align_right(6);
     let fmt = |r: Option<&topports::PortRank>| -> (String, String) {
         match r {
             Some(r) => (
@@ -385,7 +425,12 @@ pub fn targets(lab: &CdnLab) -> String {
         .partition(|b| as18.contains(&b.source));
     let summary = targeting::summarize_dns(&other);
     let mut out = String::from("## §3.3 — targeted addresses (in DNS vs not in DNS)\n");
-    writeln!(out, "/64 scan sources analyzed (AS#18 separate): {}", summary.sources).unwrap();
+    writeln!(
+        out,
+        "/64 scan sources analyzed (AS#18 separate): {}",
+        summary.sources
+    )
+    .unwrap();
     writeln!(
         out,
         "sources with ALL targets in DNS: {}",
@@ -424,7 +469,11 @@ pub fn targets(lab: &CdnLab) -> String {
         .iter()
         .filter(|b| b.not_in_dns_frac() >= 0.25 && b.total() >= 50)
         .collect();
-    ranked.sort_by(|a, b| b.not_in_dns_frac().partial_cmp(&a.not_in_dns_frac()).unwrap());
+    ranked.sort_by(|a, b| {
+        b.not_in_dns_frac()
+            .partial_cmp(&a.not_in_dns_frac())
+            .unwrap()
+    });
     let sample: Vec<_> = ranked.iter().map(|b| b.source).take(20).collect();
     let spans = [4u8, 8, 12, 16];
     let analysis = targeting::nearby_prior_analysis(
@@ -440,7 +489,11 @@ pub fn targets(lab: &CdnLab) -> String {
         analysis.len()
     )
     .unwrap();
-    writeln!(out, "source                          hidden   /124   /120   /116   /112").unwrap();
+    writeln!(
+        out,
+        "source                          hidden   /124   /120   /116   /112"
+    )
+    .unwrap();
     for n in analysis.iter().take(12) {
         writeln!(
             out,
@@ -524,9 +577,7 @@ pub fn a4_cloud_pair(lab: &CdnLab) -> String {
         .iter()
         .filter(|a| a.name.starts_with("as6-a4-pair"))
         .map(|a| match &a.sources {
-            lumen6_scanners::SourceSampler::Pool(pool) => {
-                lumen6_addr::Ipv6Prefix::new(pool[0], 64)
-            }
+            lumen6_scanners::SourceSampler::Pool(pool) => lumen6_addr::Ipv6Prefix::new(pool[0], 64),
             _ => unreachable!("pair actors use pools"),
         })
         .collect();

@@ -36,13 +36,21 @@ pub fn export_cdn(lab: &CdnLab, dir: &Path) -> io::Result<Vec<String>> {
             }
         }
     }
-    write(dir, "fig1_heatmap.csv", &to_csv(&["dsts_bin", "pkts_bin", "sources"], &rows))?;
+    write(
+        dir,
+        "fig1_heatmap.csv",
+        &to_csv(&["dsts_bin", "pkts_bin", "sources"], &rows),
+    )?;
     written.push("fig1_heatmap.csv".into());
 
     // fig2: weekly sources per aggregation.
     let mut per_level = Vec::new();
     for lvl in [AggLevel::L128, AggLevel::L64, AggLevel::L48] {
-        per_level.push(series::series(&lab.reports[&lvl], series::Bucket::Weekly, n_weeks));
+        per_level.push(series::series(
+            &lab.reports[&lvl],
+            series::Bucket::Weekly,
+            n_weeks,
+        ));
     }
     let rows: Vec<Vec<String>> = (0..n_weeks as usize)
         .map(|w| {
@@ -54,7 +62,11 @@ pub fn export_cdn(lab: &CdnLab, dir: &Path) -> io::Result<Vec<String>> {
             ]
         })
         .collect();
-    write(dir, "fig2_weekly_sources.csv", &to_csv(&["week", "s128", "s64", "s48"], &rows))?;
+    write(
+        dir,
+        "fig2_weekly_sources.csv",
+        &to_csv(&["week", "s128", "s64", "s48"], &rows),
+    )?;
     written.push("fig2_weekly_sources.csv".into());
 
     // fig3: weekly packets and top-2 share.
@@ -74,7 +86,11 @@ pub fn export_cdn(lab: &CdnLab, dir: &Path) -> io::Result<Vec<String>> {
             ]
         })
         .collect();
-    write(dir, "fig3_weekly_packets.csv", &to_csv(&["week", "packets", "top2_share"], &rows))?;
+    write(
+        dir,
+        "fig3_weekly_packets.csv",
+        &to_csv(&["week", "packets", "top2_share"], &rows),
+    )?;
     written.push("fig3_weekly_packets.csv".into());
 
     // fig4 + fig8: port buckets per aggregation.
@@ -84,9 +100,8 @@ pub fn export_cdn(lab: &CdnLab, dir: &Path) -> io::Result<Vec<String>> {
         ("fig8_ports_128.csv", AggLevel::L128, false),
         ("fig8_ports_48.csv", AggLevel::L48, false),
     ] {
-        let rows_pb = portbuckets::port_buckets(&lab.reports[&lvl], |s| {
-            exclude && as18.contains(s)
-        });
+        let rows_pb =
+            portbuckets::port_buckets(&lab.reports[&lvl], |s| exclude && as18.contains(s));
         let rows: Vec<Vec<String>> = rows_pb
             .iter()
             .map(|r| {
@@ -98,7 +113,11 @@ pub fn export_cdn(lab: &CdnLab, dir: &Path) -> io::Result<Vec<String>> {
                 ]
             })
             .collect();
-        write(dir, name, &to_csv(&["bucket", "scans", "sources", "packets"], &rows))?;
+        write(
+            dir,
+            name,
+            &to_csv(&["bucket", "scans", "sources", "packets"], &rows),
+        )?;
         written.push(name.into());
     }
     Ok(written)
@@ -117,7 +136,11 @@ pub fn export_mawi(lab: &MawiLab, dir: &Path) -> io::Result<Vec<String>> {
     for (day, slice) in split_days(&lab.trace, start, end) {
         let s = strict.detect(slice);
         let l = loose.detect(slice);
-        rows5.push(vec![day.to_string(), s.len().to_string(), l.len().to_string()]);
+        rows5.push(vec![
+            day.to_string(),
+            s.len().to_string(),
+            l.len().to_string(),
+        ]);
         let mut pkts: Vec<u64> = s.iter().map(|x| x.packets).collect();
         pkts.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = pkts.iter().sum();
@@ -136,7 +159,11 @@ pub fn export_mawi(lab: &MawiLab, dir: &Path) -> io::Result<Vec<String>> {
             format!("{:.4}", share(3)),
         ]);
     }
-    write(dir, "fig5_daily_sources.csv", &to_csv(&["day", "min100", "min5"], &rows5))?;
+    write(
+        dir,
+        "fig5_daily_sources.csv",
+        &to_csv(&["day", "min100", "min5"], &rows5),
+    )?;
     written.push("fig5_daily_sources.csv".into());
     write(
         dir,
@@ -170,10 +197,16 @@ pub fn export_mawi(lab: &MawiLab, dir: &Path) -> io::Result<Vec<String>> {
     let as1 = lab.world.as1_source;
     add("as1_may27", may27, &|r| r.src == as1);
     add("as1_may28", may27 + 1, &|r| r.src == as1);
-    add("as3_jul6", jul6, &|r| lab.world.jul6_prefix.contains_addr(r.src));
+    add("as3_jul6", jul6, &|r| {
+        lab.world.jul6_prefix.contains_addr(r.src)
+    });
     let dec_src = lab.world.dec24_source;
     add("cloud_dec24", dec24, &|r| r.src == dec_src);
-    write(dir, "fig7_hamming.csv", &to_csv(&["series", "weight", "count"], &rows))?;
+    write(
+        dir,
+        "fig7_hamming.csv",
+        &to_csv(&["series", "weight", "count"], &rows),
+    )?;
     written.push("fig7_hamming.csv".into());
     Ok(written)
 }

@@ -68,7 +68,15 @@ pub fn ext_adaptive(lab: &CdnLab) -> String {
         alerts.len()
     )
     .unwrap();
-    let mut t = Table::new(vec!["prefix", "packets", "dsts", "srcs", "collateral", "subsumed", "AS"]);
+    let mut t = Table::new(vec![
+        "prefix",
+        "packets",
+        "dsts",
+        "srcs",
+        "collateral",
+        "subsumed",
+        "AS",
+    ]);
     for c in 1..=5 {
         t.align_right(c);
     }
@@ -215,8 +223,10 @@ pub fn ext_backscatter(lab: &CdnLab) -> String {
     let queries = generate_backscatter(&lab.trace[..hi], &BackscatterConfig::default(), 5);
     let detected = BackscatterDetector::default().detect(&queries);
 
-    let mut out = String::from("## Extension — DNS-backscatter cross-check (Fukuda–Heidemann vantage)
-");
+    let mut out = String::from(
+        "## Extension — DNS-backscatter cross-check (Fukuda–Heidemann vantage)
+",
+    );
     writeln!(
         out,
         "{} PTR queries at the reverse-zone authority; {} sources flagged (≥20 distinct resolvers)",
@@ -249,7 +259,13 @@ pub fn ext_backscatter(lab: &CdnLab) -> String {
     out.push_str(&t.render());
     let precision = detected
         .iter()
-        .filter(|d| lab.world.fleet.truth.iter().any(|tr| tr.prefix.contains(&d.source)))
+        .filter(|d| {
+            lab.world
+                .fleet
+                .truth
+                .iter()
+                .any(|tr| tr.prefix.contains(&d.source))
+        })
         .count();
     writeln!(
         out,
@@ -265,10 +281,17 @@ pub fn ext_backscatter(lab: &CdnLab) -> String {
 /// stream. Builds three reduced worlds with different seeds and compares
 /// the topline shapes.
 pub fn ext_seeds(_lab: &CdnLab) -> String {
-    let mut out = String::from("## Extension — seed robustness (three reduced 12-week worlds)
-");
+    let mut out = String::from(
+        "## Extension — seed robustness (three reduced 12-week worlds)
+",
+    );
     let mut t = Table::new(vec![
-        "seed", "/64 scans", "/64 sources", "/48 sources", "top-2 share", "all-in-DNS",
+        "seed",
+        "/64 scans",
+        "/64 sources",
+        "/48 sources",
+        "top-2 share",
+        "all-in-DNS",
     ]);
     for c in 1..=5 {
         t.align_right(c);
@@ -316,8 +339,10 @@ pub fn ext_portshift(lab: &CdnLab) -> String {
         lumen6_trace::WEEK_MS,
         weeks,
     );
-    let mut out = String::from("## Extension — port-strategy change-point detection (AS#1)
-");
+    let mut out = String::from(
+        "## Extension — port-strategy change-point detection (AS#1)
+",
+    );
     match lumen6_analysis::changepoint::detect_port_shift(&sets, 4, 0.5) {
         Some(shift) => {
             let day = shift.bucket as u64 * 7;
@@ -334,7 +359,11 @@ pub fn ext_portshift(lab: &CdnLab) -> String {
                 shift.before_coherence, shift.after_coherence, shift.cross_similarity
             )
             .unwrap();
-            writeln!(out, "ground truth: the fleet switches AS#1 on 2021-05-27 (week 20)").unwrap();
+            writeln!(
+                out,
+                "ground truth: the fleet switches AS#1 on 2021-05-27 (week 20)"
+            )
+            .unwrap();
         }
         None => writeln!(out, "no change point found (window may not cover May 2021)").unwrap(),
     }
@@ -368,10 +397,22 @@ pub fn ext_tga(lab: &CdnLab) -> String {
         .collect();
     let hidden_total = responders.len() - seed_set.len();
 
-    let mut out = String::from("## Extension — target generation (how scanners find non-DNS targets)\n");
-    writeln!(out, "seed set: {} DNS-exposed addresses over {} /64s", seeds.len(), tree.len()).unwrap();
+    let mut out =
+        String::from("## Extension — target generation (how scanners find non-DNS targets)\n");
+    writeln!(
+        out,
+        "seed set: {} DNS-exposed addresses over {} /64s",
+        seeds.len(),
+        tree.len()
+    )
+    .unwrap();
     writeln!(out, "seed entropy signature: {}", profile.signature()).unwrap();
-    writeln!(out, "seed IID entropy: {:.2} bits/nibble", profile.iid_entropy()).unwrap();
+    writeln!(
+        out,
+        "seed IID entropy: {:.2} bits/nibble",
+        profile.iid_entropy()
+    )
+    .unwrap();
     writeln!(
         out,
         "learned model: hit rate {} over {n} candidates (random-IID baseline: {})",

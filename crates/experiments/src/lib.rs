@@ -15,11 +15,62 @@ pub mod ext;
 pub mod mawi_exp;
 
 use lumen6_detect::multi::detect_multi;
+use lumen6_detect::parallel::{detect_multi_sharded, ShardedDetector};
 use lumen6_detect::{AggLevel, ArtifactFilter, FilterReport, ScanDetectorConfig, ScanReport};
 use lumen6_mawi::{MawiConfig, MawiWorld};
 use lumen6_scanners::{FleetConfig, World};
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
+
+pub use lumen6_detect::parallel::ShardPlan;
+
+/// Which detection backend the labs run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectMode {
+    /// The single-threaded reference pipeline.
+    Sequential,
+    /// The sharded parallel pipeline (identical output, see
+    /// `lumen6_detect::parallel`).
+    Sharded(ShardPlan),
+}
+
+impl Default for DetectMode {
+    fn default() -> Self {
+        DetectMode::Sharded(ShardPlan::default())
+    }
+}
+
+impl DetectMode {
+    /// Resolves the CLI escape hatches: `--sequential` wins, an explicit
+    /// `--threads N` pins the shard count, otherwise one shard per core.
+    pub fn from_flags(threads: Option<usize>, sequential: bool) -> Self {
+        if sequential {
+            DetectMode::Sequential
+        } else {
+            match threads {
+                Some(n) if n > 0 => DetectMode::Sharded(ShardPlan::with_shards(n)),
+                _ => DetectMode::default(),
+            }
+        }
+    }
+
+    /// Whether experiment-internal loops may fan out across threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, DetectMode::Sharded(_))
+    }
+
+    fn run(
+        &self,
+        records: &[PacketRecord],
+        levels: &[AggLevel],
+        base: ScanDetectorConfig,
+    ) -> BTreeMap<AggLevel, ScanReport> {
+        match *self {
+            DetectMode::Sequential => detect_multi(records, levels, base),
+            DetectMode::Sharded(plan) => detect_multi_sharded(records, levels, base, plan),
+        }
+    }
+}
 
 /// The prepared CDN-side experiment context: world, traces, and the three
 /// per-level scan reports (destinations retained at /64 for the targeting
@@ -38,14 +89,20 @@ pub struct CdnLab {
 }
 
 impl CdnLab {
-    /// Builds the lab: generates the trace, filters artifacts, runs
-    /// detection at the paper's three levels plus /32.
+    /// Builds the lab with the default (sharded) detection backend.
     pub fn build(config: FleetConfig) -> CdnLab {
+        CdnLab::build_with(config, DetectMode::default())
+    }
+
+    /// Builds the lab: generates the trace, filters artifacts, runs
+    /// detection at the paper's three levels plus /32 using the given
+    /// backend. Sequential and sharded modes produce identical reports.
+    pub fn build_with(config: FleetConfig, mode: DetectMode) -> CdnLab {
         let world = World::build(config);
         let trace = world.cdn_trace();
         let (filtered, filter_report) = ArtifactFilter::default().filter(&trace);
         let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48, AggLevel::L32];
-        let mut reports = detect_multi(
+        let mut reports = mode.run(
             &filtered,
             &levels,
             ScanDetectorConfig {
@@ -54,11 +111,15 @@ impl CdnLab {
             },
         );
         // Re-run /64 with destination retention (needed by `targets`/`a4`).
-        let with_dsts = lumen6_detect::detector::detect(
+        let mut with_dsts = mode.run(
             &filtered,
+            &[AggLevel::L64],
             ScanDetectorConfig::paper(AggLevel::L64).with_dsts(),
         );
-        reports.insert(AggLevel::L64, with_dsts);
+        reports.insert(
+            AggLevel::L64,
+            with_dsts.remove(&AggLevel::L64).unwrap_or_default(),
+        );
         CdnLab {
             world,
             trace,
@@ -66,6 +127,58 @@ impl CdnLab {
             filter_report,
             reports,
         }
+    }
+
+    /// Builds a lab by streaming an L6TR trace from disk in bounded memory
+    /// (64 Ki-record chunks feed the detectors; the full trace is never
+    /// resident).
+    ///
+    /// The artifact prefilter and the destination-retaining /64 pass both
+    /// need state proportional to the trace, so this constructor skips
+    /// them: `trace` and `filtered` stay empty, `filter_report` is empty,
+    /// and `reports[L64]` carries no destination sets. Only experiments
+    /// that consume `reports` plus `world` metadata — `table1` and `fig2`
+    /// — are meaningful on a lab built this way.
+    pub fn from_trace_file(
+        path: &std::path::Path,
+        config: FleetConfig,
+        mode: DetectMode,
+    ) -> Result<CdnLab, lumen6_trace::CodecError> {
+        let world = World::build(config);
+        let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48, AggLevel::L32];
+        let base = ScanDetectorConfig {
+            keep_dsts: false,
+            ..Default::default()
+        };
+        let file = std::io::BufReader::new(std::fs::File::open(path)?);
+        let chunks = lumen6_trace::decode_chunks(file, 65_536)?;
+        let reports = match mode {
+            DetectMode::Sequential => {
+                let mut det = lumen6_detect::multi::MultiLevelDetector::new(&levels, base);
+                for chunk in chunks {
+                    for r in chunk? {
+                        det.observe(&r);
+                    }
+                }
+                det.finish()
+            }
+            DetectMode::Sharded(plan) => {
+                let mut det = ShardedDetector::new(&levels, base, plan);
+                for chunk in chunks {
+                    for r in chunk? {
+                        det.observe(&r);
+                    }
+                }
+                det.finish()
+            }
+        };
+        Ok(CdnLab {
+            world,
+            trace: Vec::new(),
+            filtered: Vec::new(),
+            filter_report: FilterReport::default(),
+            reports,
+        })
     }
 
     /// The default full-window lab.
@@ -102,15 +215,23 @@ pub struct MawiLab {
     pub world: MawiWorld,
     /// The full link trace (windowed per day).
     pub trace: Vec<PacketRecord>,
+    /// Detection backend; when parallel, per-day detection fans out across
+    /// threads (days are independent).
+    pub mode: DetectMode,
 }
 
 impl MawiLab {
     /// Builds the MAWI lab, sharing scanner identities with a CDN fleet
     /// when given.
     pub fn build(config: MawiConfig, cdn: Option<&World>) -> MawiLab {
+        MawiLab::build_with(config, cdn, DetectMode::default())
+    }
+
+    /// Builds the MAWI lab with an explicit detection backend.
+    pub fn build_with(config: MawiConfig, cdn: Option<&World>, mode: DetectMode) -> MawiLab {
         let world = MawiWorld::build(config, cdn.map(|w| &w.fleet));
         let trace = world.trace();
-        MawiLab { world, trace }
+        MawiLab { world, trace, mode }
     }
 
     /// The default full-window MAWI lab.
@@ -127,8 +248,25 @@ impl MawiLab {
 
 /// All CDN experiment names, in paper order.
 pub const CDN_EXPERIMENTS: &[&str] = &[
-    "fig1", "table1", "sensitivity", "fig2", "fig3", "table2", "durations", "fig4", "table3",
-    "targets", "fig8", "a1", "a4", "ext_adaptive", "ext_fingerprint", "ext_tga", "ext_portshift", "ext_backscatter", "ext_seeds",
+    "fig1",
+    "table1",
+    "sensitivity",
+    "fig2",
+    "fig3",
+    "table2",
+    "durations",
+    "fig4",
+    "table3",
+    "targets",
+    "fig8",
+    "a1",
+    "a4",
+    "ext_adaptive",
+    "ext_fingerprint",
+    "ext_tga",
+    "ext_portshift",
+    "ext_backscatter",
+    "ext_seeds",
 ];
 
 /// All MAWI experiment names, in paper order.

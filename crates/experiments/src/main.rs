@@ -1,19 +1,39 @@
 //! The `experiments` binary: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--small] [--seed N] [--csv DIR] <experiment>|all
+//! experiments [--small] [--seed N] [--csv DIR] [--threads N] [--sequential]
+//!             [--trace FILE] <experiment>|all
 //! ```
 //!
 //! CDN experiments: fig1 table1 sensitivity fig2 fig3 table2 durations fig4
 //! table3 targets fig8 a1 a4. MAWI experiments: fig5 fig6 icmpv6 fig7
 //! hitlist. `all` runs everything on one shared world.
+//!
+//! Detection runs on the sharded parallel pipeline by default (one shard
+//! per core). `--threads N` pins the shard count, `--sequential` falls back
+//! to the single-threaded reference pipeline; output is identical either
+//! way. `--trace FILE` streams a previously recorded L6TR trace from disk
+//! in bounded memory instead of materializing the CDN trace — only the
+//! stream-safe experiments (`table1`, `fig2`) run in that mode.
 
-use lumen6_experiments::{run_cdn, run_mawi, CdnLab, MawiLab, CDN_EXPERIMENTS, MAWI_EXPERIMENTS};
+use lumen6_experiments::{
+    run_cdn, run_mawi, CdnLab, DetectMode, MawiLab, CDN_EXPERIMENTS, MAWI_EXPERIMENTS,
+};
+
+/// CDN experiments that consume only `reports` + `world` metadata and are
+/// therefore valid on a streaming lab (no resident trace).
+const STREAM_SAFE: &[&str] = &["table1", "fig2"];
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--small] [--seed N] [--csv DIR] <experiment>|all");
+    eprintln!(
+        "usage: experiments [--small] [--seed N] [--csv DIR] [--threads N] [--sequential] [--trace FILE] <experiment>|all"
+    );
     eprintln!("CDN:  {}", CDN_EXPERIMENTS.join(" "));
     eprintln!("MAWI: {}", MAWI_EXPERIMENTS.join(" "));
+    eprintln!(
+        "--trace FILE limits CDN experiments to: {}",
+        STREAM_SAFE.join(" ")
+    );
     std::process::exit(2);
 }
 
@@ -21,6 +41,9 @@ fn main() {
     let mut small = false;
     let mut seed = 42u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut sequential = false;
+    let mut trace_file: Option<std::path::PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,10 +60,24 @@ fn main() {
                     args.next().unwrap_or_else(|| usage()),
                 ));
             }
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--sequential" => sequential = true,
+            "--trace" => {
+                trace_file = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
             "--help" | "-h" => usage(),
             name => names.push(name.to_string()),
         }
     }
+    let mode = DetectMode::from_flags(threads, sequential);
     if names.is_empty() {
         usage();
     }
@@ -52,21 +89,56 @@ fn main() {
             .collect();
     }
 
-    let needs_cdn = names.iter().any(|n| CDN_EXPERIMENTS.contains(&n.as_str()));
-    let needs_mawi = names.iter().any(|n| MAWI_EXPERIMENTS.contains(&n.as_str()));
     for n in &names {
         if !CDN_EXPERIMENTS.contains(&n.as_str()) && !MAWI_EXPERIMENTS.contains(&n.as_str()) {
             eprintln!("unknown experiment: {n}");
             usage();
         }
     }
+    if trace_file.is_some() {
+        // Streaming labs never materialize the trace, so experiments that
+        // read it directly cannot run; drop them with a warning.
+        names.retain(|n| {
+            let ok = !CDN_EXPERIMENTS.contains(&n.as_str()) || STREAM_SAFE.contains(&n.as_str());
+            if !ok {
+                eprintln!("skipping {n}: not available with --trace (needs the resident trace)");
+            }
+            ok
+        });
+        if names.is_empty() {
+            usage();
+        }
+    }
+    let needs_cdn = names.iter().any(|n| CDN_EXPERIMENTS.contains(&n.as_str()));
+    let needs_mawi = names.iter().any(|n| MAWI_EXPERIMENTS.contains(&n.as_str()));
 
     let cdn = needs_cdn.then(|| {
-        eprintln!("# building CDN lab (seed {seed}, {}) ...", if small { "small" } else { "full 439 days" });
-        if small {
-            CdnLab::small(seed)
+        let fleet = if small {
+            lumen6_scanners::FleetConfig {
+                seed,
+                ..lumen6_scanners::FleetConfig::small()
+            }
         } else {
-            CdnLab::full(seed)
+            lumen6_scanners::FleetConfig {
+                seed,
+                ..Default::default()
+            }
+        };
+        if let Some(path) = trace_file.as_ref() {
+            eprintln!("# streaming CDN trace from {} ...", path.display());
+            match CdnLab::from_trace_file(path, fleet, mode) {
+                Ok(lab) => lab,
+                Err(e) => {
+                    eprintln!("cannot stream {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            eprintln!(
+                "# building CDN lab (seed {seed}, {}) ...",
+                if small { "small" } else { "full 439 days" }
+            );
+            CdnLab::build_with(fleet, mode)
         }
     });
     let mawi = needs_mawi.then(|| {
@@ -81,19 +153,25 @@ fn main() {
                 ..lumen6_mawi::MawiConfig::small()
             };
         }
-        MawiLab::build(cfg, cdn.as_ref().map(|lab| &lab.world))
+        MawiLab::build_with(cfg, cdn.as_ref().map(|lab| &lab.world), mode)
     });
 
     if let Some(dir) = csv_dir.as_ref() {
         if let Some(lab) = cdn.as_ref() {
             match lumen6_experiments::csv_out::export_cdn(lab, dir) {
-                Ok(files) => eprintln!("# wrote {} CDN CSV files to {}", files.len(), dir.display()),
+                Ok(files) => {
+                    eprintln!("# wrote {} CDN CSV files to {}", files.len(), dir.display())
+                }
                 Err(e) => eprintln!("# CSV export failed: {e}"),
             }
         }
         if let Some(lab) = mawi.as_ref() {
             match lumen6_experiments::csv_out::export_mawi(lab, dir) {
-                Ok(files) => eprintln!("# wrote {} MAWI CSV files to {}", files.len(), dir.display()),
+                Ok(files) => eprintln!(
+                    "# wrote {} MAWI CSV files to {}",
+                    files.len(),
+                    dir.display()
+                ),
                 Err(e) => eprintln!("# CSV export failed: {e}"),
             }
         }

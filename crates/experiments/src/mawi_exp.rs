@@ -15,7 +15,9 @@ fn day_range(lab: &MawiLab) -> (u64, u64) {
     (lab.world.config().start_day, lab.world.config().end_day)
 }
 
-/// Per-day detection at one configuration.
+/// Per-day detection at one configuration. Days are independent, so when
+/// the lab runs in a parallel [`crate::DetectMode`] they are detected
+/// concurrently; order (and output) is identical either way.
 fn daily_scans(lab: &MawiLab, agg: AggLevel, min_dsts: u64) -> Vec<(u64, Vec<MawiScan>)> {
     let det = MawiDetector::new(FhConfig {
         agg,
@@ -23,10 +25,14 @@ fn daily_scans(lab: &MawiLab, agg: AggLevel, min_dsts: u64) -> Vec<(u64, Vec<Maw
         ..Default::default()
     });
     let (s, e) = day_range(lab);
-    split_days(&lab.trace, s, e)
-        .into_iter()
-        .map(|(day, slice)| (day, det.detect(slice)))
-        .collect()
+    let days = split_days(&lab.trace, s, e);
+    if lab.mode.is_parallel() {
+        rayon::parallel_map_slice(&days, &|(day, slice)| (*day, det.detect(slice)))
+    } else {
+        days.into_iter()
+            .map(|(day, slice)| (day, det.detect(slice)))
+            .collect()
+    }
 }
 
 /// Fig. 5: daily scan sources per aggregation and destination threshold.
@@ -90,8 +96,13 @@ pub fn fig6_share(lab: &MawiLab) -> String {
     }
     let mut ranked: Vec<(lumen6_addr::Ipv6Prefix, u64)> = total_by_source.into_iter().collect();
     ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-    writeln!(out, "days analyzed: {}   scan packets: {}", days.len(), pkt_count(total_packets))
-        .unwrap();
+    writeln!(
+        out,
+        "days analyzed: {}   scan packets: {}",
+        days.len(),
+        pkt_count(total_packets)
+    )
+    .unwrap();
     if let Some((top, pkts)) = ranked.first() {
         writeln!(
             out,
@@ -189,7 +200,10 @@ fn targets_of<'a>(
     let (s, e) = lumen6_mawi::capture_window(day);
     let lo = trace.partition_point(|r| r.ts_ms < s);
     let hi = trace.partition_point(|r| r.ts_ms < e);
-    trace[lo..hi].iter().filter(move |r| r.src == src).map(|r| r.dst)
+    trace[lo..hi]
+        .iter()
+        .filter(move |r| r.src == src)
+        .map(|r| r.dst)
 }
 
 /// Fig. 7: Hamming-weight distributions of target IIDs for the selected
@@ -202,7 +216,13 @@ pub fn fig7_hamming(lab: &MawiLab) -> String {
     let jul6_src = lab.world.jul6_prefix.first_addr() | 1;
 
     let mut out = String::from("## Fig. 7 — Hamming weight of target IIDs (MAWI)\n");
-    let mut t = Table::new(vec!["source / date", "targets", "mean HW", "median", "random?"]);
+    let mut t = Table::new(vec![
+        "source / date",
+        "targets",
+        "mean HW",
+        "median",
+        "random?",
+    ]);
     for c in 1..=3 {
         t.align_right(c);
     }
@@ -232,7 +252,12 @@ pub fn fig7_hamming(lab: &MawiLab) -> String {
             d.total().to_string(),
             format!("{:.1}", d.mean()),
             d.median().to_string(),
-            if d.looks_random() { "yes (Gaussian)" } else { "no (structured)" }.to_string(),
+            if d.looks_random() {
+                "yes (Gaussian)"
+            } else {
+                "no (structured)"
+            }
+            .to_string(),
         ]);
         dists.push((label.to_string(), d));
     }
@@ -271,7 +296,12 @@ pub fn hitlist_overlap(lab: &MawiLab) -> String {
     let dec24 = SimTime::from_date(2021, 12, 24).day_index();
     let jul6 = SimTime::from_date(2021, 7, 6).day_index();
     let mut out = String::from("## Appendix A.2 — IPv6-hitlist overlap of target sets\n");
-    let mut t = Table::new(vec!["source / date", "unique targets", "in hitlist", "overlap"]);
+    let mut t = Table::new(vec![
+        "source / date",
+        "unique targets",
+        "in hitlist",
+        "overlap",
+    ]);
     for c in 1..=3 {
         t.align_right(c);
     }

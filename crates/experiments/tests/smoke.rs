@@ -61,7 +61,10 @@ fn headline_claims_present_in_reduced_world() {
     assert!(sens.contains("AS#18"));
     // The MAWI share experiment confirms cross-vantage identity.
     let f6 = run_mawi("fig6", mawi()).unwrap();
-    assert!(f6.contains("most active source is the CDN fleet's AS#1 source: true"), "{f6}");
+    assert!(
+        f6.contains("most active source is the CDN fleet's AS#1 source: true"),
+        "{f6}"
+    );
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn csv_export_writes_all_series() {
     for f in cdn_files.iter().chain(&mawi_files) {
         let content = std::fs::read_to_string(dir.join(f)).expect("file written");
         assert!(content.lines().count() >= 1, "{f} is empty");
-        assert!(content.lines().next().unwrap().contains(','), "{f} lacks a CSV header");
+        assert!(
+            content.lines().next().unwrap().contains(','),
+            "{f} lacks a CSV header"
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -35,12 +35,12 @@ pub fn generate(
             let local = gen::random_in_prefix(&mut rng, p);
             let remote_net: u64 = 0x2400_0000_0000_0000 | (rng.gen::<u64>() >> 8);
             let remote = gen::random_iid(&mut rng, remote_net);
-            let dport = [443u16, 80, 53, 8443, 993][rng.gen_range(0..5)];
+            let dport = [443u16, 80, 53, 8443, 993][rng.gen_range(0usize..5)];
             let n = rng.gen_range(5..40u64);
             let t0 = rng.gen_range(ws..we - 1);
             for k in 0..n {
                 out.push(PacketRecord {
-                    ts_ms: (t0 + k * rng.gen_range(5..2_000)).min(we - 1),
+                    ts_ms: (t0 + k * rng.gen_range(5u64..2_000)).min(we - 1),
                     src: remote,
                     dst: local,
                     proto: Transport::Tcp,
@@ -63,12 +63,16 @@ pub fn generate(
             for k in 0..150u64 {
                 let local = gen::random_in_prefix(&mut rng, p);
                 out.push(PacketRecord {
-                    ts_ms: (t0 + k * rng.gen_range(5..500)).min(we - 1),
+                    ts_ms: (t0 + k * rng.gen_range(5u64..500)).min(we - 1),
                     src: remote,
                     dst: local,
                     proto: Transport::Tcp,
                     sport: 443,
-                    dport: if fixed_port { 4500 } else { rng.gen_range(1024..65000) },
+                    dport: if fixed_port {
+                        4500
+                    } else {
+                        rng.gen_range(1024..65000)
+                    },
                     len: rng.gen_range(40..1500),
                 });
             }

@@ -186,9 +186,7 @@ impl MawiWorld {
                 // A seed-set refresh probes a small slice of the hitlist:
                 // unique targets collapse (the paper: 50k+ -> 2.3k) while
                 // the overlap with the hitlist jumps to ~100%.
-                targets: TargetSampler::Hitlist(
-                    hitlist.iter().copied().take(600).collect(),
-                ),
+                targets: TargetSampler::Hitlist(hitlist.iter().copied().take(600).collect()),
                 ports: PortSampler::Set(Transport::Tcp, vec![22, 80, 443, 3389, 8080, 8443]),
                 schedule: window_schedule(may27, may27 + 1, 3_000),
                 probe_len: 60,
@@ -217,7 +215,9 @@ impl MawiWorld {
         if (config.start_day..config.end_day).contains(&jul6) {
             actors.push(ScannerActor {
                 name: "mawi-as3-jul6".into(),
-                asn: cdn_fleet.and_then(|f| f.truth.get(2).map(|t| t.asn)).unwrap_or(64_603),
+                asn: cdn_fleet
+                    .and_then(|f| f.truth.get(2).map(|t| t.asn))
+                    .unwrap_or(64_603),
                 sources: SourceSampler::Pool((1..=7u128).map(|i| jul6_base | i).collect()),
                 targets: sweep(IidMode::LowHamming(8), 1 << 15),
                 ports: PortSampler::Icmpv6Echo,
@@ -328,20 +328,17 @@ impl MawiWorld {
                 let net: u64 = 0x2a0e_0000_0000_0000 | (rng.gen::<u64>() >> 12);
                 let src = ((net as u128) << 64) | u128::from(rng.gen::<u16>());
                 let n = rng.gen_range(6..60u64);
-                let dport = [22u16, 23, 80, 443, 8080, 2323][rng.gen_range(0..6)];
+                let dport = [22u16, 23, 80, 443, 8080, 2323][rng.gen_range(0usize..6)];
                 let p = self.config.downstream[rng.gen_range(0..self.config.downstream.len())];
                 let t0 = rng.gen_range(ws..we - 1);
                 for k in 0..n {
                     let sub = p
                         .nth_subnet(64, rng.gen_range(0..1u128 << 16))
                         .expect("downstream at most /64");
-                    let dst = lumen6_addr::gen::low_weight_iid(
-                        &mut rng,
-                        (sub.bits() >> 64) as u64,
-                        6,
-                    );
+                    let dst =
+                        lumen6_addr::gen::low_weight_iid(&mut rng, (sub.bits() >> 64) as u64, 6);
                     out.push(PacketRecord {
-                        ts_ms: (t0 + k * rng.gen_range(100..2_000)).min(we - 1),
+                        ts_ms: (t0 + k * rng.gen_range(100u64..2_000)).min(we - 1),
                         src,
                         dst,
                         proto: Transport::Tcp,
@@ -372,7 +369,9 @@ mod tests {
             lumen6_scanners::fleet::World::build(lumen6_scanners::FleetConfig::small());
         let w2 = MawiWorld::build(MawiConfig::small(), Some(&fleet_world.fleet));
         // AS1 identity shared with the CDN fleet.
-        assert!(fleet_world.fleet.truth[0].prefix.contains_addr(w2.as1_source));
+        assert!(fleet_world.fleet.truth[0]
+            .prefix
+            .contains_addr(w2.as1_source));
     }
 
     #[test]
@@ -383,7 +382,11 @@ mod tests {
         for r in &trace {
             let day = r.ts_ms / lumen6_trace::DAY_MS;
             let (s, e) = crate::capture_window(day);
-            assert!(r.ts_ms >= s && r.ts_ms < e, "record at {} outside window", r.ts_ms);
+            assert!(
+                r.ts_ms >= s && r.ts_ms < e,
+                "record at {} outside window",
+                r.ts_ms
+            );
         }
     }
 
@@ -395,14 +398,14 @@ mod tests {
         let mut days_with_as1 = 0;
         for (_, slice) in split_days(&trace, 0, 30) {
             let scans = det.detect(slice);
-            if scans
-                .iter()
-                .any(|s| s.source.contains_addr(w.as1_source))
-            {
+            if scans.iter().any(|s| s.source.contains_addr(w.as1_source)) {
                 days_with_as1 += 1;
             }
         }
-        assert!(days_with_as1 >= 25, "AS1 visible on {days_with_as1} of 30 days");
+        assert!(
+            days_with_as1 >= 25,
+            "AS1 visible on {days_with_as1} of 30 days"
+        );
     }
 
     #[test]
@@ -424,13 +427,9 @@ mod tests {
         cfg.end_day = 360; // covers 2021-12-24 (day 357)
         let w = MawiWorld::build(cfg, None);
         let trace = w.trace();
-        let dec: Vec<_> = trace
-            .iter()
-            .filter(|r| r.src == w.dec24_source)
-            .collect();
+        let dec: Vec<_> = trace.iter().filter(|r| r.src == w.dec24_source).collect();
         assert!(dec.len() >= 4_000);
-        let dist =
-            lumen6_addr::HammingDistribution::from_addrs(dec.iter().map(|r| r.dst));
+        let dist = lumen6_addr::HammingDistribution::from_addrs(dec.iter().map(|r| r.dst));
         assert!(dist.looks_random(), "mean {}", dist.mean());
         // Nearly every packet targets a distinct /64.
         let distinct64: std::collections::HashSet<u64> =

@@ -202,14 +202,16 @@ impl InternetRegistry {
         // lengths live in disjoint sub-spaces, and the slot occupies the
         // lowest prefix bits, so equal-length allocations with distinct
         // slots never overlap either.
-        assert!((12..=120).contains(&len), "allocation length {len} out of range");
+        assert!(
+            (12..=120).contains(&len),
+            "allocation length {len} out of range"
+        );
         assert!(
             u64::from(slot) < (1u64 << (len - 11)),
             "slot {slot} does not fit a /{len} allocation"
         );
-        let bits = (1u128 << 125)
-            | (u128::from(len) << 117)
-            | ((slot as u128) << (128 - u32::from(len)));
+        let bits =
+            (1u128 << 125) | (u128::from(len) << 117) | ((slot as u128) << (128 - u32::from(len)));
         let prefix = Ipv6Prefix::new(bits, len);
         self.announce(prefix, asn)
             .expect("length-tagged slots never collide");

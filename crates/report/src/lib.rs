@@ -21,7 +21,13 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -38,7 +44,10 @@ mod tests {
     fn csv_quotes_when_needed() {
         let csv = to_csv(
             &["a", "b"],
-            &[vec!["1,5".into(), "plain".into()], vec!["x\"y".into(), "".into()]],
+            &[
+                vec!["1,5".into(), "plain".into()],
+                vec!["x\"y".into(), "".into()],
+            ],
         );
         assert_eq!(csv, "a,b\n\"1,5\",plain\n\"x\"\"y\",\n");
     }

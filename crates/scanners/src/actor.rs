@@ -151,7 +151,7 @@ impl ScannerActor {
                     if emitted >= s.packets {
                         break;
                     }
-                    let ts = base + (k as u64) * rng.gen_range(50..2_000);
+                    let ts = base + (k as u64) * rng.gen_range(50u64..2_000);
                     let (proto, dport) = self.ports.sample(&mut rng, ts);
                     out.push(PacketRecord {
                         ts_ms: ts,
@@ -217,7 +217,9 @@ mod tests {
         let mut a = actor();
         a.schedule = Schedule::continuous(10, 12, 100);
         let recs = a.generate(1);
-        assert!(recs.iter().all(|r| r.ts_ms >= 10 * DAY_MS && r.ts_ms < 12 * DAY_MS));
+        assert!(recs
+            .iter()
+            .all(|r| r.ts_ms >= 10 * DAY_MS && r.ts_ms < 12 * DAY_MS));
     }
 
     #[test]
@@ -277,6 +279,8 @@ mod tests {
         let mut a = actor();
         a.ports = PortSampler::Icmpv6Echo;
         let recs = a.generate(2);
-        assert!(recs.iter().all(|r| r.proto == Transport::Icmpv6 && r.sport == 128));
+        assert!(recs
+            .iter()
+            .all(|r| r.proto == Transport::Icmpv6 && r.sport == 128));
     }
 }

@@ -273,14 +273,91 @@ impl Builder<'_> {
         self.as10();
         self.as11();
         self.as12();
-        self.small_as(13, AsType::Isp, "VN", 2.5, (1, 1, 1), 1, 1, 0.5, 170, Some(23));
-        self.small_as(14, AsType::Datacenter, "CN", 1.6, (1, 1, 2), 1, 2, 0.35, 130, None);
-        self.small_as(15, AsType::Research, "DE", 1.1, (1, 1, 1), 1, 1, 0.4, 140, None);
-        self.small_as(16, AsType::Isp, "RU", 0.9, (1, 1, 2), 1, 2, 0.3, 115, Some(5900));
-        self.small_as(17, AsType::University, "DE", 0.8, (1, 1, 2), 1, 2, 0.3, 110, None);
+        self.small_as(
+            13,
+            AsType::Isp,
+            "VN",
+            2.5,
+            (1, 1, 1),
+            1,
+            1,
+            0.5,
+            170,
+            Some(23),
+        );
+        self.small_as(
+            14,
+            AsType::Datacenter,
+            "CN",
+            1.6,
+            (1, 1, 2),
+            1,
+            2,
+            0.35,
+            130,
+            None,
+        );
+        self.small_as(
+            15,
+            AsType::Research,
+            "DE",
+            1.1,
+            (1, 1, 1),
+            1,
+            1,
+            0.4,
+            140,
+            None,
+        );
+        self.small_as(
+            16,
+            AsType::Isp,
+            "RU",
+            0.9,
+            (1, 1, 2),
+            1,
+            2,
+            0.3,
+            115,
+            Some(5900),
+        );
+        self.small_as(
+            17,
+            AsType::University,
+            "DE",
+            0.8,
+            (1, 1, 2),
+            1,
+            2,
+            0.3,
+            110,
+            None,
+        );
         self.as18();
-        self.small_as(19, AsType::Isp, "RU", 0.6, (1, 1, 1), 1, 1, 0.25, 115, Some(8081));
-        self.small_as(20, AsType::University, "DE", 0.5, (1, 1, 1), 1, 1, 0.2, 105, None);
+        self.small_as(
+            19,
+            AsType::Isp,
+            "RU",
+            0.6,
+            (1, 1, 1),
+            1,
+            1,
+            0.25,
+            115,
+            Some(8081),
+        );
+        self.small_as(
+            20,
+            AsType::University,
+            "DE",
+            0.5,
+            (1, 1, 1),
+            1,
+            1,
+            0.2,
+            105,
+            None,
+        );
         Fleet {
             actors: self.actors,
             truth: self.truth,
@@ -314,7 +391,14 @@ impl Builder<'_> {
         64_600 + rank as u32
     }
 
-    fn register(&mut self, rank: usize, ty: AsType, country: &str, packets_m: f64, sources: (u64, u64, u64)) -> Ipv6Prefix {
+    fn register(
+        &mut self,
+        rank: usize,
+        ty: AsType,
+        country: &str,
+        packets_m: f64,
+        sources: (u64, u64, u64),
+    ) -> Ipv6Prefix {
         let asn = Self::asn(rank);
         let prefix = self.registry.register_with_allocation(
             asn,
@@ -412,7 +496,9 @@ impl Builder<'_> {
     fn as3(&mut self) {
         let prefix = self.register(3, AsType::Cybersecurity, "US", 275.0, (1, 1, 12));
         let net64 = (prefix.nth_subnet(64, 3).expect("subnet").bits() >> 64) as u64;
-        let pool: Vec<u128> = (1..=12u128).map(|i| ((net64 as u128) << 64) | (0x10 + i)).collect();
+        let pool: Vec<u128> = (1..=12u128)
+            .map(|i| ((net64 as u128) << 64) | (0x10 + i))
+            .collect();
         self.push(ScannerActor {
             name: "as3-cybersec-us".into(),
             asn: Self::asn(3),
@@ -692,7 +778,7 @@ impl Builder<'_> {
         // Qualifying /64s: /48 indices 1..=106, one /64 each, one scan each
         // on a deterministic day (spread across the window).
         for q in 0..106u64 {
-            let dsts = 125 + self.rng.gen_range(0..70);
+            let dsts = 125 + self.rng.gen_range(0u64..70);
             let day = self.config.start_day + q * window / 106 % window;
             let hour_ms = self.rng.gen_range(0..20u64) * 3_600_000;
             self.spawn_as18(slash32, idx, 1 + q as u128, 1, dsts, Some((day, hour_ms)));
@@ -705,22 +791,36 @@ impl Builder<'_> {
             let day = self.config.start_day + self.rng.gen_range(0..window);
             let hour_ms = self.rng.gen_range(0..20u64) * 3_600_000;
             for h in 0..2u64 {
-                let dsts = 62 + self.rng.gen_range(0..28);
-                self.spawn_as18(slash32, idx, 200 + p as u128, 1 + h as u128, dsts, Some((day, hour_ms)));
+                let dsts = 62 + self.rng.gen_range(0u64..28);
+                self.spawn_as18(
+                    slash32,
+                    idx,
+                    200 + p as u128,
+                    1 + h as u128,
+                    dsts,
+                    Some((day, hour_ms)),
+                );
                 idx += 1;
             }
         }
         // Solo sub-threshold /64s: /48 indices 1000.., 50–95 destinations,
         // one scan each on a deterministic day.
         for sol in 0..600u64 {
-            let dsts = 52 + self.rng.gen_range(0..43);
+            let dsts = 52 + self.rng.gen_range(0u64..43);
             // Four solo sources probe per active day: individually below the
             // threshold, but the day's /32 aggregate comfortably qualifies —
             // which is why the /32 view captures far more of this actor's
             // traffic than the /48 view (§3.2: 3× in the paper).
             let day = self.config.start_day + (sol / 4) * window * 4 / 600 % window;
             let hour_ms = self.rng.gen_range(0..20u64) * 3_600_000;
-            self.spawn_as18(slash32, idx, 1000 + sol as u128, 1, dsts, Some((day, hour_ms)));
+            self.spawn_as18(
+                slash32,
+                idx,
+                1000 + sol as u128,
+                1,
+                dsts,
+                Some((day, hour_ms)),
+            );
             idx += 1;
         }
     }
@@ -786,7 +886,10 @@ mod tests {
         let ranks: Vec<usize> = world.fleet.truth.iter().map(|t| t.rank).collect();
         assert_eq!(ranks, (1..=20).collect::<Vec<_>>());
         for t in &world.fleet.truth {
-            assert_eq!(world.registry.origin_asn(t.prefix.first_addr() + 1), Some(t.asn));
+            assert_eq!(
+                world.registry.origin_asn(t.prefix.first_addr() + 1),
+                Some(t.asn)
+            );
             assert_eq!(
                 world.registry.as_info(t.asn).unwrap().descriptor(),
                 format!("{} ({})", t.as_type.label(), t.country)
@@ -826,7 +929,9 @@ mod tests {
         let trace = world.cdn_trace();
         assert!(trace.len() > 10_000, "got {}", trace.len());
         assert!(trace.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
-        assert!(trace.iter().all(|r| world.deployment.is_telescope_addr(r.dst)));
+        assert!(trace
+            .iter()
+            .all(|r| world.deployment.is_telescope_addr(r.dst)));
         // Capture filter applied: no served ports, no ICMPv6.
         assert!(trace
             .iter()
@@ -861,7 +966,10 @@ mod tests {
             .map(|t| {
                 (
                     t.rank,
-                    trace.iter().filter(|r| t.prefix.contains_addr(r.src)).count(),
+                    trace
+                        .iter()
+                        .filter(|r| t.prefix.contains_addr(r.src))
+                        .count(),
                 )
             })
             .collect();
@@ -869,7 +977,10 @@ mod tests {
         per_as.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         // The top two are AS#1 and AS#2 (in some order) and they dominate.
         let top2_ranks: Vec<usize> = per_as[..2].iter().map(|(r, _)| *r).collect();
-        assert!(top2_ranks.contains(&1) && top2_ranks.contains(&2), "{per_as:?}");
+        assert!(
+            top2_ranks.contains(&1) && top2_ranks.contains(&2),
+            "{per_as:?}"
+        );
         let top2: usize = per_as[..2].iter().map(|(_, n)| n).sum();
         assert!(top2 * 2 > total, "top-2 {} of {}", top2, total);
     }
@@ -886,10 +997,16 @@ mod tests {
         let as1 = &world.fleet.actors[0];
         let recs = as1.generate(1);
         let switch = SimTime::from_date(2021, 5, 27).ms();
-        let before: std::collections::HashSet<u16> =
-            recs.iter().filter(|r| r.ts_ms < switch).map(|r| r.dport).collect();
-        let after: std::collections::HashSet<u16> =
-            recs.iter().filter(|r| r.ts_ms >= switch).map(|r| r.dport).collect();
+        let before: std::collections::HashSet<u16> = recs
+            .iter()
+            .filter(|r| r.ts_ms < switch)
+            .map(|r| r.dport)
+            .collect();
+        let after: std::collections::HashSet<u16> = recs
+            .iter()
+            .filter(|r| r.ts_ms >= switch)
+            .map(|r| r.dport)
+            .collect();
         assert!(before.len() > 100, "{} ports before", before.len());
         assert_eq!(
             {
@@ -905,7 +1022,12 @@ mod tests {
     fn as9_only_active_from_november() {
         let world = World::build(FleetConfig::default());
         let nov1 = SimTime::from_date(2021, 11, 1).day_index();
-        for a in world.fleet.actors.iter().filter(|a| a.name.starts_with("as9-")) {
+        for a in world
+            .fleet
+            .actors
+            .iter()
+            .filter(|a| a.name.starts_with("as9-"))
+        {
             assert_eq!(a.schedule.start_day, nov1);
         }
     }

@@ -35,15 +35,19 @@ pub fn generate(
             let t0 = day * DAY_MS + rng.gen_range(0..DAY_MS - 3_600_000);
             for k in 0..packets {
                 let dst = dsts[rng.gen_range(0..dsts.len())];
-                let proto = if rng.gen_bool(0.7) { Transport::Tcp } else { Transport::Udp };
+                let proto = if rng.gen_bool(0.7) {
+                    Transport::Tcp
+                } else {
+                    Transport::Udp
+                };
                 out.push(PacketRecord {
-                    ts_ms: t0 + k * rng.gen_range(1_000..60_000),
+                    ts_ms: t0 + k * rng.gen_range(1_000u64..60_000),
                     src,
                     dst,
                     proto,
                     sport: rng.gen_range(1024..65000),
                     dport: [53u16, 123, 161, 1900, 5060, 6881, 3074, 27015]
-                        [rng.gen_range(0..8)],
+                        [rng.gen_range(0usize..8)],
                     len: rng.gen_range(40..1400),
                 });
             }
@@ -77,17 +81,18 @@ mod tests {
     fn noise_never_qualifies_as_scan() {
         let telescope: Vec<u128> = (1..=500u128).map(|i| i << 16).collect();
         let recs = generate(&telescope, 50, 0, 5, 7);
-        let report = lumen6_detect::detector::detect(
-            &recs,
-            lumen6_detect::ScanDetectorConfig::default(),
-        );
+        let report =
+            lumen6_detect::detector::detect(&recs, lumen6_detect::ScanDetectorConfig::default());
         assert_eq!(report.scans(), 0);
     }
 
     #[test]
     fn deterministic() {
         let telescope: Vec<u128> = (1..=10u128).collect();
-        assert_eq!(generate(&telescope, 5, 0, 2, 3), generate(&telescope, 5, 0, 2, 3));
+        assert_eq!(
+            generate(&telescope, 5, 0, 2, 3),
+            generate(&telescope, 5, 0, 2, 3)
+        );
     }
 
     #[test]

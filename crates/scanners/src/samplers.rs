@@ -176,10 +176,17 @@ impl TargetSampler {
                 hidden,
                 hidden_frac,
             } => {
-                let pool = if rng.gen_bool(*hidden_frac) { hidden } else { exposed };
+                let pool = if rng.gen_bool(*hidden_frac) {
+                    hidden
+                } else {
+                    exposed
+                };
                 out.push(pool[rng.gen_range(0..pool.len())]);
             }
-            TargetSampler::PairExplore { pairs, explore_prob } => {
+            TargetSampler::PairExplore {
+                pairs,
+                explore_prob,
+            } => {
                 let (exposed, hidden) = pairs[rng.gen_range(0..pairs.len())];
                 out.push(exposed);
                 if rng.gen_bool(*explore_prob) {
@@ -193,9 +200,7 @@ impl TargetSampler {
             } => {
                 let p = prefixes[rng.gen_range(0..prefixes.len())];
                 let sub = rng.gen_range(0..u128::from(*subnets_per_prefix));
-                let p64 = p
-                    .nth_subnet(64, sub)
-                    .unwrap_or_else(|| p.aggregate(64));
+                let p64 = p.nth_subnet(64, sub).unwrap_or_else(|| p.aggregate(64));
                 let net64 = (p64.bits() >> 64) as u64;
                 let addr = match iid {
                     IidMode::LowHamming(w) => gen::low_weight_iid(rng, net64, *w),
@@ -252,7 +257,11 @@ impl PortSampler {
             PortSampler::Single(t, p) => (*t, *p),
             PortSampler::Set(t, ports) => (*t, ports[rng.gen_range(0..ports.len())]),
             PortSampler::UniformRange(t, max) => (*t, rng.gen_range(1..=*max)),
-            PortSampler::SwitchAt { at_ms, before, after } => {
+            PortSampler::SwitchAt {
+                at_ms,
+                before,
+                after,
+            } => {
                 if ts_ms < *at_ms {
                     before.sample(rng, ts_ms)
                 } else {
@@ -260,7 +269,11 @@ impl PortSampler {
                 }
             }
             PortSampler::Icmpv6Echo => (Transport::Icmpv6, 0),
-            PortSampler::DailyRotate { proto, pool, per_day } => {
+            PortSampler::DailyRotate {
+                proto,
+                pool,
+                per_day,
+            } => {
                 let day = ts_ms / lumen6_trace::DAY_MS;
                 // splitmix-style day hash selects the window offset.
                 let mut h = day.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -326,10 +339,17 @@ mod tests {
     #[test]
     fn vary_low_bits_bounded_spread() {
         let mut r = rng();
-        let s = SourceSampler::VaryLowBits { base: 0x5000, bits: 9 };
+        let s = SourceSampler::VaryLowBits {
+            base: 0x5000,
+            bits: 9,
+        };
         let seen: std::collections::HashSet<u128> =
             (0..2000).map(|_| s.sample(&mut r, 0)).collect();
-        assert!(seen.len() > 400, "9 bits should give ~512 distinct: {}", seen.len());
+        assert!(
+            seen.len() > 400,
+            "9 bits should give ~512 distinct: {}",
+            seen.len()
+        );
         assert!(seen.iter().all(|&a| a >> 9 == 0x5000 >> 9));
     }
 
@@ -353,7 +373,8 @@ mod tests {
             subnets: subnets.clone(),
             hosts_per_subnet: 3,
         };
-        let seen: std::collections::HashSet<u128> = (0..1000).map(|_| s.sample(&mut r, 0)).collect();
+        let seen: std::collections::HashSet<u128> =
+            (0..1000).map(|_| s.sample(&mut r, 0)).collect();
         assert_eq!(seen.len(), 12);
         for a in seen {
             assert!(subnets.iter().any(|p| p.contains_addr(a)));
@@ -434,7 +455,9 @@ mod tests {
             mk(IidMode::Random).sample(&mut r, &mut random);
         }
         let w = |v: &[u128]| {
-            v.iter().map(|&a| f64::from(lumen6_addr::hamming_weight_iid(a))).sum::<f64>()
+            v.iter()
+                .map(|&a| f64::from(lumen6_addr::hamming_weight_iid(a)))
+                .sum::<f64>()
                 / v.len() as f64
         };
         assert!(w(&low) < 7.0);
@@ -505,6 +528,9 @@ mod tests {
     #[test]
     fn icmpv6_echo_sampler() {
         let mut r = rng();
-        assert_eq!(PortSampler::Icmpv6Echo.sample(&mut r, 0), (Transport::Icmpv6, 0));
+        assert_eq!(
+            PortSampler::Icmpv6Echo.sample(&mut r, 0),
+            (Transport::Icmpv6, 0)
+        );
     }
 }

@@ -230,7 +230,11 @@ mod tests {
     fn model_iid_entropy_reflects_seed_structure() {
         let (seed_list, _, _) = world();
         let structured = IidModel::learn(&seed_list);
-        assert!(structured.iid_entropy() < 1.0, "{}", structured.iid_entropy());
+        assert!(
+            structured.iid_entropy() < 1.0,
+            "{}",
+            structured.iid_entropy()
+        );
 
         let mut rng = SmallRng::seed_from_u64(13);
         let random_seeds: Vec<u128> = (0..2000)

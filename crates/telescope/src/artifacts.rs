@@ -70,7 +70,8 @@ pub fn mapped_machines(
     let mut h = client_src ^ (u128::from(day) << 64) ^ 0x6d61_7070;
     for _ in 0..count {
         // splitmix-style step.
-        h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15_9e37_79b9_7f4a_7c15)
+        h = h
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15_9e37_79b9_7f4a_7c15)
             .wrapping_add(0x5851_f42d_4c95_7f2d);
         let idx = ((h >> 64) as usize) % machines.len();
         out.push(machines[idx].client_facing);
@@ -104,15 +105,14 @@ pub fn generate(
             };
             for _ in 0..count {
                 // Residential-looking source /64 with a random host IID.
-                let net64: u64 = 0x2600_0000_0000_0000
-                    | (rng.gen::<u64>() & 0x00ff_ffff_ffff_0000);
+                let net64: u64 = 0x2600_0000_0000_0000 | (rng.gen::<u64>() & 0x00ff_ffff_ffff_0000);
                 let src = ((net64 as u128) << 64) | u128::from(rng.gen::<u64>());
                 let dsts = mapped_machines(deployment, src, day, config.mapped_machines);
                 // Retries spread over the day.
                 for dst in dsts {
                     let base = t0 + rng.gen_range(0..4 * HOUR_MS);
                     for k in 0..config.retries_per_dst {
-                        let ts = base + k * rng.gen_range(60_000..120_000);
+                        let ts = base + k * rng.gen_range(60_000u64..120_000);
                         out.push(PacketRecord {
                             ts_ms: ts.min(t0 + DAY_MS - 1),
                             src,
@@ -167,9 +167,10 @@ mod tests {
         let recs = generate(&dep, &ArtifactConfig::default(), 0, 2, 7);
         assert!(!recs.is_empty());
         assert!(recs.iter().all(|r| dep.is_telescope_addr(r.dst)));
-        assert!(recs
-            .iter()
-            .all(|r| matches!((r.proto, r.dport), (Transport::Tcp, 25) | (Transport::Udp, 500) | (Transport::Udp, 137))));
+        assert!(recs.iter().all(|r| matches!(
+            (r.proto, r.dport),
+            (Transport::Tcp, 25) | (Transport::Udp, 500) | (Transport::Udp, 137)
+        )));
         // Time-sorted and inside the window.
         assert!(recs.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
         assert!(recs.iter().all(|r| r.ts_ms < 2 * DAY_MS));
@@ -198,10 +199,7 @@ mod tests {
         // scan threshold; with the filter, nothing remains at all.
         let dep = deployment();
         let recs = generate(&dep, &ArtifactConfig::default(), 0, 1, 7);
-        let report = lumen6_detect::detector::detect(
-            &recs,
-            ScanDetectorConfig::default(),
-        );
+        let report = lumen6_detect::detector::detect(&recs, ScanDetectorConfig::default());
         assert_eq!(report.scans(), 0);
     }
 

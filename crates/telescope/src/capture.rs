@@ -153,11 +153,11 @@ mod tests {
         let cap = FirewallCapture::new(&dep, CaptureConfig::default());
         let dst = dep.machines()[0].client_facing;
         let records = vec![
-            PacketRecord::tcp(0, 1, dst, 1, 22, 60),        // logged
-            PacketRecord::tcp(1, 1, dst, 1, 80, 60),        // served port
-            PacketRecord::icmpv6_echo(2, 1, dst, 96),       // icmpv6
-            PacketRecord::tcp(3, 1, 0xdead, 1, 22, 60),     // foreign
-            PacketRecord::udp(4, 1, dst, 500, 500, 120),    // logged
+            PacketRecord::tcp(0, 1, dst, 1, 22, 60),     // logged
+            PacketRecord::tcp(1, 1, dst, 1, 80, 60),     // served port
+            PacketRecord::icmpv6_echo(2, 1, dst, 96),    // icmpv6
+            PacketRecord::tcp(3, 1, 0xdead, 1, 22, 60),  // foreign
+            PacketRecord::udp(4, 1, dst, 500, 500, 120), // logged
         ];
         let (logged, stats) = cap.capture(&records);
         assert_eq!(logged.len(), 2);

@@ -276,6 +276,223 @@ pub fn decode(data: &[u8]) -> Result<Vec<PacketRecord>, CodecError> {
     TraceReader::from_bytes(data.to_vec())?.collect()
 }
 
+/// Upper bound on one encoded record: 10-byte timestamp varint, two 16-byte
+/// addresses, protocol byte, and three ≤3-byte port/length varints.
+const MAX_RECORD_LEN: usize = 10 + 16 + 16 + 1 + 3 * 3;
+
+/// Refill granularity of the streaming reader.
+const STREAM_BUF_LEN: usize = 64 * 1024;
+
+fn slice_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = data.get(*pos) else {
+            return Err(CodecError::Truncated);
+        };
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn slice_u128(data: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
+    let end = *pos + 16;
+    let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    Ok(u128::from_be_bytes(bytes.try_into().expect("16 bytes")))
+}
+
+/// Streaming `L6TR` reader over any [`Read`] source in bounded memory.
+///
+/// Unlike [`TraceReader::from_reader`], which materializes the whole file,
+/// this keeps only a refill window of [`STREAM_BUF_LEN`] bytes plus at most
+/// one partial record, so decoding a multi-gigabyte trace costs the same
+/// memory as decoding a kilobyte one. Yields
+/// `Result<PacketRecord, CodecError>` and fuses after the first error.
+#[derive(Debug)]
+pub struct StreamingTraceReader<R: Read> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+    prev_ts: u64,
+    failed: bool,
+}
+
+impl<R: Read> StreamingTraceReader<R> {
+    /// Validates the header and prepares for streaming decode.
+    pub fn new(mut src: R) -> Result<Self, CodecError> {
+        let mut header = [0u8; 5];
+        read_exactly(&mut src, &mut header)?;
+        let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        if header[4] != VERSION {
+            return Err(CodecError::BadVersion(header[4]));
+        }
+        Ok(StreamingTraceReader {
+            src,
+            buf: Vec::with_capacity(STREAM_BUF_LEN + MAX_RECORD_LEN),
+            pos: 0,
+            eof: false,
+            prev_ts: 0,
+            failed: false,
+        })
+    }
+
+    /// Ensures a whole record's worth of bytes is buffered unless the source
+    /// is exhausted, sliding the unconsumed tail to the front first.
+    fn refill(&mut self) -> Result<(), CodecError> {
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        let mut chunk = [0u8; STREAM_BUF_LEN];
+        while !self.eof && self.buf.len() < MAX_RECORD_LEN {
+            let n = self.src.read(&mut chunk)?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+        Ok(())
+    }
+
+    fn next_record(&mut self) -> Result<Option<PacketRecord>, CodecError> {
+        if self.buf.len() - self.pos < MAX_RECORD_LEN && !self.eof {
+            self.refill()?;
+        }
+        if self.pos == self.buf.len() {
+            return Ok(None);
+        }
+        // At least MAX_RECORD_LEN bytes remain, or the source hit EOF: any
+        // out-of-bytes condition below is genuine truncation.
+        let data = &self.buf[..];
+        let mut pos = self.pos;
+        let delta = slice_varint(data, &mut pos)?;
+        let src = slice_u128(data, &mut pos)?;
+        let dst = slice_u128(data, &mut pos)?;
+        let proto = Transport::from_byte(*data.get(pos).ok_or(CodecError::Truncated)?);
+        pos += 1;
+        let sport = slice_varint(data, &mut pos)?;
+        let dport = slice_varint(data, &mut pos)?;
+        let len = slice_varint(data, &mut pos)?;
+        if sport > u64::from(u16::MAX) {
+            return Err(CodecError::FieldOverflow("sport", sport));
+        }
+        if dport > u64::from(u16::MAX) {
+            return Err(CodecError::FieldOverflow("dport", dport));
+        }
+        if len > u64::from(u16::MAX) {
+            return Err(CodecError::FieldOverflow("len", len));
+        }
+        self.pos = pos;
+        self.prev_ts += delta;
+        Ok(Some(PacketRecord {
+            ts_ms: self.prev_ts,
+            src,
+            dst,
+            proto,
+            sport: sport as u16,
+            dport: dport as u16,
+            len: len as u16,
+        }))
+    }
+}
+
+fn read_exactly<R: Read>(src: &mut R, out: &mut [u8]) -> Result<(), CodecError> {
+    match src.read_exact(out) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(CodecError::Truncated),
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl<R: Read> Iterator for StreamingTraceReader<R> {
+    type Item = Result<PacketRecord, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streams a trace as chunks of at most `chunk_len` records, decoding from
+/// `src` incrementally so peak memory is `O(chunk_len)`, not trace size.
+///
+/// Each item is one chunk; a decode error surfaces as the final item after
+/// the records that preceded it (possibly as a partial chunk), and the
+/// iterator fuses.
+pub fn decode_chunks<R: Read>(src: R, chunk_len: usize) -> Result<TraceChunks<R>, CodecError> {
+    Ok(TraceChunks {
+        inner: StreamingTraceReader::new(src)?,
+        chunk_len: chunk_len.max(1),
+        pending_err: None,
+        done: false,
+    })
+}
+
+/// Iterator returned by [`decode_chunks`].
+#[derive(Debug)]
+pub struct TraceChunks<R: Read> {
+    inner: StreamingTraceReader<R>,
+    chunk_len: usize,
+    pending_err: Option<CodecError>,
+    done: bool,
+}
+
+impl<R: Read> Iterator for TraceChunks<R> {
+    type Item = Result<Vec<PacketRecord>, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        let mut chunk = Vec::with_capacity(self.chunk_len);
+        while chunk.len() < self.chunk_len {
+            match self.inner.next() {
+                Some(Ok(r)) => chunk.push(r),
+                Some(Err(e)) => {
+                    if chunk.is_empty() {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    self.pending_err = Some(e);
+                    return Some(Ok(chunk));
+                }
+                None => {
+                    self.done = true;
+                    if chunk.is_empty() {
+                        return None;
+                    }
+                    return Some(Ok(chunk));
+                }
+            }
+        }
+        Some(Ok(chunk))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +603,106 @@ mod tests {
             w.append(&r).unwrap();
         }
         assert_eq!(w.count(), 4);
+    }
+
+    /// A reader that returns at most `cap` bytes per `read` call, to
+    /// exercise partial-read refill paths.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        cap: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.data.len().min(self.cap).min(out.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized() {
+        let recs: Vec<PacketRecord> = (0..10_000u64)
+            .map(|i| PacketRecord::tcp(i * 3, i as u128, (i * 7) as u128, 1, 22, 60))
+            .collect();
+        let bytes = encode(&recs).unwrap();
+        let streamed: Result<Vec<_>, _> = StreamingTraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(streamed.unwrap(), recs);
+        // Same through a source that trickles 7 bytes at a time, forcing
+        // records to span refill boundaries.
+        let dribbled: Result<Vec<_>, _> = StreamingTraceReader::new(Dribble {
+            data: &bytes,
+            cap: 7,
+        })
+        .unwrap()
+        .collect();
+        assert_eq!(dribbled.unwrap(), recs);
+    }
+
+    #[test]
+    fn streaming_rejects_bad_header() {
+        assert!(matches!(
+            StreamingTraceReader::new(&b"NOPE\x01"[..]).unwrap_err(),
+            CodecError::BadMagic(_)
+        ));
+        assert!(matches!(
+            StreamingTraceReader::new(&b"L6T"[..]).unwrap_err(),
+            CodecError::Truncated
+        ));
+        assert!(matches!(
+            StreamingTraceReader::new(&b"L6TR\x63"[..]).unwrap_err(),
+            CodecError::BadVersion(0x63)
+        ));
+    }
+
+    #[test]
+    fn streaming_truncation_surfaces_error_once() {
+        let bytes = encode(&sample()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut reader = StreamingTraceReader::new(cut).unwrap();
+        let (mut oks, mut errs) = (0, 0);
+        for item in reader.by_ref() {
+            match item {
+                Ok(_) => oks += 1,
+                Err(_) => errs += 1,
+            }
+        }
+        assert_eq!((oks, errs), (3, 1));
+        assert!(reader.next().is_none(), "fused after error");
+    }
+
+    #[test]
+    fn decode_chunks_partitions_exactly() {
+        let recs: Vec<PacketRecord> = (0..1_000u64)
+            .map(|i| PacketRecord::udp(i, i as u128, 9, 1, 53, 80))
+            .collect();
+        let bytes = encode(&recs).unwrap();
+        let chunks: Vec<Vec<PacketRecord>> = decode_chunks(&bytes[..], 300)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            chunks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![300, 300, 300, 100]
+        );
+        assert_eq!(chunks.concat(), recs);
+    }
+
+    #[test]
+    fn decode_chunks_error_after_partial_chunk() {
+        let bytes = encode(&sample()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let items: Vec<_> = decode_chunks(cut, 100).unwrap().collect();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].as_ref().unwrap().len(), 3);
+        assert!(items[1].is_err());
+    }
+
+    #[test]
+    fn decode_chunks_empty_trace() {
+        let bytes = encode(&[]).unwrap();
+        assert_eq!(decode_chunks(&bytes[..], 10).unwrap().count(), 0);
     }
 
     #[test]

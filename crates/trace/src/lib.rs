@@ -17,7 +17,9 @@ pub mod pcap;
 pub mod record;
 pub mod time;
 
-pub use codec::{CodecError, TraceReader, TraceWriter};
+pub use codec::{
+    decode_chunks, CodecError, StreamingTraceReader, TraceChunks, TraceReader, TraceWriter,
+};
 pub use record::{PacketRecord, Transport};
 pub use time::{SimTime, DAY_MS, HOUR_MS, MINUTE_MS, WEEK_MS};
 

@@ -239,12 +239,8 @@ fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord>
     let dst = u128::from_be_bytes(ip[24..40].try_into().ok()?);
     let transport = &ip[40..];
     let (proto, sport, dport) = match next_header {
-        6 if transport.len() >= 4 => {
-            (Transport::Tcp, u16_at(transport, 0), u16_at(transport, 2))
-        }
-        17 if transport.len() >= 4 => {
-            (Transport::Udp, u16_at(transport, 0), u16_at(transport, 2))
-        }
+        6 if transport.len() >= 4 => (Transport::Tcp, u16_at(transport, 0), u16_at(transport, 2)),
+        17 if transport.len() >= 4 => (Transport::Udp, u16_at(transport, 0), u16_at(transport, 2)),
         58 if transport.len() >= 2 => (
             Transport::Icmpv6,
             u16::from(transport[0]),
@@ -267,7 +263,10 @@ fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord>
 pub fn read_pcap<R: Read>(mut src: R) -> Result<PcapImport, PcapError> {
     let mut data = Vec::new();
     src.read_to_end(&mut data)?;
-    let mut cur = Cursor { data: &data, pos: 0 };
+    let mut cur = Cursor {
+        data: &data,
+        pos: 0,
+    };
 
     let header = cur.take(24).ok_or(PcapError::Truncated)?;
     let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
@@ -310,7 +309,12 @@ pub fn read_pcap<R: Read>(mut src: R) -> Result<PcapImport, PcapError> {
             import.skipped += 1;
             break;
         };
-        let ts_ms = ts_sec * 1000 + if nanos { ts_frac / 1_000_000 } else { ts_frac / 1000 };
+        let ts_ms = ts_sec * 1000
+            + if nanos {
+                ts_frac / 1_000_000
+            } else {
+                ts_frac / 1000
+            };
         match parse_frame(link_type, ts_ms, frame) {
             Some(r) => import.records.push(r),
             None => import.skipped += 1,
@@ -398,7 +402,10 @@ mod tests {
         assert!(matches!(err, PcapError::Truncated | PcapError::BadMagic(_)));
         let mut bogus = [0u8; 24];
         bogus[0..4].copy_from_slice(&0xdeadbeefu32.to_le_bytes());
-        assert!(matches!(read_pcap(&bogus[..]).unwrap_err(), PcapError::BadMagic(_)));
+        assert!(matches!(
+            read_pcap(&bogus[..]).unwrap_err(),
+            PcapError::BadMagic(_)
+        ));
     }
 
     #[test]

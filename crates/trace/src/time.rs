@@ -38,7 +38,10 @@ impl SimTime {
     /// Panics if the date precedes the epoch (2021-01-01).
     pub fn from_date(year: i32, month: u32, day: u32) -> SimTime {
         let d = days_from_civil(year, month, day) - EPOCH_DAYS_FROM_CE;
-        assert!(d >= 0, "date {year}-{month:02}-{day:02} precedes simulation epoch");
+        assert!(
+            d >= 0,
+            "date {year}-{month:02}-{day:02} precedes simulation epoch"
+        );
         SimTime(d as u64 * DAY_MS)
     }
 
@@ -94,7 +97,11 @@ impl fmt::Display for SimTime {
 /// The half-open millisecond range `[start, end)` of a calendar month.
 pub fn month_range(year: i32, month: u32) -> (u64, u64) {
     let start = SimTime::from_date(year, month, 1).ms();
-    let (ny, nm) = if month == 12 { (year + 1, 1) } else { (year, month + 1) };
+    let (ny, nm) = if month == 12 {
+        (year + 1, 1)
+    } else {
+        (year, month + 1)
+    };
     let end = SimTime::from_date(ny, nm, 1).ms();
     (start, end)
 }
@@ -176,7 +183,10 @@ mod tests {
     fn civil_handles_leap_year_2024() {
         let t = SimTime::from_date(2024, 2, 29);
         assert_eq!(t.civil(), (2024, 2, 29));
-        assert_eq!(SimTime::from_date(2024, 3, 1).day_index(), t.day_index() + 1);
+        assert_eq!(
+            SimTime::from_date(2024, 3, 1).day_index(),
+            t.day_index() + 1
+        );
     }
 
     #[test]

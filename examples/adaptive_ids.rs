@@ -23,9 +23,19 @@ fn main() {
     let mut window: Vec<PacketRecord> = Vec::new();
 
     // 1. Heavy single host: 300 destinations.
-    let heavy: u128 = "2001:db8:1::1".parse::<std::net::Ipv6Addr>().unwrap().into();
+    let heavy: u128 = "2001:db8:1::1"
+        .parse::<std::net::Ipv6Addr>()
+        .unwrap()
+        .into();
     for i in 0..300u64 {
-        window.push(PacketRecord::tcp(i * 10, heavy, 0xa000 + u128::from(i), 1, 22, 60));
+        window.push(PacketRecord::tcp(
+            i * 10,
+            heavy,
+            0xa000 + u128::from(i),
+            1,
+            22,
+            60,
+        ));
     }
 
     // 2. /32-spread scanner: 800 one-packet sources across random /48s of
@@ -33,7 +43,14 @@ fn main() {
     let spread: Ipv6Prefix = "2001:db9::/32".parse().unwrap();
     for i in 0..800u64 {
         let src = lumen6::addr::gen::random_in_prefix(&mut rng, spread);
-        window.push(PacketRecord::tcp(100_000 + i * 5, src, 0xb000 + u128::from(i), 1, 22, 60));
+        window.push(PacketRecord::tcp(
+            100_000 + i * 5,
+            src,
+            0xb000 + u128::from(i),
+            1,
+            22,
+            60,
+        ));
     }
 
     // 3. Multi-tenant cloud /64: two scanning tenants + 300 benign hosts.
@@ -52,7 +69,14 @@ fn main() {
     }
     for i in 0..300u64 {
         let benign = cloud.bits() | (0x8000 + u128::from(i));
-        window.push(PacketRecord::tcp(250_000 + i * 11, benign, 0xdddd, 1, 80, 120));
+        window.push(PacketRecord::tcp(
+            250_000 + i * 11,
+            benign,
+            0xdddd,
+            1,
+            80,
+            120,
+        ));
     }
 
     lumen6::trace::sort_by_time(&mut window);
@@ -80,10 +104,17 @@ fn main() {
     }
 
     // The headline checks.
-    assert!(alerts.iter().any(|a| a.prefix.len() == 128 && a.prefix.bits() == heavy));
+    assert!(alerts
+        .iter()
+        .any(|a| a.prefix.len() == 128 && a.prefix.bits() == heavy));
     assert!(alerts.iter().any(|a| a.prefix == spread));
-    let cloud_alerts: Vec<_> = alerts.iter().filter(|a| cloud.contains(&a.prefix)).collect();
+    let cloud_alerts: Vec<_> = alerts
+        .iter()
+        .filter(|a| cloud.contains(&a.prefix))
+        .collect();
     assert_eq!(cloud_alerts.len(), 2, "tenants alert individually");
-    assert!(cloud_alerts.iter().all(|a| a.prefix.len() == 128 && a.collateral_srcs == 0));
+    assert!(cloud_alerts
+        .iter()
+        .all(|a| a.prefix.len() == 128 && a.collateral_srcs == 0));
     println!("\nall three workloads resolved at the right aggregation level ✓");
 }

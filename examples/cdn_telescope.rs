@@ -26,10 +26,26 @@ fn main() {
     let capture = FirewallCapture::new(dep, CaptureConfig::default());
     let dst = dep.machines()[0].client_facing;
     let probes = [
-        ("TCP/22 probe", PacketRecord::tcp(0, 1, dst, 1, 22, 60), true),
-        ("TCP/443 (served)", PacketRecord::tcp(0, 1, dst, 1, 443, 60), false),
-        ("ICMPv6 echo", PacketRecord::icmpv6_echo(0, 1, dst, 96), false),
-        ("foreign dst", PacketRecord::tcp(0, 1, 0xdead, 1, 22, 60), false),
+        (
+            "TCP/22 probe",
+            PacketRecord::tcp(0, 1, dst, 1, 22, 60),
+            true,
+        ),
+        (
+            "TCP/443 (served)",
+            PacketRecord::tcp(0, 1, dst, 1, 443, 60),
+            false,
+        ),
+        (
+            "ICMPv6 echo",
+            PacketRecord::icmpv6_echo(0, 1, dst, 96),
+            false,
+        ),
+        (
+            "foreign dst",
+            PacketRecord::tcp(0, 1, 0xdead, 1, 22, 60),
+            false,
+        ),
     ];
     for (label, p, expect) in probes {
         assert_eq!(capture.logs(&p), expect);
@@ -39,10 +55,7 @@ fn main() {
     // Full pipeline with destination retention for targeting analysis.
     let trace = world.cdn_trace();
     let (clean, _) = ArtifactFilter::default().filter(&trace);
-    let scans = detect(
-        &clean,
-        ScanDetectorConfig::paper(AggLevel::L64).with_dsts(),
-    );
+    let scans = detect(&clean, ScanDetectorConfig::paper(AggLevel::L64).with_dsts());
 
     // §3.3: how many of each source's targets exist in DNS? The paper
     // reports AS#18 separately — it holds 80% of the /64 sources and

@@ -15,7 +15,10 @@ fn main() {
     let days = config.end_day;
     let world = MawiWorld::build(config, None);
     let trace = world.trace();
-    println!("MAWI-style trace: {} packets over {days} daily 15-minute windows", trace.len());
+    println!(
+        "MAWI-style trace: {} packets over {days} daily 15-minute windows",
+        trace.len()
+    );
 
     // Detection per daily window, both destination thresholds.
     for min_dsts in [100u64, 5] {
@@ -51,7 +54,11 @@ fn main() {
     println!(
         "\nAS#1 targets: mean IID Hamming weight {:.1} -> {}",
         structured.mean(),
-        if structured.looks_random() { "random" } else { "structured (hitlist-like)" }
+        if structured.looks_random() {
+            "random"
+        } else {
+            "structured (hitlist-like)"
+        }
     );
 
     let dec24 = lumen6::trace::SimTime::from_date(2021, 12, 24);
@@ -65,7 +72,11 @@ fn main() {
         println!(
             "Dec-24 scanner: mean IID Hamming weight {:.1} -> {}",
             random.mean(),
-            if random.looks_random() { "random (Gaussian)" } else { "structured" }
+            if random.looks_random() {
+                "random (Gaussian)"
+            } else {
+                "structured"
+            }
         );
     }
 }

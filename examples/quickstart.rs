@@ -23,7 +23,10 @@ fn main() {
         report.removed_packets, report.removed_sources
     );
     if let Some(((proto, port), n)) = report.top_services(1).first() {
-        println!("top artifact service: {}/{port} ({n} packets)", proto.label());
+        println!(
+            "top artifact service: {}/{port} ({n} packets)",
+            proto.label()
+        );
     }
 
     // Step 2 — large-scale scan detection (≥100 destinations, 1 h timeout)

@@ -35,12 +35,19 @@ fn main() {
     // paper's methodological point.
     for agg in [AggLevel::L128, AggLevel::L64, AggLevel::L48] {
         let scans = detect(&packets, ScanDetectorConfig::paper(agg));
-        println!("  at {agg}: {} scans from {} sources", scans.scans(), scans.sources());
+        println!(
+            "  at {agg}: {} scans from {} sources",
+            scans.scans(),
+            scans.sources()
+        );
     }
 
     // The calibrated paper fleet and its ground truth.
     let world = World::build(FleetConfig::small());
-    println!("\nTable-2 ground truth ({} actors total):", world.fleet.actors.len());
+    println!(
+        "\nTable-2 ground truth ({} actors total):",
+        world.fleet.actors.len()
+    );
     println!("rank  type                 paper packets  paper /48,/64,/128   sim prefix");
     for t in &world.fleet.truth {
         println!(

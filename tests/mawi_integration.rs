@@ -99,7 +99,11 @@ fn hitlist_day_has_full_overlap_and_fewer_uniques() {
     let switch = overlap::hitlist_overlap(on(may27).iter(), &hitset);
     let before = overlap::hitlist_overlap(on(may27 - 1).iter(), &hitset);
     let after = overlap::hitlist_overlap(on(may27 + 1).iter(), &hitset);
-    assert!(switch.fraction() > 0.95, "switch-day overlap {}", switch.fraction());
+    assert!(
+        switch.fraction() > 0.95,
+        "switch-day overlap {}",
+        switch.fraction()
+    );
     assert!(before.fraction() < 0.05);
     assert!(after.fraction() < 0.05);
     assert!(
@@ -129,7 +133,11 @@ fn port_switch_on_may_27() {
         .filter(|r| r.src == w.as1_source && r.ts_ms >= e2s && r.ts_ms < e2e)
         .map(|r| r.dport)
         .collect();
-    assert!(before.len() >= 6, "progressive sweep covers a daily window: {}", before.len());
+    assert!(
+        before.len() >= 6,
+        "progressive sweep covers a daily window: {}",
+        before.len()
+    );
     let mut want: Vec<u16> = vec![22, 80, 443, 3389, 8080, 8443];
     want.sort_unstable();
     let mut got: Vec<u16> = after.into_iter().collect();
@@ -154,7 +162,12 @@ fn icmpv6_peaks_and_hamming_separation() {
     let dec_targets = targets_on(dec24, |r| r.src == w.dec24_source);
     assert!(dec_targets.len() > 1000, "Dec-24 peak present");
     let dec = HammingDistribution::from_addrs(dec_targets.iter().copied());
-    assert!(dec.looks_random(), "mean {} var {}", dec.mean(), dec.variance());
+    assert!(
+        dec.looks_random(),
+        "mean {} var {}",
+        dec.mean(),
+        dec.variance()
+    );
     assert_eq!(targeting::targets_per_dst64(&dec_targets), 1);
 
     // Both peak days' ICMPv6 packets dominate those days.

@@ -93,10 +93,7 @@ fn as18_48s_exceed_64s_and_32_captures_more() {
         .filter(|e| as18.contains(&e.source))
         .map(|e| e.packets)
         .sum();
-    assert!(
-        at32 as f64 > 1.2 * at48 as f64,
-        "/32 {at32} vs /48 {at48}"
-    );
+    assert!(at32 as f64 > 1.2 * at48 as f64, "/32 {at32} vs /48 {at48}");
 }
 
 #[test]
@@ -144,8 +141,7 @@ fn timeouts_have_small_effect() {
                 ..Default::default()
             },
         );
-        let ds = (r.sources() as f64 - lab.r64.sources() as f64).abs()
-            / lab.r64.sources() as f64;
+        let ds = (r.sources() as f64 - lab.r64.sources() as f64).abs() / lab.r64.sources() as f64;
         assert!(ds < 0.15, "timeout {timeout_ms}: source delta {ds}");
     }
 }
@@ -173,7 +169,11 @@ fn scan_traffic_concentrates_on_top_two_sources() {
 fn table2_top_networks_are_datacenters_and_clouds_not_eyeballs() {
     let lab = lab();
     let rows = topas::top_as_table(&lab.world.registry, &lab.r128, &lab.r64, &lab.r48, 20);
-    assert!(rows.len() >= 15, "most of the fleet detected: {}", rows.len());
+    assert!(
+        rows.len() >= 15,
+        "most of the fleet detected: {}",
+        rows.len()
+    );
     // Top five rows are non-residential (paper: no pure eyeball ISP there).
     for row in rows.iter().take(5) {
         let asn = row.asn.expect("fleet sources attributable");
@@ -214,7 +214,11 @@ fn artifacts_are_removed_and_dominated_by_smtp_and_isakmp() {
     let (_, report) = ArtifactFilter::default().filter(&trace);
     // The small fixture runs a reduced artifact mix; the full-scale world
     // removes >60% (see EXPERIMENTS.md).
-    assert!(report.removed_fraction() > 0.15, "{}", report.removed_fraction());
+    assert!(
+        report.removed_fraction() > 0.15,
+        "{}",
+        report.removed_fraction()
+    );
     let top2: Vec<_> = report.top_services(2).iter().map(|(s, _)| *s).collect();
     assert!(top2.contains(&(Transport::Udp, 500)), "{top2:?}");
     assert!(top2.contains(&(Transport::Tcp, 25)), "{top2:?}");

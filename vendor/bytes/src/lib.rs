@@ -1,0 +1,181 @@
+//! Offline stand-in for the `bytes` crate: the cursor/builder subset the
+//! trace codec uses, over plain `Vec<u8>` storage (no refcounted slabs —
+//! traces are decoded through one owner at a time here).
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor. Panics past the end.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u128`, advancing the cursor.
+    fn get_u128(&mut self) -> u128;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write-side builder operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u128`.
+    fn put_u128(&mut self, v: u128);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Length of the unread remainder.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the unread remainder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    #[inline]
+    fn get_u128(&mut self) -> u128 {
+        let end = self.pos + 16;
+        let v = u128::from_be_bytes(self.data[self.pos..end].try_into().expect("16 bytes"));
+        self.pos = end;
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let end = self.pos + dst.len();
+        dst.copy_from_slice(&self.data[self.pos..end]);
+        self.pos = end;
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    #[inline]
+    fn put_u128(&mut self, v: u128) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_cursor() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u8(7);
+        w.put_u128(u128::MAX - 1);
+        w.put_slice(&[1, 2, 3]);
+        assert_eq!(w.len(), 1 + 16 + 3);
+
+        let mut r = Bytes::from(w.to_vec());
+        assert!(r.has_remaining());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u128(), u128::MAX - 1);
+        let mut three = [0u8; 3];
+        r.copy_to_slice(&mut three);
+        assert_eq!(three, [1, 2, 3]);
+        assert!(!r.has_remaining());
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `rayon`: the `par_iter().map(..).collect()` shape
+//! this workspace uses, implemented with `std::thread::scope` over
+//! contiguous chunks. Order is preserved; the worker count follows
+//! [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The rayon-compatible import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Types whose elements can be visited in parallel by reference.
+pub trait IntoParallelRefIterator {
+    /// Element type.
+    type Elem: Sync;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&self) -> ParIter<'_, Self::Elem>;
+}
+
+impl<T: Sync> IntoParallelRefIterator for [T] {
+    type Elem = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> IntoParallelRefIterator for Vec<T> {
+    type Elem = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A pending parallel traversal of a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Registers the per-element function.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel traversal, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<T: Sync, F> ParMap<'_, T, F> {
+    /// Runs the map across worker threads and gathers results in order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(parallel_map_slice(self.items, &self.f))
+    }
+}
+
+/// Order-preserving parallel map over a slice using scoped threads.
+pub fn parallel_map_slice<T: Sync, R: Send>(items: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Vec<R> {
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel map worker panicked"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_map_slice;
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        assert_eq!(parallel_map_slice(&[5u8], &|x| *x + 1), vec![6]);
+    }
+}

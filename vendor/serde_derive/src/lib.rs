@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored value-tree
+//! `serde` crate. The parser is hand-rolled over `proc_macro::TokenStream`
+//! (no `syn`/`quote` in the offline build) and supports exactly the shapes
+//! this workspace derives on: non-generic structs (named, tuple, unit) and
+//! enums (unit, newtype, tuple, struct variants), with no `#[serde]`
+//! attributes. Representations match real serde's defaults: plain objects
+//! for structs, inner value for newtypes, externally tagged enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: a name for named fields, an index for tuple fields.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stub does not support generic type `{name}`");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(named_field_names(g.stream()))
+                }
+                other => panic!("unexpected token after struct name: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips leading `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts top-level comma-separated segments, ignoring commas nested in
+/// `<...>` (groups already hide parens/brackets/braces from this level).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut seen_any = false;
+    let mut angle = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                seen_any = false;
+            }
+            _ => seen_any = true,
+        }
+    }
+    fields + usize::from(seen_any)
+}
+
+/// Extracts the field names of a named-field body.
+fn named_field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = named_field_names(g.stream());
+                toks.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant (`= expr`) up to the separating comma.
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+const VALUE: &str = "::serde::value::Value";
+const DE_ERR: &str = "::serde::value::DeError";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{VALUE}::Null"),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("{VALUE}::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => obj_literal(names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VALUE} {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => {VALUE}::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => {VALUE}::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {VALUE}::Object(vec![(::std::string::String::from(\"{vn}\"), {VALUE}::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inner = obj_literal(
+                                fs.iter()
+                                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+                            );
+                            format!(
+                                "{name}::{vn} {{ {} }} => {VALUE}::Object(vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VALUE} {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `Value::Object(vec![("name", expr), ...])`
+fn obj_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = fields
+        .map(|(name, expr)| format!("(::std::string::String::from(\"{name}\"), {expr})"))
+        .collect();
+    format!("{VALUE}::Object(vec![{}])", items.join(", "))
+}
+
+/// Lookup + deserialize of one named field out of `fields`.
+fn named_field_get(owner: &str, field: &str) -> String {
+    format!(
+        "{field}: match fields.iter().find(|(k, _)| k == \"{field}\") {{\n\
+             Some((_, fv)) => ::serde::Deserialize::from_value(fv)?,\n\
+             None => return ::core::result::Result::Err({DE_ERR}::msg(\"missing field `{field}` in {owner}\")),\n\
+         }},"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{\n\
+                         {VALUE}::Null => ::core::result::Result::Ok({name}),\n\
+                         other => ::core::result::Result::Err({DE_ERR}::expected(\"null for {name}\", other)),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             {VALUE}::Array(items) if items.len() == {n} => ::core::result::Result::Ok({name}({})),\n\
+                             other => ::core::result::Result::Err({DE_ERR}::expected(\"array of {n} for {name}\", other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let gets: Vec<String> =
+                        names.iter().map(|f| named_field_get(name, f)).collect();
+                    format!(
+                        "match v {{\n\
+                             {VALUE}::Object(fields) => ::core::result::Result::Ok({name} {{ {} }}),\n\
+                             other => ::core::result::Result::Err({DE_ERR}::expected(\"object for {name}\", other)),\n\
+                         }}",
+                        gets.join("\n")
+                    )
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{VALUE}::Str(s) if s == \"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     {VALUE}::Array(items) if items.len() == {n} => ::core::result::Result::Ok({name}::{vn}({})),\n\
+                                     other => ::core::result::Result::Err({DE_ERR}::expected(\"array of {n} for {name}::{vn}\", other)),\n\
+                                 }},",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let gets: Vec<String> = fs
+                                .iter()
+                                .map(|f| named_field_get(&format!("{name}::{vn}"), f))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     {VALUE}::Object(fields) => ::core::result::Result::Ok({name}::{vn} {{ {} }}),\n\
+                                     other => ::core::result::Result::Err({DE_ERR}::expected(\"object for {name}::{vn}\", other)),\n\
+                                 }},",
+                                gets.join("\n")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                     {unit}\n\
+                     {VALUE}::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => ::core::result::Result::Err({DE_ERR}::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err({DE_ERR}::expected(\"variant of {name}\", other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &{VALUE}) -> ::core::result::Result<Self, {DE_ERR}> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
