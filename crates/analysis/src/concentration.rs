@@ -64,7 +64,7 @@ pub fn per_bucket_topk(
         .enumerate()
         .map(|(b, m)| {
             let mut v: Vec<(Ipv6Prefix, f64)> = m.into_iter().collect();
-            v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let total: f64 = v.iter().map(|(_, n)| n).sum();
             let top: f64 = v.iter().take(k).map(|(_, n)| n).sum();
             BucketShare {
@@ -136,6 +136,23 @@ mod tests {
     fn empty_report_zero_share() {
         let r = ScanReport::default();
         assert_eq!(overall_topk_share(&r, 2), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_events_do_not_panic_the_ranking() {
+        // Single-burst scans (start == end) exercise the duration-zero
+        // split path; with several tied sources the per-bucket sort must
+        // stay total (the old `partial_cmp().unwrap()` panicked on any
+        // non-finite packet value reaching it).
+        let r = ScanReport::new(vec![
+            ev("2001:db8::/64", 1000, 1000, 0),
+            ev("2001:db8:1::/64", 1000, 1000, 0),
+            ev("2001:db8:2::/64", 1000, 1000, 50),
+        ]);
+        let shares = per_bucket_topk(&r, Bucket::Weekly, 2, 1);
+        assert_eq!(shares.len(), 2);
+        assert_eq!(shares[0].top_source.unwrap().to_string(), "2001:db8:2::/64");
+        assert_eq!(shares[1].packets, 0.0);
     }
 
     #[test]

@@ -57,9 +57,18 @@ pub struct Heatmap {
 
 impl Heatmap {
     /// Builds a `bins × bins` log₂-binned heatmap.
+    ///
+    /// The edge sequence 1, 2, 4, … tops out at 65 strictly increasing
+    /// values over `u64` (2⁰..2⁶³ plus a final `u64::MAX` catch-all), so
+    /// `bins` is capped there — asking for more would only duplicate the
+    /// saturated top edge and collapse every high bucket into one. The
+    /// `bins` field of the result records the effective count.
     pub fn build(points: &[SourcePoint], bins: usize) -> Heatmap {
         assert!(bins >= 2, "need at least 2 bins");
-        let edges: Vec<u64> = (0..bins as u32).map(|i| 2u64.saturating_pow(i)).collect();
+        let bins = bins.min(65);
+        let edges: Vec<u64> = (0..bins)
+            .map(|i| if i < 64 { 1u64 << i } else { u64::MAX })
+            .collect();
         let mut cells = vec![vec![0u64; bins]; bins];
         let bin_of = |v: u64| -> usize { edges.iter().position(|&e| v <= e).unwrap_or(bins - 1) };
         for p in points {
@@ -189,5 +198,41 @@ mod tests {
     #[should_panic(expected = "at least 2 bins")]
     fn one_bin_rejected() {
         Heatmap::build(&[], 1);
+    }
+
+    #[test]
+    fn oversized_bin_count_caps_without_duplicate_edges() {
+        // bins = 70 used to produce six duplicate u64::MAX edges (from
+        // `2u64.saturating_pow(i)` for i >= 64), collapsing every
+        // high-magnitude bucket into one. The edge sequence must be
+        // strictly increasing and the huge point must land in its own top
+        // bucket, distinct from a merely-large one.
+        let pts = vec![
+            SourcePoint {
+                dsts: 1,
+                packets: 1,
+            },
+            SourcePoint {
+                dsts: 1 << 40,
+                packets: 1 << 40,
+            },
+            SourcePoint {
+                dsts: u64::MAX,
+                packets: u64::MAX,
+            },
+        ];
+        let h = Heatmap::build(&pts, 70);
+        assert_eq!(h.bins, 65, "bins capped at the number of distinct edges");
+        assert_eq!(h.dst_edges.len(), 65);
+        assert!(
+            h.dst_edges.windows(2).all(|w| w[0] < w[1]),
+            "edges strictly increasing"
+        );
+        assert_eq!(*h.dst_edges.last().unwrap(), u64::MAX);
+        let total: u64 = h.cells.iter().flatten().sum();
+        assert_eq!(total, 3);
+        // The 2^40-sized and u64::MAX-sized sources occupy different cells.
+        assert_eq!(h.cells[40][40], 1);
+        assert_eq!(h.cells[64][64], 1);
     }
 }

@@ -115,7 +115,7 @@ pub fn summarize_dns(breakdowns: &[SourceDns]) -> DnsSummary {
 fn rank_correlation(x: &[f64], y: &[f64]) -> f64 {
     fn ranks(v: &[f64]) -> Vec<f64> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+        idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
         let mut r = vec![0f64; v.len()];
         let mut i = 0;
         while i < idx.len() {
@@ -255,6 +255,40 @@ mod tests {
             ports: vec![((Transport::Tcp, 22), dsts.len() as u64)],
             dsts: Some(dsts),
         }
+    }
+
+    #[test]
+    fn rank_correlation_tolerates_nan_inputs() {
+        // A zero-duration event can yield a 0/0 = NaN rate upstream; the
+        // rank sort previously used `partial_cmp().unwrap()` and panicked.
+        // NaN ranks are arbitrary but the function must stay total.
+        let nan = 0.0f64 / 0.0;
+        let rho = rank_correlation(&[1.0, nan, 2.0, 0.5], &[0.1, 0.2, 0.3, 0.4]);
+        assert!(rho.is_finite());
+        // NaN-free inputs still rank correctly.
+        let rho = rank_correlation(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_dns_handles_degenerate_sources() {
+        // Sources with zero targets produce 0-fraction breakdowns and must
+        // not panic the correlation ranking.
+        let breakdowns = vec![
+            SourceDns {
+                source: "2001:db8::/64".parse().unwrap(),
+                in_dns: 0,
+                not_in_dns: 0,
+            },
+            SourceDns {
+                source: "2001:db8:1::/64".parse().unwrap(),
+                in_dns: 5,
+                not_in_dns: 5,
+            },
+        ];
+        let s = summarize_dns(&breakdowns);
+        assert_eq!(s.sources, 2);
+        assert!(s.size_vs_hidden_correlation.is_finite());
     }
 
     /// in-DNS = even addresses.

@@ -72,8 +72,7 @@ where
             .collect();
         v.sort_by(|a, b| {
             b.fraction
-                .partial_cmp(&a.fraction)
-                .unwrap()
+                .total_cmp(&a.fraction)
                 .then(a.service.cmp(&b.service))
         });
         v.truncate(limit);

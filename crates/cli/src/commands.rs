@@ -34,7 +34,7 @@ USAGE:
   lumen6 info --trace FILE
   lumen6 detect --trace FILE [--agg 128|64|48|32] [--min-dsts N]
                 [--timeout-secs N] [--prefilter] [--top N] [--json]
-                [--threads N] [--sequential]
+                [--threads N] [--sequential] [--metrics-out FILE.json]
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -62,6 +62,7 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "min-queriers",
             "fleet",
             "threads",
+            "metrics-out",
         ],
     )?;
     let cmd = args
@@ -209,6 +210,9 @@ fn shard_plan(args: &Args) -> Result<ShardPlan, CliError> {
 /// parallel path without `--prefilter` streams the trace from disk in
 /// bounded memory; prefiltering needs the whole trace resident.
 fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    // Delta against the process-global registry so the emitted snapshot
+    // covers exactly this command run (tests share one process).
+    let metrics_baseline = lumen6_obs::MetricsRegistry::global().snapshot();
     let config = ScanDetectorConfig {
         agg: agg_of(args)?,
         min_dsts: args.get_parsed("min-dsts", 100)?,
@@ -254,8 +258,11 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     if args.has("json") {
         let json = serde_json::to_string_pretty(&report.events).expect("scan events serialize");
         writeln!(out, "{json}")?;
+        // Metrics go to their own file, so they compose with --json.
+        emit_metrics(args, &metrics_baseline, out, true)?;
         return Ok(());
     }
+    emit_metrics(args, &metrics_baseline, out, false)?;
     writeln!(
         out,
         "{} scans from {} sources, {} packets",
@@ -283,6 +290,29 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         ]);
     }
     writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// Writes the run's metric delta to `--metrics-out FILE.json` (if given)
+/// and, unless the main output is JSON, prints a compact summary table.
+fn emit_metrics<W: std::io::Write>(
+    args: &Args,
+    baseline: &lumen6_obs::MetricsSnapshot,
+    out: &mut W,
+    quiet: bool,
+) -> Result<(), CliError> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(());
+    };
+    let delta = lumen6_obs::MetricsRegistry::global()
+        .snapshot()
+        .delta(baseline);
+    let json = serde_json::to_string_pretty(&delta).expect("metrics snapshot serializes");
+    std::fs::write(path, json)?;
+    if !quiet {
+        writeln!(out, "metrics -> {path}")?;
+        writeln!(out, "{}", delta.summary_table())?;
+    }
     Ok(())
 }
 

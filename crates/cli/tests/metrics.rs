@@ -1,0 +1,115 @@
+//! End-to-end check of `lumen6 detect --metrics-out`: runs the real binary
+//! in a subprocess (so the process-global metrics registry holds exactly one
+//! command's worth of data) and validates the emitted snapshot.
+
+use lumen6_obs::MetricsSnapshot;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lumen6(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lumen6"))
+        .args(args)
+        .output()
+        .expect("spawn lumen6")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "lumen6 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+#[test]
+fn metrics_out_accounts_for_every_record() {
+    let dir = std::env::temp_dir().join(format!("lumen6-metrics-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace: PathBuf = dir.join("t.l6tr");
+    let metrics: PathBuf = dir.join("m.json");
+    let t = trace.to_str().unwrap();
+
+    stdout_of(&lumen6(&[
+        "generate", "cdn", "--out", t, "--days", "5", "--seed", "3", "--small",
+    ]));
+
+    // Ground truth: the trace's own record count.
+    let info = stdout_of(&lumen6(&["info", "--trace", t]));
+    let records: u64 = info
+        .lines()
+        .find_map(|l| l.strip_prefix("records:"))
+        .expect("info prints record count")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(records > 0);
+
+    let detect_out = stdout_of(&lumen6(&[
+        "detect",
+        "--trace",
+        t,
+        "--threads",
+        "4",
+        "--min-dsts",
+        "50",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]));
+    assert!(detect_out.contains("metrics ->"), "{detect_out}");
+    assert!(
+        detect_out.contains("detect.parallel.shard."),
+        "{detect_out}"
+    );
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let snap: MetricsSnapshot = serde_json::from_str(&json).expect("metrics JSON parses");
+
+    let problems = lumen6_obs::validate(&snap);
+    assert!(problems.is_empty(), "invalid snapshot: {problems:?}");
+
+    // Every record of the trace was routed to exactly one shard.
+    let routed = snap.counter_sum("detect.parallel.shard.", ".packets_routed");
+    assert_eq!(
+        routed, records,
+        "shard packets_routed must sum to the trace"
+    );
+    // A clean trace decodes without errors.
+    assert_eq!(snap.counter_sum("trace.codec.errors.", ""), 0);
+    // The codec saw every record too.
+    assert_eq!(snap.counter_sum("trace.codec.records_decoded", ""), records);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_output_is_byte_identical_to_sequential() {
+    let dir = std::env::temp_dir().join(format!("lumen6-metrics-seq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.l6tr");
+    let t = trace.to_str().unwrap();
+    stdout_of(&lumen6(&[
+        "generate", "cdn", "--out", t, "--days", "6", "--seed", "9", "--small",
+    ]));
+
+    let seq = stdout_of(&lumen6(&[
+        "detect",
+        "--trace",
+        t,
+        "--min-dsts",
+        "50",
+        "--sequential",
+    ]));
+    let par = stdout_of(&lumen6(&[
+        "detect",
+        "--trace",
+        t,
+        "--min-dsts",
+        "50",
+        "--threads",
+        "4",
+    ]));
+    assert_eq!(par, seq, "--threads 4 output differs from --sequential");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -132,6 +132,7 @@ pub struct ScanDetector {
     config: ScanDetectorConfig,
     runs: HashMap<Ipv6Prefix, SourceRun>,
     observed: u64,
+    runs_opened: u64,
 }
 
 impl ScanDetector {
@@ -141,6 +142,7 @@ impl ScanDetector {
             config,
             runs: HashMap::new(),
             observed: 0,
+            runs_opened: 0,
         }
     }
 
@@ -157,6 +159,12 @@ impl ScanDetector {
     /// Number of sources with an open activity run (IDS memory footprint).
     pub fn open_runs(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Total activity runs ever opened (first packet of a new source, or
+    /// the first packet after a timeout split).
+    pub fn runs_opened(&self) -> u64 {
+        self.runs_opened
     }
 
     /// Detailed memory snapshot (see [`DetectorMemory`]).
@@ -213,11 +221,13 @@ impl ScanDetector {
                         occ.get_mut(),
                         SourceRun::new(r.ts_ms, self.config.keep_dsts),
                     );
+                    self.runs_opened += 1;
                     closed = Self::emit(&self.config, source, old);
                 }
                 occ.into_mut()
             }
             std::collections::hash_map::Entry::Vacant(vac) => {
+                self.runs_opened += 1;
                 vac.insert(SourceRun::new(r.ts_ms, self.config.keep_dsts))
             }
         };

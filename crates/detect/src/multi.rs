@@ -66,12 +66,23 @@ impl MultiLevelDetector {
     }
 
     /// Ends the stream and returns the per-level reports.
+    ///
+    /// Flushes per-level telemetry (`detect.multi.l<len>.runs_opened` /
+    /// `.events_closed`) to the global metrics registry — counts accumulate
+    /// as plain integers during the stream, so observation stays free of
+    /// atomics.
     pub fn finish(mut self) -> BTreeMap<AggLevel, ScanReport> {
+        let reg = lumen6_obs::MetricsRegistry::global();
         let mut out = BTreeMap::new();
         for (lvl, det) in self.detectors {
+            let opened = det.runs_opened();
             let mut events = self.pending.remove(&lvl).unwrap_or_default();
             events.extend(det.finish());
             events.sort_by_key(|e| (e.start_ms, e.source));
+            reg.counter(&format!("detect.multi.l{}.runs_opened", lvl.len()))
+                .add(opened);
+            reg.counter(&format!("detect.multi.l{}.events_closed", lvl.len()))
+                .add(events.len() as u64);
             out.insert(lvl, ScanReport::new(events));
         }
         out

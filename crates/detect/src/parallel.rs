@@ -39,10 +39,12 @@ use crate::aggregate::AggLevel;
 use crate::detector::ScanDetectorConfig;
 use crate::event::{ScanEvent, ScanReport};
 use crate::multi::MultiLevelDetector;
+use lumen6_obs::MetricsRegistry;
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
-use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How a sharded detection run is laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,11 @@ pub struct ShardedDetector {
     coarsest: AggLevel,
     batch: usize,
     observed: u64,
+    // Telemetry accumulated locally (plain integers on the hot path) and
+    // flushed to the global registry once, in `finish`.
+    routed: Vec<u64>,
+    batches_sent: u64,
+    stalls: u64,
 }
 
 impl ShardedDetector {
@@ -117,16 +124,22 @@ impl ShardedDetector {
             let levels = levels.to_vec();
             let base = base.clone();
             workers.push(std::thread::spawn(move || {
+                let started = Instant::now();
                 let mut det = MultiLevelDetector::new(&levels, base);
                 while let Ok(batch) = rx.recv() {
                     for r in &batch {
                         det.observe(r);
                     }
                 }
-                det.finish()
+                let out: BTreeMap<AggLevel, Vec<ScanEvent>> = det
+                    .finish()
                     .into_iter()
                     .map(|(lvl, report)| (lvl, report.events))
-                    .collect()
+                    .collect();
+                MetricsRegistry::global()
+                    .histogram("detect.parallel.worker_wall_us")
+                    .record_duration(started.elapsed());
+                out
             }));
             senders.push(tx);
         }
@@ -138,6 +151,9 @@ impl ShardedDetector {
             coarsest,
             batch: plan.batch.max(1),
             observed: 0,
+            routed: vec![0; shards],
+            batches_sent: 0,
+            stalls: 0,
         }
     }
 
@@ -166,10 +182,25 @@ impl ShardedDetector {
     pub fn observe(&mut self, r: &PacketRecord) {
         self.observed += 1;
         let shard = self.shard_of(r.src);
+        self.routed[shard] += 1;
         self.buffers[shard].push(*r);
         if self.buffers[shard].len() >= self.batch {
             let full = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
-            self.senders[shard].send(full).expect("shard worker alive");
+            self.send_batch(shard, full);
+        }
+    }
+
+    /// Sends one batch to a shard, counting a stall when the bounded
+    /// channel is full and the router has to block on the worker.
+    fn send_batch(&mut self, shard: usize, batch: Vec<PacketRecord>) {
+        self.batches_sent += 1;
+        match self.senders[shard].try_send(batch) {
+            Ok(()) => {}
+            Err(TrySendError::Full(batch)) => {
+                self.stalls += 1;
+                self.senders[shard].send(batch).expect("shard worker alive");
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
         }
     }
 
@@ -177,13 +208,28 @@ impl ShardedDetector {
     /// merges per-shard events into per-level reports sorted by
     /// `(start_ms, source)`.
     pub fn finish(mut self) -> BTreeMap<AggLevel, ScanReport> {
-        for (shard, buf) in self.buffers.drain(..).enumerate() {
-            if !buf.is_empty() {
-                self.senders[shard].send(buf).expect("shard worker alive");
-            }
+        let flushes: Vec<(usize, Vec<PacketRecord>)> = self
+            .buffers
+            .drain(..)
+            .enumerate()
+            .filter(|(_, buf)| !buf.is_empty())
+            .collect();
+        for (shard, buf) in flushes {
+            self.send_batch(shard, buf);
         }
         // Closing the channels ends each worker's recv loop.
         self.senders.clear();
+
+        let reg = MetricsRegistry::global();
+        for (shard, &n) in self.routed.iter().enumerate() {
+            reg.counter(&format!("detect.parallel.shard.{shard}.packets_routed"))
+                .add(n);
+        }
+        reg.counter("detect.parallel.batches_sent")
+            .add(self.batches_sent);
+        reg.counter("detect.parallel.channel_full_stalls")
+            .add(self.stalls);
+
         let mut merged: BTreeMap<AggLevel, Vec<ScanEvent>> =
             self.levels.iter().map(|&lvl| (lvl, Vec::new())).collect();
         for worker in self.workers.drain(..) {
@@ -191,13 +237,16 @@ impl ShardedDetector {
                 merged.entry(lvl).or_default().extend(events);
             }
         }
-        merged
+        let merge_timer = reg.stage("detect.parallel.merge_us");
+        let out = merged
             .into_iter()
             .map(|(lvl, mut events)| {
                 events.sort_by_key(|e| (e.start_ms, e.source));
                 (lvl, ScanReport::new(events))
             })
-            .collect()
+            .collect();
+        drop(merge_timer);
+        out
     }
 }
 

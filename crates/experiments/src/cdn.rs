@@ -469,11 +469,7 @@ pub fn targets(lab: &CdnLab) -> String {
         .iter()
         .filter(|b| b.not_in_dns_frac() >= 0.25 && b.total() >= 50)
         .collect();
-    ranked.sort_by(|a, b| {
-        b.not_in_dns_frac()
-            .partial_cmp(&a.not_in_dns_frac())
-            .unwrap()
-    });
+    ranked.sort_by(|a, b| b.not_in_dns_frac().total_cmp(&a.not_in_dns_frac()));
     let sample: Vec<_> = ranked.iter().map(|b| b.source).take(20).collect();
     let spans = [4u8, 8, 12, 16];
     let analysis = targeting::nearby_prior_analysis(

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--small] [--seed N] [--csv DIR] [--threads N] [--sequential]
-//!             [--trace FILE] <experiment>|all
+//!             [--trace FILE] [--metrics-out FILE.json] <experiment>|all
 //! ```
 //!
 //! CDN experiments: fig1 table1 sensitivity fig2 fig3 table2 durations fig4
@@ -26,7 +26,7 @@ const STREAM_SAFE: &[&str] = &["table1", "fig2"];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--small] [--seed N] [--csv DIR] [--threads N] [--sequential] [--trace FILE] <experiment>|all"
+        "usage: experiments [--small] [--seed N] [--csv DIR] [--threads N] [--sequential] [--trace FILE] [--metrics-out FILE.json] <experiment>|all"
     );
     eprintln!("CDN:  {}", CDN_EXPERIMENTS.join(" "));
     eprintln!("MAWI: {}", MAWI_EXPERIMENTS.join(" "));
@@ -44,6 +44,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut sequential = false;
     let mut trace_file: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,6 +71,11 @@ fn main() {
             "--sequential" => sequential = true,
             "--trace" => {
                 trace_file = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(std::path::PathBuf::from(
                     args.next().unwrap_or_else(|| usage()),
                 ));
             }
@@ -188,5 +194,16 @@ fn main() {
             Some(t) => println!("{t}"),
             None => eprintln!("skipping {name}: lab not built"),
         }
+    }
+
+    if let Some(path) = metrics_out.as_ref() {
+        let snap = lumen6_obs::MetricsRegistry::global().snapshot();
+        let json = serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("# metrics -> {}", path.display());
+        println!("{}", snap.summary_table());
     }
 }

@@ -200,6 +200,20 @@ impl World {
             .par_iter()
             .map(|actor| actor.generate(self.config.seed))
             .collect();
+        // Per-strategy emission telemetry, aggregated once per build (not
+        // per packet): `scanners.fleet.packets_emitted.<strategy>` counts
+        // pre-capture-filter packets.
+        {
+            let mut per_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
+            for (actor, stream) in self.fleet.actors.iter().zip(&streams) {
+                *per_kind.entry(actor.targets.kind()).or_default() += stream.len() as u64;
+            }
+            let reg = lumen6_obs::MetricsRegistry::global();
+            for (kind, n) in per_kind {
+                reg.counter(&format!("scanners.fleet.packets_emitted.{kind}"))
+                    .add(n);
+            }
+        }
         streams.push(artifacts::generate(
             &self.deployment,
             &self.config.artifacts,
@@ -214,6 +228,15 @@ impl World {
             self.config.end_day,
             self.config.seed,
         ));
+        {
+            let reg = lumen6_obs::MetricsRegistry::global();
+            let noise_len = streams.last().map_or(0, Vec::len) as u64;
+            let artifacts_len = streams[streams.len() - 2].len() as u64;
+            reg.counter("scanners.fleet.packets_emitted.artifacts")
+                .add(artifacts_len);
+            reg.counter("scanners.fleet.packets_emitted.noise")
+                .add(noise_len);
+        }
         let merged = lumen6_trace::merge_sorted(streams);
         let capture = FirewallCapture::new(&self.deployment, CaptureConfig::default());
         let (logged, _) = capture.capture(&merged);

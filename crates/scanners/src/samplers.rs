@@ -153,6 +153,18 @@ pub enum TargetSampler {
 }
 
 impl TargetSampler {
+    /// Stable snake_case strategy name, used as the metric label in
+    /// `scanners.fleet.packets_emitted.<kind>`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TargetSampler::Hitlist(_) => "hitlist",
+            TargetSampler::HitlistNearby { .. } => "hitlist_nearby",
+            TargetSampler::PairMix { .. } => "pair_mix",
+            TargetSampler::PairExplore { .. } => "pair_explore",
+            TargetSampler::PrefixSweep { .. } => "prefix_sweep",
+        }
+    }
+
     /// Draws the next target(s): usually one, sometimes two (a hit followed
     /// by a nearby exploration probe, which must come *after* the hit).
     pub fn sample(&self, rng: &mut SmallRng, out: &mut Vec<u128>) {

@@ -22,8 +22,61 @@
 
 use crate::record::{PacketRecord, Transport};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lumen6_obs::MetricsRegistry;
 use std::fmt;
 use std::io::{self, Read, Write};
+
+/// Locally accumulated decode telemetry, flushed to the global
+/// [`MetricsRegistry`] when the owning reader drops — per-record cost is a
+/// plain `u64` increment, with zero atomic operations on the hot path.
+#[derive(Debug, Default)]
+struct DecodeStats {
+    records: u64,
+    bytes: u64,
+    refills: u64,
+}
+
+impl DecodeStats {
+    fn flush(&mut self) {
+        let reg = MetricsRegistry::global();
+        if self.records > 0 {
+            reg.counter("trace.codec.records_decoded").add(self.records);
+        }
+        if self.bytes > 0 {
+            reg.counter("trace.codec.bytes_read").add(self.bytes);
+        }
+        if self.refills > 0 {
+            reg.counter("trace.codec.refills").add(self.refills);
+        }
+        // Zero field-by-field: `*self = default()` would drop the old value
+        // and recurse through this Drop impl.
+        self.records = 0;
+        self.bytes = 0;
+        self.refills = 0;
+    }
+}
+
+impl Drop for DecodeStats {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Counts one decode error under `trace.codec.errors.<variant>`. Errors are
+/// rare, so these hit the global registry directly.
+fn note_decode_error(e: &CodecError) {
+    let variant = match e {
+        CodecError::BadMagic(_) => "bad_magic",
+        CodecError::BadVersion(_) => "bad_version",
+        CodecError::Truncated => "truncated",
+        CodecError::VarintOverflow => "varint_overflow",
+        CodecError::FieldOverflow(..) => "field_overflow",
+        CodecError::Io(_) => "io",
+    };
+    MetricsRegistry::global()
+        .counter(&format!("trace.codec.errors.{variant}"))
+        .inc();
+}
 
 /// File magic.
 pub const MAGIC: &[u8; 4] = b"L6TR";
@@ -185,28 +238,40 @@ pub struct TraceReader {
     buf: Bytes,
     prev_ts: u64,
     failed: bool,
+    stats: DecodeStats,
 }
 
 impl TraceReader {
     /// Creates a reader over an in-memory buffer, validating the header.
     pub fn from_bytes(data: impl Into<Bytes>) -> Result<Self, CodecError> {
         let mut buf: Bytes = data.into();
+        let total_bytes = buf.remaining() as u64;
         if buf.remaining() < 5 {
-            return Err(CodecError::Truncated);
+            let e = CodecError::Truncated;
+            note_decode_error(&e);
+            return Err(e);
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(CodecError::BadMagic(magic));
+            let e = CodecError::BadMagic(magic);
+            note_decode_error(&e);
+            return Err(e);
         }
         let version = buf.get_u8();
         if version != VERSION {
-            return Err(CodecError::BadVersion(version));
+            let e = CodecError::BadVersion(version);
+            note_decode_error(&e);
+            return Err(e);
         }
         Ok(TraceReader {
             buf,
             prev_ts: 0,
             failed: false,
+            stats: DecodeStats {
+                bytes: total_bytes,
+                ..DecodeStats::default()
+            },
         })
     }
 
@@ -261,10 +326,14 @@ impl Iterator for TraceReader {
             return None;
         }
         match self.next_record() {
-            Ok(Some(r)) => Some(Ok(r)),
+            Ok(Some(r)) => {
+                self.stats.records += 1;
+                Some(Ok(r))
+            }
             Ok(None) => None,
             Err(e) => {
                 self.failed = true;
+                note_decode_error(&e);
                 Some(Err(e))
             }
         }
@@ -324,19 +393,24 @@ pub struct StreamingTraceReader<R: Read> {
     eof: bool,
     prev_ts: u64,
     failed: bool,
+    stats: DecodeStats,
 }
 
 impl<R: Read> StreamingTraceReader<R> {
     /// Validates the header and prepares for streaming decode.
     pub fn new(mut src: R) -> Result<Self, CodecError> {
         let mut header = [0u8; 5];
-        read_exactly(&mut src, &mut header)?;
+        read_exactly(&mut src, &mut header).inspect_err(note_decode_error)?;
         let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
         if &magic != MAGIC {
-            return Err(CodecError::BadMagic(magic));
+            let e = CodecError::BadMagic(magic);
+            note_decode_error(&e);
+            return Err(e);
         }
         if header[4] != VERSION {
-            return Err(CodecError::BadVersion(header[4]));
+            let e = CodecError::BadVersion(header[4]);
+            note_decode_error(&e);
+            return Err(e);
         }
         Ok(StreamingTraceReader {
             src,
@@ -345,6 +419,10 @@ impl<R: Read> StreamingTraceReader<R> {
             eof: false,
             prev_ts: 0,
             failed: false,
+            stats: DecodeStats {
+                bytes: header.len() as u64,
+                ..DecodeStats::default()
+            },
         })
     }
 
@@ -353,12 +431,14 @@ impl<R: Read> StreamingTraceReader<R> {
     fn refill(&mut self) -> Result<(), CodecError> {
         self.buf.drain(..self.pos);
         self.pos = 0;
+        self.stats.refills += 1;
         let mut chunk = [0u8; STREAM_BUF_LEN];
         while !self.eof && self.buf.len() < MAX_RECORD_LEN {
             let n = self.src.read(&mut chunk)?;
             if n == 0 {
                 self.eof = true;
             } else {
+                self.stats.bytes += n as u64;
                 self.buf.extend_from_slice(&chunk[..n]);
             }
         }
@@ -423,10 +503,14 @@ impl<R: Read> Iterator for StreamingTraceReader<R> {
             return None;
         }
         match self.next_record() {
-            Ok(Some(r)) => Some(Ok(r)),
+            Ok(Some(r)) => {
+                self.stats.records += 1;
+                Some(Ok(r))
+            }
             Ok(None) => None,
             Err(e) => {
                 self.failed = true;
+                note_decode_error(&e);
                 Some(Err(e))
             }
         }

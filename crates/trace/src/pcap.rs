@@ -17,6 +17,7 @@
 //! which is irrelevant to detection (only deltas matter).
 
 use crate::record::{PacketRecord, Transport};
+use lumen6_obs::MetricsRegistry;
 use std::io::{self, Read, Write};
 
 /// LINKTYPE_RAW: packets start directly with the IP header.
@@ -36,6 +37,9 @@ pub enum PcapError {
     UnsupportedLinkType(u32),
     /// Truncated global or record header.
     Truncated,
+    /// A record field does not fit its on-disk width (e.g. a timestamp past
+    /// the 32-bit pcap epoch range).
+    FieldOverflow(&'static str, u64),
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -46,6 +50,9 @@ impl std::fmt::Display for PcapError {
             PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
             PcapError::UnsupportedLinkType(lt) => write!(f, "unsupported link type {lt}"),
             PcapError::Truncated => write!(f, "truncated pcap"),
+            PcapError::FieldOverflow(name, v) => {
+                write!(f, "field {name} = {v} does not fit the pcap format")
+            }
             PcapError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -159,6 +166,10 @@ fn build_packet(r: &PacketRecord) -> Vec<u8> {
 
 /// Writes records as a classic pcap file (microsecond timestamps,
 /// LINKTYPE_RAW). Returns the number of packets written.
+///
+/// Classic pcap stores epoch seconds in 32 bits; a record whose timestamp
+/// does not fit is a [`PcapError::FieldOverflow`] — previously it was
+/// silently wrapped, producing a capture with scrambled times.
 pub fn write_pcap<W: Write>(records: &[PacketRecord], mut out: W) -> Result<u64, PcapError> {
     // Global header.
     out.write_all(&MAGIC_US.to_le_bytes())?;
@@ -170,14 +181,20 @@ pub fn write_pcap<W: Write>(records: &[PacketRecord], mut out: W) -> Result<u64,
     out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
 
     for r in records {
+        let ts_sec = r.ts_ms / 1000;
+        let ts_sec =
+            u32::try_from(ts_sec).map_err(|_| PcapError::FieldOverflow("ts_sec", ts_sec))?;
         let pkt = build_packet(r);
-        out.write_all(&((r.ts_ms / 1000) as u32).to_le_bytes())?;
+        out.write_all(&ts_sec.to_le_bytes())?;
         out.write_all(&(((r.ts_ms % 1000) * 1000) as u32).to_le_bytes())?;
         out.write_all(&(pkt.len() as u32).to_le_bytes())?;
         out.write_all(&(pkt.len() as u32).to_le_bytes())?;
         out.write_all(&pkt)?;
     }
     out.flush()?;
+    MetricsRegistry::global()
+        .counter("trace.pcap.packets_written")
+        .add(records.len() as u64);
     Ok(records.len() as u64)
 }
 
@@ -194,33 +211,20 @@ pub struct PcapImport {
     pub skipped: u64,
 }
 
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        if self.pos + n > self.data.len() {
-            return None;
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Some(s)
-    }
-
-    fn done(&self) -> bool {
-        self.pos >= self.data.len()
-    }
-}
-
 fn u16_at(b: &[u8], o: usize) -> u16 {
     u16::from_be_bytes([b[o], b[o + 1]])
 }
 
 /// Parses one link-layer frame into a record. Returns `None` for anything
-/// that is not a plain IPv6 TCP/UDP/ICMPv6 packet.
-fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord> {
+/// that is not a plain IPv6 TCP/UDP/ICMPv6 packet. A frame longer than the
+/// 16-bit record length field clamps `len` to `u16::MAX` and bumps
+/// `truncated`.
+fn parse_frame(
+    link_type: u32,
+    ts_ms: u64,
+    frame: &[u8],
+    truncated: &mut u64,
+) -> Option<PacketRecord> {
     let ip = match link_type {
         LINKTYPE_RAW => frame,
         LINKTYPE_ETHERNET => {
@@ -248,6 +252,9 @@ fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord>
         ),
         _ => return None,
     };
+    if ip.len() > usize::from(u16::MAX) {
+        *truncated += 1;
+    }
     Some(PacketRecord {
         ts_ms,
         src,
@@ -259,68 +266,250 @@ fn parse_frame(link_type: u32, ts_ms: u64, frame: &[u8]) -> Option<PacketRecord>
     })
 }
 
-/// Reads a classic pcap capture.
-pub fn read_pcap<R: Read>(mut src: R) -> Result<PcapImport, PcapError> {
-    let mut data = Vec::new();
-    src.read_to_end(&mut data)?;
-    let mut cur = Cursor {
-        data: &data,
-        pos: 0,
-    };
+/// Largest frame the reader will buffer. Classic pcap snaplen tops out at
+/// 64 KiB in practice; anything bigger is treated as unparseable and the
+/// bytes are discarded in chunks so a corrupt length field cannot force a
+/// giant allocation.
+const MAX_FRAME_LEN: usize = 256 * 1024;
 
-    let header = cur.take(24).ok_or(PcapError::Truncated)?;
-    let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let magic_be = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
-    let (big_endian, nanos) = if magic_le == MAGIC_US {
-        (false, false)
-    } else if magic_le == MAGIC_NS {
-        (false, true)
-    } else if magic_be == MAGIC_US {
-        (true, false)
-    } else if magic_be == MAGIC_NS {
-        (true, true)
-    } else {
-        return Err(PcapError::BadMagic(magic_le));
-    };
-    let read_u32 = |b: &[u8], o: usize| -> u32 {
+/// Locally accumulated import telemetry, flushed to the global registry on
+/// drop (`trace.pcap.*`).
+#[derive(Debug, Default)]
+struct PcapStats {
+    imported: u64,
+    skipped: u64,
+    truncated: u64,
+}
+
+impl PcapStats {
+    fn flush(&mut self) {
+        let reg = MetricsRegistry::global();
+        if self.imported > 0 {
+            reg.counter("trace.pcap.frames_imported").add(self.imported);
+        }
+        if self.skipped > 0 {
+            reg.counter("trace.pcap.frames_skipped").add(self.skipped);
+        }
+        if self.truncated > 0 {
+            reg.counter("trace.pcap.frames_truncated")
+                .add(self.truncated);
+        }
+        // Field-by-field: `*self = default()` would recurse through Drop.
+        self.imported = 0;
+        self.skipped = 0;
+        self.truncated = 0;
+    }
+}
+
+impl Drop for PcapStats {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Streaming classic-pcap reader over any [`Read`] source in bounded
+/// memory: only the 24-byte global header, one 16-byte record header, and
+/// one frame (≤ [`MAX_FRAME_LEN`]) are ever buffered, matching the
+/// [`StreamingTraceReader`](crate::codec::StreamingTraceReader) guarantee.
+///
+/// Yields each parseable IPv6 TCP/UDP/ICMPv6 packet; everything else
+/// (non-IPv6 frames, unhandled next headers, truncated tails, oversized
+/// frames) is counted in [`skipped`](PcapReader::skipped) and never an
+/// error. I/O failures surface as `Err` items and fuse the iterator.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    src: R,
+    big_endian: bool,
+    nanos: bool,
+    link_type: u32,
+    frame: Vec<u8>,
+    skipped: u64,
+    stats: PcapStats,
+    done: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the 24-byte global header.
+    pub fn new(mut src: R) -> Result<Self, PcapError> {
+        let mut header = [0u8; 24];
+        src.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                PcapError::Truncated
+            } else {
+                PcapError::Io(e)
+            }
+        })?;
+        let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let magic_be = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+        let (big_endian, nanos) = if magic_le == MAGIC_US {
+            (false, false)
+        } else if magic_le == MAGIC_NS {
+            (false, true)
+        } else if magic_be == MAGIC_US {
+            (true, false)
+        } else if magic_be == MAGIC_NS {
+            (true, true)
+        } else {
+            return Err(PcapError::BadMagic(magic_le));
+        };
+        let link_bytes: [u8; 4] = header[20..24].try_into().expect("4 bytes");
+        let link_type = if big_endian {
+            u32::from_be_bytes(link_bytes)
+        } else {
+            u32::from_le_bytes(link_bytes)
+        };
+        if link_type != LINKTYPE_RAW && link_type != LINKTYPE_ETHERNET {
+            return Err(PcapError::UnsupportedLinkType(link_type));
+        }
+        Ok(PcapReader {
+            src,
+            big_endian,
+            nanos,
+            link_type,
+            frame: Vec::new(),
+            skipped: 0,
+            stats: PcapStats::default(),
+            done: false,
+        })
+    }
+
+    /// Packets skipped so far (non-IPv6, unhandled next header, truncated
+    /// or oversized data).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    fn u32_field(&self, b: &[u8], o: usize) -> u32 {
         let arr: [u8; 4] = b[o..o + 4].try_into().expect("4 bytes");
-        if big_endian {
+        if self.big_endian {
             u32::from_be_bytes(arr)
         } else {
             u32::from_le_bytes(arr)
         }
-    };
-    let link_type = read_u32(header, 20);
-    if link_type != LINKTYPE_RAW && link_type != LINKTYPE_ETHERNET {
-        return Err(PcapError::UnsupportedLinkType(link_type));
     }
 
-    let mut import = PcapImport::default();
-    while !cur.done() {
-        let Some(rec_hdr) = cur.take(16) else {
-            // Trailing garbage shorter than a record header: count and stop.
-            import.skipped += 1;
-            break;
-        };
-        let ts_sec = u64::from(read_u32(rec_hdr, 0));
-        let ts_frac = u64::from(read_u32(rec_hdr, 4));
-        let incl = read_u32(rec_hdr, 8) as usize;
-        let Some(frame) = cur.take(incl) else {
-            import.skipped += 1;
-            break;
-        };
-        let ts_ms = ts_sec * 1000
-            + if nanos {
-                ts_frac / 1_000_000
-            } else {
-                ts_frac / 1000
-            };
-        match parse_frame(link_type, ts_ms, frame) {
-            Some(r) => import.records.push(r),
-            None => import.skipped += 1,
+    /// Fills `out` from the source. Returns how many bytes were read before
+    /// EOF (== `out.len()` when fully filled).
+    fn fill(&mut self, out: &mut [u8]) -> Result<usize, PcapError> {
+        let mut filled = 0;
+        while filled < out.len() {
+            let n = self.src.read(&mut out[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+
+    /// Discards exactly `n` bytes in bounded chunks. Returns false on EOF.
+    fn discard(&mut self, mut n: usize) -> Result<bool, PcapError> {
+        let mut sink = [0u8; 8 * 1024];
+        while n > 0 {
+            let want = n.min(sink.len());
+            let got = self.fill(&mut sink[..want])?;
+            if got == 0 {
+                return Ok(false);
+            }
+            n -= got;
+        }
+        Ok(true)
+    }
+
+    fn next_packet(&mut self) -> Result<Option<PacketRecord>, PcapError> {
+        loop {
+            let mut rec_hdr = [0u8; 16];
+            let got = self.fill(&mut rec_hdr)?;
+            if got == 0 {
+                return Ok(None); // clean EOF at a record boundary
+            }
+            if got < rec_hdr.len() {
+                // Trailing garbage shorter than a record header: count and stop.
+                self.skipped += 1;
+                self.stats.skipped += 1;
+                return Ok(None);
+            }
+            let ts_sec = u64::from(self.u32_field(&rec_hdr, 0));
+            let ts_frac = u64::from(self.u32_field(&rec_hdr, 4));
+            let incl = self.u32_field(&rec_hdr, 8) as usize;
+            if incl > MAX_FRAME_LEN {
+                self.skipped += 1;
+                self.stats.skipped += 1;
+                if !self.discard(incl)? {
+                    return Ok(None);
+                }
+                continue;
+            }
+            self.frame.resize(incl, 0);
+            let mut frame = std::mem::take(&mut self.frame);
+            let got = self.fill(&mut frame)?;
+            self.frame = frame;
+            if got < incl {
+                self.skipped += 1;
+                self.stats.skipped += 1;
+                return Ok(None);
+            }
+            let ts_ms = ts_sec * 1000
+                + if self.nanos {
+                    ts_frac / 1_000_000
+                } else {
+                    ts_frac / 1000
+                };
+            match parse_frame(
+                self.link_type,
+                ts_ms,
+                &self.frame,
+                &mut self.stats.truncated,
+            ) {
+                Some(r) => {
+                    self.stats.imported += 1;
+                    return Ok(Some(r));
+                }
+                None => {
+                    self.skipped += 1;
+                    self.stats.skipped += 1;
+                }
+            }
         }
     }
-    Ok(import)
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<PacketRecord, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_packet() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Reads a classic pcap capture into memory.
+///
+/// Decodes incrementally through [`PcapReader`] — only the parsed records
+/// are materialized, never the raw capture bytes, so peak memory is
+/// proportional to the usable packets rather than the file size.
+pub fn read_pcap<R: Read>(src: R) -> Result<PcapImport, PcapError> {
+    let mut reader = PcapReader::new(src)?;
+    let mut records = Vec::new();
+    for item in reader.by_ref() {
+        records.push(item?);
+    }
+    Ok(PcapImport {
+        records,
+        skipped: reader.skipped(),
+    })
 }
 
 #[cfg(test)]
@@ -502,5 +691,79 @@ mod tests {
         let imported = read_pcap(&buf[..]).unwrap();
         assert!(imported.records.is_empty());
         assert_eq!(imported.skipped, 0);
+    }
+
+    #[test]
+    fn timestamp_past_u32_epoch_is_field_overflow() {
+        // 2^32 seconds (~year 2106) does not fit the classic pcap ts_sec
+        // field; the writer must refuse instead of silently wrapping.
+        let r = PacketRecord::tcp((u64::from(u32::MAX) + 1) * 1000, 1, 2, 1, 22, 60);
+        let err = write_pcap(&[r], Vec::new()).unwrap_err();
+        assert!(matches!(err, PcapError::FieldOverflow("ts_sec", _)));
+        // The last representable second is still fine.
+        let r = PacketRecord::tcp(u64::from(u32::MAX) * 1000, 1, 2, 1, 22, 60);
+        assert_eq!(write_pcap(&[r], Vec::new()).unwrap(), 1);
+    }
+
+    #[test]
+    fn oversized_frame_clamps_len_and_counts_truncation() {
+        // A RAW IPv6 frame longer than the 16-bit record length field:
+        // hand-build a 70 000-byte packet (header + zero payload).
+        let mut ip = vec![0u8; 70_000];
+        ip[0] = 0x60; // version 6
+        ip[6] = 6; // next header TCP
+        ip[40..44].copy_from_slice(&[0x01, 0x00, 0x01, 0xbb]); // ports 256 → 443
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_US.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0i32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&65_535u32.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(ip.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(ip.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&ip);
+
+        let before = lumen6_obs::MetricsRegistry::global()
+            .counter("trace.pcap.frames_truncated")
+            .get();
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert_eq!(imported.records.len(), 1);
+        assert_eq!(imported.records[0].len, u16::MAX, "length clamped");
+        assert_eq!(imported.records[0].dport, 443);
+        let after = lumen6_obs::MetricsRegistry::global()
+            .counter("trace.pcap.frames_truncated")
+            .get();
+        assert_eq!(after - before, 1, "clamp recorded in metrics");
+    }
+
+    #[test]
+    fn absurd_length_field_skips_in_bounded_memory() {
+        // A corrupt record claiming a multi-megabyte frame must not trigger
+        // a matching allocation; the reader discards what bytes exist.
+        let mut buf = Vec::new();
+        write_pcap(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(64 * 1024 * 1024u32).to_le_bytes());
+        buf.extend_from_slice(&(64 * 1024 * 1024u32).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 100]); // only 100 of the claimed 64 MiB
+        let imported = read_pcap(&buf[..]).unwrap();
+        assert_eq!(imported.records.len(), 4);
+        assert_eq!(imported.skipped, 1);
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_import() {
+        let mut buf = Vec::new();
+        write_pcap(&sample(), &mut buf).unwrap();
+        let mut reader = PcapReader::new(&buf[..]).unwrap();
+        let streamed: Vec<PacketRecord> = reader.by_ref().collect::<Result<_, _>>().unwrap();
+        assert_eq!(reader.skipped(), 0);
+        assert_eq!(streamed, read_pcap(&buf[..]).unwrap().records);
     }
 }
