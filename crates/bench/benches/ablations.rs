@@ -78,7 +78,7 @@ fn sketch_vs_exact_detector(c: &mut Criterion) {
     g.bench_function("sketched_spill_256_p12", |b| {
         b.iter(|| {
             let mut cfg = ScanDetectorConfig::paper(AggLevel::L64);
-            cfg.sketch = Some((256, 12));
+            cfg.sketch = Some((256, 12).into());
             detect(black_box(&fx.filtered), cfg).scans()
         });
     });

@@ -8,8 +8,8 @@ use lumen6_bench::{CdnFixture, MawiFixture};
 use lumen6_detect::multi::detect_multi;
 use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 use lumen6_detect::{
-    detector::detect, AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector,
-    ScanDetectorConfig,
+    detector::detect, AggLevel, ArtifactFilter, DetectorBuilder, MawiConfig as FhConfig,
+    MawiDetector, ReorderBuffer, ScanDetectorConfig,
 };
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use std::time::Instant;
@@ -179,10 +179,31 @@ fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Drives the fixture through the session-layer ingest surface (the
+/// [`Detect`](lumen6_detect::Detect) trait behind [`DetectorBuilder`], with
+/// a pass-through reorder buffer) — what `lumen6 detect` runs per record.
+fn session_drive(fx: &CdnFixture) {
+    let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
+        .levels(&LEVELS)
+        .sequential()
+        .build();
+    let mut buf = ReorderBuffer::new(0);
+    let mut ready = Vec::new();
+    for r in &fx.filtered {
+        buf.push(*r, &mut ready);
+        for r in ready.drain(..) {
+            det.observe(&r);
+        }
+    }
+    black_box(det.finish());
+}
+
 /// Writes `BENCH_detection.json` at the workspace root: throughput of the
-/// sequential and sharded pipelines, the streaming-vs-materialized decode
-/// comparison, and the host core count (shard speedups are bounded by it —
-/// a single-core host shows parity, not gains).
+/// sequential and sharded pipelines, the session-layer overhead, the
+/// streaming-vs-materialized decode comparison, and the measured host core
+/// count (shard speedups are bounded by it — a single-core host shows
+/// parity, not gains). `bench_guard` compares a fresh measurement against
+/// this committed baseline.
 fn emit_bench_json(_c: &mut Criterion) {
     let fx = CdnFixture::new();
     let records = fx.filtered.len();
@@ -197,6 +218,7 @@ fn emit_bench_json(_c: &mut Criterion) {
             ScanDetectorConfig::default(),
         ));
     });
+    let session_s = median_secs(RUNS, || session_drive(&fx));
     let mut sharded = Vec::new();
     for shards in SHARD_COUNTS {
         let secs = median_secs(RUNS, || {
@@ -239,9 +261,11 @@ fn emit_bench_json(_c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sharded speedup is bounded by host_cores; on a single-core host expect parity with sequential, not gains\"\n}}\n",
+        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"session\": {{\"seconds\": {session_s:.6}, \"records_per_s\": {:.0}, \"overhead_vs_sequential\": {:.4}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sharded speedup is bounded by host_cores; on a single-core host expect parity with sequential, not gains\"\n}}\n",
         bytes.len(),
         records as f64 / sequential_s,
+        records as f64 / session_s,
+        session_s / sequential_s - 1.0,
         sharded_json.join(",\n"),
         bytes.len() as f64 / streaming_s / (1u64 << 20) as f64,
     );

@@ -1,0 +1,133 @@
+//! Bench regression guard for CI.
+//!
+//! Re-measures sequential multi-level detection throughput on the standard
+//! bench fixture and compares it against the committed baseline in
+//! `BENCH_detection.json`. Exits non-zero when:
+//!
+//! - sequential throughput regressed more than the tolerance (default 10%,
+//!   override with `BENCH_GUARD_TOLERANCE=0.25`), or
+//! - the session-layer ingest (the `Detect`-trait drive `lumen6 detect`
+//!   uses) costs more than the allowed overhead over raw sequential
+//!   detection (default 5%, override with `BENCH_GUARD_SESSION_OVERHEAD`).
+//!
+//! Run with `cargo run --release -p lumen6-bench --bin bench_guard`; a debug
+//! build measures debug-build throughput, which is meaningless against a
+//! release baseline.
+
+use lumen6_bench::CdnFixture;
+use lumen6_detect::multi::detect_multi;
+use lumen6_detect::{AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig};
+use serde::value::Value;
+use std::time::Instant;
+
+const LEVELS: [AggLevel; 3] = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+const RUNS: usize = 5;
+
+/// Median wall-clock seconds over `RUNS` runs of `f`.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::UInt(n) => Some(n as f64),
+        Value::Int(n) => Some(n as f64),
+        Value::Float(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detection.json");
+    let baseline: Value = match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text).expect("BENCH_detection.json parses"),
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline_rps = baseline
+        .get("sequential")
+        .and_then(|s| s.get("records_per_s"))
+        .and_then(as_f64)
+        .expect("baseline sequential.records_per_s");
+    let tolerance = env_f64("BENCH_GUARD_TOLERANCE", 0.10);
+    let max_overhead = env_f64("BENCH_GUARD_SESSION_OVERHEAD", 0.05);
+
+    let fx = CdnFixture::new();
+    let records = fx.filtered.len() as f64;
+
+    let sequential_s = median_secs(|| {
+        std::hint::black_box(detect_multi(
+            &fx.filtered,
+            &LEVELS,
+            ScanDetectorConfig::default(),
+        ));
+    });
+    let session_s = median_secs(|| {
+        let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
+            .levels(&LEVELS)
+            .sequential()
+            .build();
+        let mut buf = ReorderBuffer::new(0);
+        let mut ready = Vec::new();
+        for r in &fx.filtered {
+            buf.push(*r, &mut ready);
+            for r in ready.drain(..) {
+                det.observe(&r);
+            }
+        }
+        std::hint::black_box(det.finish());
+    });
+
+    let current_rps = records / sequential_s;
+    let overhead = session_s / sequential_s - 1.0;
+    println!(
+        "bench_guard: sequential {current_rps:.0} rec/s (baseline {baseline_rps:.0}, \
+         tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "bench_guard: session drive {:.0} rec/s, overhead {:+.1}% (limit {:.0}%)",
+        records / session_s,
+        overhead * 100.0,
+        max_overhead * 100.0
+    );
+
+    let mut failed = false;
+    if current_rps < baseline_rps * (1.0 - tolerance) {
+        eprintln!(
+            "bench_guard: FAIL — sequential throughput regressed {:.1}% (allowed {:.1}%)",
+            (1.0 - current_rps / baseline_rps) * 100.0,
+            tolerance * 100.0
+        );
+        failed = true;
+    }
+    if overhead > max_overhead {
+        eprintln!(
+            "bench_guard: FAIL — session-layer overhead {:.1}% exceeds {:.1}%",
+            overhead * 100.0,
+            max_overhead * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}

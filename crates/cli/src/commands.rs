@@ -15,14 +15,15 @@
 use crate::{Args, CliError};
 use lumen6_detect::adaptive::{AdaptiveConfig, AdaptiveIds};
 use lumen6_detect::{
-    detect_multi_sharded, AggLevel, ArtifactFilter, MawiConfig as FhConfig, MawiDetector,
-    ScanDetectorConfig, ShardPlan, ShardedDetector,
+    AggLevel, ArtifactFilter, CheckpointPolicy, DetectorBuilder, MawiConfig as FhConfig,
+    MawiDetector, ScanDetectorConfig, Session, SessionConfig, SessionOutcome, ShardPlan,
 };
 use lumen6_report::{duration_human, pkt_count, Table};
 use lumen6_scanners::{FleetConfig, World};
-use lumen6_trace::{decode_chunks, PacketRecord, TraceReader, TraceWriter};
+use lumen6_trace::{PacketRecord, TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -35,6 +36,8 @@ USAGE:
   lumen6 detect --trace FILE [--agg 128|64|48|32] [--min-dsts N]
                 [--timeout-secs N] [--prefilter] [--top N] [--json]
                 [--threads N] [--sequential] [--metrics-out FILE.json]
+                [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
+                [--watermark-secs N] [--strict]
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -63,6 +66,10 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "fleet",
             "threads",
             "metrics-out",
+            "checkpoint",
+            "checkpoint-every",
+            "stop-after",
+            "watermark-secs",
         ],
     )?;
     let cmd = args
@@ -203,12 +210,46 @@ fn shard_plan(args: &Args) -> Result<ShardPlan, CliError> {
     })
 }
 
+/// Reads the session-layer flags (`--checkpoint`, `--checkpoint-every`,
+/// `--stop-after`, `--watermark-secs`, `--strict`) into a [`SessionConfig`].
+fn session_config(args: &Args) -> Result<SessionConfig, CliError> {
+    let checkpoint = match args.get("checkpoint") {
+        Some(path) => Some(CheckpointPolicy {
+            path: PathBuf::from(path),
+            every_records: args.get_parsed::<u64>("checkpoint-every", 100_000)?,
+            stop_after: match args.get("stop-after") {
+                Some(_) => Some(args.get_parsed::<u64>("stop-after", 0)?),
+                None => None,
+            },
+        }),
+        None => {
+            if args.get("checkpoint-every").is_some() || args.get("stop-after").is_some() {
+                return Err(CliError::Usage(
+                    "--checkpoint-every/--stop-after need --checkpoint FILE".into(),
+                ));
+            }
+            None
+        }
+    };
+    Ok(SessionConfig {
+        watermark_ms: args.get_parsed::<u64>("watermark-secs", 0)? * 1000,
+        checkpoint,
+        flush_idle_every_ms: 0,
+        strict: args.has("strict"),
+    })
+}
+
 /// `detect`: the paper's large-scale scan detection over a trace file.
 ///
-/// Runs the sharded parallel pipeline by default (`--threads N` to pin the
-/// shard count, `--sequential` for the single-threaded reference path). The
-/// parallel path without `--prefilter` streams the trace from disk in
-/// bounded memory; prefiltering needs the whole trace resident.
+/// All backends dispatch through one [`DetectorBuilder`] code path: the
+/// sharded parallel pipeline by default (`--threads N` to pin the shard
+/// count), the single-threaded reference detector with `--sequential`.
+/// Without `--prefilter` the trace is streamed from disk through a
+/// fault-tolerant [`Session`] in bounded memory — checkpoint/resume with
+/// `--checkpoint FILE`, out-of-order tolerance with `--watermark-secs N`,
+/// and quarantine-and-skip of corrupt records unless `--strict`.
+/// Prefiltering needs the whole trace resident and is incompatible with
+/// the session flags.
 fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     // Delta against the process-global registry so the emitted snapshot
     // covers exactly this command run (tests share one process).
@@ -219,41 +260,70 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         timeout_ms: args.get_parsed::<u64>("timeout-secs", 3_600)? * 1000,
         ..Default::default()
     };
-    let sequential = args.has("sequential");
     let agg = config.agg;
-
-    let report = if args.has("prefilter") || sequential {
-        let mut records = load_trace(args)?;
-        if args.has("prefilter") {
-            let (kept, report) = ArtifactFilter::default().filter(&records);
-            writeln!(
-                out,
-                "prefilter: removed {} of {} packets ({} sources)",
-                report.removed_packets, report.input_packets, report.removed_sources
-            )?;
-            records = kept;
-        }
-        if sequential {
-            lumen6_detect::detector::detect(&records, config)
-        } else {
-            detect_multi_sharded(&records, &[agg], config, shard_plan(args)?)
-                .remove(&agg)
-                .expect("requested level present")
-        }
+    let builder = if args.has("sequential") {
+        DetectorBuilder::new(config).sequential()
     } else {
-        // Parallel + no prefilter: stream the trace straight off disk so
-        // peak memory does not scale with trace size.
+        DetectorBuilder::new(config).sharded(shard_plan(args)?)
+    };
+    let session = session_config(args)?;
+
+    let mut session_stats = None;
+    let report = if args.has("prefilter") {
+        if session.checkpoint.is_some() || session.watermark_ms > 0 {
+            return Err(CliError::Usage(
+                "--checkpoint/--watermark-secs are incompatible with --prefilter \
+                 (prefiltering needs the whole trace resident)"
+                    .into(),
+            ));
+        }
+        let records = load_trace(args)?;
+        let (kept, filter_report) = ArtifactFilter::default().filter(&records);
+        writeln!(
+            out,
+            "prefilter: removed {} of {} packets ({} sources)",
+            filter_report.removed_packets,
+            filter_report.input_packets,
+            filter_report.removed_sources
+        )?;
+        let mut det = builder.build();
+        for r in &kept {
+            det.observe(r);
+        }
+        det.finish().remove(&agg).expect("requested level present")
+    } else {
+        // Stream the trace straight off disk through the fault-tolerant
+        // session so peak memory does not scale with trace size.
         let path = args
             .get("trace")
             .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
-        let chunks = decode_chunks(BufReader::new(File::open(path)?), 65_536)?;
-        let mut det = ShardedDetector::new(&[agg], config, shard_plan(args)?);
-        for chunk in chunks {
-            for r in chunk? {
-                det.observe(&r);
+        let announce = session.checkpoint.is_some();
+        match Session::new(builder, session).run(Path::new(path))? {
+            SessionOutcome::Stopped {
+                checkpoints_written,
+                records_done,
+            } => {
+                return Err(CliError::Stopped {
+                    checkpoints_written,
+                    records_done,
+                })
+            }
+            SessionOutcome::Finished(mut rep) => {
+                // Surface session-layer accounting whenever checkpointing is
+                // on or anything was dropped/skipped; quiet for the plain
+                // sorted-trace fast path. Restored counters make a resumed
+                // run print the same line as an uninterrupted one.
+                if announce || rep.late_dropped > 0 || rep.decode_skipped > 0 {
+                    session_stats = Some((
+                        rep.records,
+                        rep.late_dropped,
+                        rep.decode_skipped,
+                        rep.checkpoints_written,
+                    ));
+                }
+                rep.reports.remove(&agg).expect("requested level present")
             }
         }
-        det.finish().remove(&agg).expect("requested level present")
     };
     if args.has("json") {
         let json = serde_json::to_string_pretty(&report.events).expect("scan events serialize");
@@ -263,6 +333,13 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         return Ok(());
     }
     emit_metrics(args, &metrics_baseline, out, false)?;
+    if let Some((records, late, skipped, ckpts)) = session_stats {
+        writeln!(
+            out,
+            "session: {records} records, {late} late-dropped, {skipped} skipped, \
+             {ckpts} checkpoints"
+        )?;
+    }
     writeln!(
         out,
         "{} scans from {} sources, {} packets",

@@ -18,6 +18,17 @@ pub enum CliError {
     Io(std::io::Error),
     /// Trace decoding failure.
     Codec(lumen6_trace::CodecError),
+    /// Detection-session failure (corrupt checkpoint, restore mismatch).
+    Session(lumen6_detect::SessionError),
+    /// A `detect --checkpoint ... --stop-after N` run stopped deliberately
+    /// after writing its checkpoint. Not a failure: the binary maps this to
+    /// exit code 3 so resume tests can tell "stopped" from "crashed".
+    Stopped {
+        /// Checkpoints written over the session's whole life.
+        checkpoints_written: u64,
+        /// Records ingested over the session's whole life.
+        records_done: u64,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -26,6 +37,15 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Codec(e) => write!(f, "trace error: {e}"),
+            CliError::Session(e) => write!(f, "{e}"),
+            CliError::Stopped {
+                checkpoints_written,
+                records_done,
+            } => write!(
+                f,
+                "stopped after {checkpoints_written} checkpoints ({records_done} records \
+                 ingested); re-run with the same --checkpoint to resume"
+            ),
         }
     }
 }
@@ -41,6 +61,16 @@ impl From<std::io::Error> for CliError {
 impl From<lumen6_trace::CodecError> for CliError {
     fn from(e: lumen6_trace::CodecError) -> Self {
         CliError::Codec(e)
+    }
+}
+
+impl From<lumen6_detect::SessionError> for CliError {
+    fn from(e: lumen6_detect::SessionError) -> Self {
+        match e {
+            lumen6_detect::SessionError::Io(e) => CliError::Io(e),
+            lumen6_detect::SessionError::Codec(e) => CliError::Codec(e),
+            other => CliError::Session(other),
+        }
     }
 }
 

@@ -3,8 +3,17 @@
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) = lumen6_cli::commands::run(argv, &mut stdout) {
-        eprintln!("{e}");
-        std::process::exit(2);
+    match lumen6_cli::commands::run(argv, &mut stdout) {
+        Ok(()) => {}
+        // Deliberate `--stop-after` checkpoint stop: exit 3 so resume tests
+        // (and operators' supervisors) can tell it apart from a crash.
+        Err(e @ lumen6_cli::CliError::Stopped { .. }) => {
+            eprintln!("{e}");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -1,0 +1,143 @@
+//! Subprocess kill-and-resume test for `lumen6 detect --checkpoint`: a run
+//! stopped after its first checkpoint (exit code 3) and then resumed must
+//! produce stdout byte-identical to an uninterrupted run. Runs the real
+//! binary so process death, the atomic checkpoint file, and the exit-code
+//! contract are all exercised end to end.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lumen6(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lumen6"))
+        .args(args)
+        .output()
+        .expect("spawn lumen6")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "lumen6 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+fn detect_args<'a>(trace: &'a str, ck: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v = vec![
+        "detect",
+        "--trace",
+        trace,
+        "--min-dsts",
+        "50",
+        "--checkpoint",
+        ck,
+        "--checkpoint-every",
+        "5000",
+    ];
+    v.extend_from_slice(extra);
+    v
+}
+
+fn record_count(trace: &str) -> u64 {
+    stdout_of(&lumen6(&["info", "--trace", trace]))
+        .lines()
+        .find_map(|l| l.strip_prefix("records:"))
+        .expect("info prints record count")
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("lumen6-ckpt-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.l6tr");
+    let t = trace.to_str().unwrap();
+    stdout_of(&lumen6(&[
+        "generate", "cdn", "--out", t, "--days", "6", "--seed", "9", "--small",
+    ]));
+    assert!(
+        record_count(t) > 10_000,
+        "trace too small to checkpoint mid-stream"
+    );
+
+    // Uninterrupted reference, same checkpoint cadence.
+    let ref_ck = dir.join("ref.l6ck");
+    let reference = stdout_of(&lumen6(&detect_args(t, ref_ck.to_str().unwrap(), &[])));
+    assert!(reference.contains("session:"), "{reference}");
+
+    // Interrupted run: dies (exit code 3) right after its first checkpoint.
+    let ck = dir.join("kr.l6ck");
+    let c = ck.to_str().unwrap();
+    let stopped = lumen6(&detect_args(t, c, &["--stop-after", "1"]));
+    assert_eq!(
+        stopped.status.code(),
+        Some(3),
+        "stopped run must exit 3, stderr: {}",
+        String::from_utf8_lossy(&stopped.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&stopped.stderr).contains("stopped after 1 checkpoints"),
+        "stderr: {}",
+        String::from_utf8_lossy(&stopped.stderr)
+    );
+    assert!(Path::new(c).exists(), "checkpoint file must exist");
+
+    // Second interruption further into the stream, then a full resume.
+    let stopped2 = lumen6(&detect_args(t, c, &["--stop-after", "2"]));
+    assert_eq!(stopped2.status.code(), Some(3));
+
+    let resumed = stdout_of(&lumen6(&detect_args(t, c, &[])));
+    assert_eq!(
+        resumed, reference,
+        "resumed stdout differs from uninterrupted run"
+    );
+
+    // Resuming across a backend switch also matches.
+    let ck_seq = dir.join("seq.l6ck");
+    let cs = ck_seq.to_str().unwrap();
+    let stopped_par = lumen6(&detect_args(
+        t,
+        cs,
+        &["--stop-after", "1", "--threads", "2"],
+    ));
+    assert_eq!(stopped_par.status.code(), Some(3));
+    let resumed_seq = stdout_of(&lumen6(&detect_args(t, cs, &["--sequential"])));
+    assert_eq!(resumed_seq, reference, "sharded->sequential resume differs");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_clean_error() {
+    let dir = std::env::temp_dir().join(format!("lumen6-ckpt-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.l6tr");
+    let t = trace.to_str().unwrap();
+    stdout_of(&lumen6(&[
+        "generate", "cdn", "--out", t, "--days", "3", "--seed", "1", "--small",
+    ]));
+    let ck = dir.join("bad.l6ck");
+    std::fs::write(&ck, "L6CK v1 0000000000000000 2\n{}").unwrap();
+    let out = lumen6(&detect_args(t, ck.to_str().unwrap(), &[]));
+    assert_eq!(out.status.code(), Some(2), "corrupt checkpoint must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stop_after_without_checkpoint_is_usage_error() {
+    let out = lumen6(&["detect", "--trace", "x.l6tr", "--stop-after", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--checkpoint"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -16,7 +16,8 @@
 
 use crate::aggregate::AggLevel;
 use crate::event::{ScanEvent, ScanReport};
-use crate::sketch::DistinctCounter;
+use crate::sketch::{DistinctCounter, SketchConfig};
+use crate::snapshot::{CounterState, LevelState, RunState};
 use lumen6_addr::Ipv6Prefix;
 use lumen6_trace::{PacketRecord, Transport};
 use serde::{Deserialize, Serialize};
@@ -38,9 +39,10 @@ pub struct ScanDetectorConfig {
     /// targeting analysis; costs memory, so off for IDS use).
     pub keep_dsts: bool,
     /// If set, per-source distinct counters spill from exact sets to
-    /// HyperLogLog sketches after `(spill_threshold, precision)`. Sketched
-    /// events cannot retain destination sets.
-    pub sketch: Option<(usize, u8)>,
+    /// HyperLogLog sketches per [`SketchConfig`]. Sketched events cannot
+    /// retain destination sets. Deserialization also accepts the legacy
+    /// `[spill_threshold, precision]` tuple encoding.
+    pub sketch: Option<SketchConfig>,
 }
 
 impl Default for ScanDetectorConfig {
@@ -133,6 +135,10 @@ pub struct ScanDetector {
     runs: HashMap<Ipv6Prefix, SourceRun>,
     observed: u64,
     runs_opened: u64,
+    /// Mid-stream events accumulated when this detector is driven through
+    /// the unified [`Detect`](crate::session::Detect) trait (whose `observe`
+    /// returns nothing); empty when driven via the inherent API.
+    pub(crate) pending: Vec<ScanEvent>,
 }
 
 impl ScanDetector {
@@ -143,6 +149,7 @@ impl ScanDetector {
             runs: HashMap::new(),
             observed: 0,
             runs_opened: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -210,7 +217,10 @@ impl ScanDetector {
     ) -> Option<ScanEvent> {
         debug_assert_eq!(source, self.config.agg.source_of(r.src));
         self.observed += 1;
-        let (spill, precision) = self.config.sketch.unwrap_or((usize::MAX, 12));
+        let (spill, precision) = self
+            .config
+            .sketch
+            .map_or((usize::MAX, 12), |s| (s.spill_threshold, s.precision));
 
         let mut closed = None;
         let run = match self.runs.entry(source) {
@@ -298,6 +308,74 @@ impl ScanDetector {
             ports: ports.into_iter().collect(),
             dsts,
         })
+    }
+
+    /// Serializable snapshot of the complete detector state: configuration,
+    /// counters, every open run, and any trait-accumulated pending events.
+    /// Order-sensitive collections are sorted, so two detectors in the same
+    /// logical state produce identical snapshots.
+    pub fn state(&self) -> LevelState {
+        let mut runs: Vec<RunState> = self
+            .runs
+            .iter()
+            .map(|(source, run)| RunState {
+                source: *source,
+                start_ms: run.start_ms,
+                last_ms: run.last_ms,
+                packets: run.packets,
+                dsts: CounterState::from(&run.dsts),
+                dst_list: run.dst_list.as_ref().map(|set| {
+                    let mut v: Vec<u128> = set.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                }),
+                srcs: CounterState::from(&run.srcs),
+                ports: {
+                    let mut v: Vec<((Transport, u16), u64)> =
+                        run.ports.iter().map(|(&k, &n)| (k, n)).collect();
+                    v.sort_unstable_by_key(|&(k, _)| k);
+                    v
+                },
+            })
+            .collect();
+        runs.sort_by_key(|r| r.source);
+        LevelState {
+            config: self.config.clone(),
+            observed: self.observed,
+            runs_opened: self.runs_opened,
+            runs,
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Rebuilds a detector from a [`state`](Self::state) snapshot. The
+    /// snapshot's embedded configuration is authoritative.
+    pub fn from_state(state: &LevelState) -> Self {
+        let runs = state
+            .runs
+            .iter()
+            .map(|r| {
+                (
+                    r.source,
+                    SourceRun {
+                        start_ms: r.start_ms,
+                        last_ms: r.last_ms,
+                        packets: r.packets,
+                        dsts: DistinctCounter::from(&r.dsts),
+                        dst_list: r.dst_list.as_ref().map(|v| v.iter().copied().collect()),
+                        srcs: DistinctCounter::from(&r.srcs),
+                        ports: r.ports.iter().copied().collect(),
+                    },
+                )
+            })
+            .collect();
+        ScanDetector {
+            config: state.config.clone(),
+            runs,
+            observed: state.observed,
+            runs_opened: state.runs_opened,
+            pending: state.pending.clone(),
+        }
     }
 }
 
@@ -501,7 +579,7 @@ mod tests {
         let recs = burst(1, 0, 5_000, 22);
         let exact = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
         let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
-        cfg.sketch = Some((256, 12));
+        cfg.sketch = Some(SketchConfig::spill_at(256));
         let sketched = detect(&recs, cfg);
         assert_eq!(exact.scans(), 1);
         assert_eq!(sketched.scans(), 1);
@@ -525,7 +603,7 @@ mod tests {
     #[test]
     fn memory_snapshot_tracks_state_and_spills() {
         let mut cfg = ScanDetectorConfig::paper(AggLevel::L128);
-        cfg.sketch = Some((64, 12));
+        cfg.sketch = Some(SketchConfig::spill_at(64));
         let mut det = ScanDetector::new(cfg);
         // Source 1: 200 distinct destinations → spills past 64.
         for r in burst(1, 0, 200, 22) {

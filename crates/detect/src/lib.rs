@@ -50,7 +50,9 @@ pub mod multi;
 pub mod parallel;
 pub mod portclass;
 pub mod prefilter;
+pub mod session;
 pub mod sketch;
+pub mod snapshot;
 
 pub use aggregate::AggLevel;
 pub use blocklist::{Blocklist, BlocklistConfig};
@@ -62,4 +64,26 @@ pub use mawi::{MawiConfig, MawiDetector, MawiScan};
 pub use parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 pub use portclass::{classify_ports, PortClass};
 pub use prefilter::{ArtifactFilter, FilterReport};
-pub use sketch::HyperLogLog;
+pub use session::{
+    Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session, SessionConfig,
+    SessionError, SessionOutcome, SessionReport,
+};
+pub use sketch::{HyperLogLog, SketchConfig};
+pub use snapshot::{DetectorSnapshot, LevelState, SnapshotError};
+
+/// One-line import for the unified detection API: the [`Detect`] trait,
+/// the [`DetectorBuilder`], session/checkpoint types, and the configuration
+/// types they take.
+pub mod prelude {
+    pub use crate::aggregate::AggLevel;
+    pub use crate::detector::{ScanDetector, ScanDetectorConfig};
+    pub use crate::event::{ScanEvent, ScanReport};
+    pub use crate::multi::MultiLevelDetector;
+    pub use crate::parallel::{ShardPlan, ShardedDetector};
+    pub use crate::session::{
+        Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session,
+        SessionConfig, SessionError, SessionOutcome, SessionReport,
+    };
+    pub use crate::sketch::SketchConfig;
+    pub use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
+}

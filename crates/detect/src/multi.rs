@@ -10,6 +10,7 @@
 use crate::aggregate::AggLevel;
 use crate::detector::{ScanDetector, ScanDetectorConfig};
 use crate::event::{ScanEvent, ScanReport};
+use crate::snapshot::LevelState;
 use lumen6_addr::Ipv6Prefix;
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
@@ -45,6 +46,16 @@ impl MultiLevelDetector {
         Self::new(&AggLevel::PAPER_LEVELS, ScanDetectorConfig::default())
     }
 
+    /// The configured aggregation levels, in detection order.
+    pub fn levels(&self) -> Vec<AggLevel> {
+        self.detectors.iter().map(|(lvl, _)| *lvl).collect()
+    }
+
+    /// Packets observed so far (every level sees every packet).
+    pub fn observed(&self) -> u64 {
+        self.detectors.first().map_or(0, |(_, det)| det.observed())
+    }
+
     /// Feeds one packet to every level.
     ///
     /// The source aggregation is computed once per packet and narrowed from
@@ -63,6 +74,55 @@ impl MultiLevelDetector {
                 self.pending.entry(*lvl).or_default().push(e);
             }
         }
+    }
+
+    /// Closes runs idle since before `now - timeout` at every level,
+    /// collecting qualifying events into the pending set that
+    /// [`finish`](Self::finish) reports. Report-neutral: an event closed
+    /// here is identical to the one `finish` would eventually emit, so
+    /// flushing at any cadence never changes the final reports.
+    pub fn flush_idle(&mut self, now_ms: u64) {
+        for (lvl, det) in &mut self.detectors {
+            let events = det.flush_idle(now_ms);
+            if !events.is_empty() {
+                self.pending.entry(*lvl).or_default().extend(events);
+            }
+        }
+    }
+
+    /// Serializable per-level snapshot of the complete detector state,
+    /// including mid-stream pending events.
+    pub fn state(&self) -> Vec<LevelState> {
+        self.detectors
+            .iter()
+            .map(|(lvl, det)| {
+                let mut st = det.state();
+                if let Some(p) = self.pending.get(lvl) {
+                    st.pending.extend(p.iter().cloned());
+                }
+                st
+            })
+            .collect()
+    }
+
+    /// Rebuilds a multi-level detector from per-level snapshots (each
+    /// state's embedded configuration, including its level, is
+    /// authoritative).
+    pub fn from_state(states: &[LevelState]) -> Self {
+        let mut pending = BTreeMap::new();
+        let detectors = states
+            .iter()
+            .map(|st| {
+                let mut det = ScanDetector::from_state(st);
+                let lvl = det.config().agg;
+                let p = std::mem::take(&mut det.pending);
+                if !p.is_empty() {
+                    pending.insert(lvl, p);
+                }
+                (lvl, det)
+            })
+            .collect();
+        MultiLevelDetector { detectors, pending }
     }
 
     /// Ends the stream and returns the per-level reports.

@@ -39,12 +39,27 @@ use crate::aggregate::AggLevel;
 use crate::detector::ScanDetectorConfig;
 use crate::event::{ScanEvent, ScanReport};
 use crate::multi::MultiLevelDetector;
+use crate::snapshot::{LevelState, SnapshotError};
 use lumen6_obs::MetricsRegistry;
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Control-plane message to a shard worker. Besides packet batches, the
+/// router can ask workers to garbage-collect idle runs or to report their
+/// serializable state mid-stream (for checkpointing) without tearing the
+/// pipeline down.
+enum ShardMsg {
+    /// A batch of packets to observe, in stream order.
+    Batch(Vec<PacketRecord>),
+    /// Close runs idle since before `now - timeout` (see
+    /// [`MultiLevelDetector::flush_idle`]).
+    FlushIdle(u64),
+    /// Send the worker's per-level state back through the provided channel.
+    Snapshot(SyncSender<Vec<LevelState>>),
+}
 
 /// How a sharded detection run is laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +104,17 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The shard owning `src` when routing on `coarsest` across `shards`
+/// workers. Shared by live routing and snapshot restore so a checkpoint
+/// re-partitions identically to how the stream routes.
+#[inline]
+fn route(coarsest: AggLevel, shards: usize, src: u128) -> usize {
+    let p = coarsest.source_of(src);
+    let bits = p.bits();
+    let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(p.len()));
+    (h % shards as u64) as usize
+}
+
 /// Sharded multi-level detector with the same push interface as
 /// [`MultiLevelDetector`]: feed time-ordered packets via
 /// [`observe`](Self::observe), then [`finish`](Self::finish).
@@ -97,7 +123,7 @@ fn mix64(mut x: u64) -> u64 {
 /// dropping without finishing shuts the workers down and discards results.
 #[derive(Debug)]
 pub struct ShardedDetector {
-    senders: Vec<SyncSender<Vec<PacketRecord>>>,
+    senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<BTreeMap<AggLevel, Vec<ScanEvent>>>>,
     buffers: Vec<Vec<PacketRecord>>,
     levels: Vec<AggLevel>,
@@ -116,19 +142,98 @@ impl ShardedDetector {
     /// over `levels` with the shared base configuration.
     pub fn new(levels: &[AggLevel], base: ScanDetectorConfig, plan: ShardPlan) -> Self {
         let shards = plan.shards.max(1);
+        Self::build(levels, base, plan, vec![None; shards], 0)
+    }
+
+    /// Rebuilds a sharded detector from a uniform per-level snapshot (as
+    /// produced by [`state`](Self::state), [`MultiLevelDetector::state`],
+    /// or [`ScanDetector::state`](crate::ScanDetector::state)). The shard
+    /// count may differ from the snapshotting run: open runs and pending
+    /// events are re-partitioned by the deterministic routing hash, which
+    /// keys on the coarsest-level prefix and therefore lands every run on
+    /// one owning shard regardless of shard count.
+    pub fn from_state(states: &[LevelState], plan: ShardPlan) -> Result<Self, SnapshotError> {
+        let base = states
+            .first()
+            .map(|s| s.config.clone())
+            .ok_or_else(|| SnapshotError("snapshot has no levels".into()))?;
+        let levels: Vec<AggLevel> = states.iter().map(|s| s.config.agg).collect();
+        let shards = plan.shards.max(1);
+        let coarsest = levels.iter().copied().min().unwrap_or(AggLevel::L128);
+
+        // Empty per-shard per-level skeletons, then deal out runs and
+        // pending events by routing hash. Counters are whole-stream values,
+        // not per-shard state, so they ride on shard 0 and re-sum on the
+        // next snapshot/finish.
+        let mut parts: Vec<Vec<LevelState>> = (0..shards)
+            .map(|_| {
+                states
+                    .iter()
+                    .map(|s| LevelState {
+                        config: s.config.clone(),
+                        observed: 0,
+                        runs_opened: 0,
+                        runs: Vec::new(),
+                        pending: Vec::new(),
+                    })
+                    .collect()
+            })
+            .collect();
+        for (li, st) in states.iter().enumerate() {
+            parts[0][li].observed = st.observed;
+            parts[0][li].runs_opened = st.runs_opened;
+            for run in &st.runs {
+                let sh = route(coarsest, shards, run.source.bits());
+                parts[sh][li].runs.push(run.clone());
+            }
+            for e in &st.pending {
+                let sh = route(coarsest, shards, e.source.bits());
+                parts[sh][li].pending.push(e.clone());
+            }
+        }
+        let observed = states.first().map_or(0, |s| s.observed);
+        Ok(Self::build(
+            &levels,
+            base,
+            plan,
+            parts.into_iter().map(Some).collect(),
+            observed,
+        ))
+    }
+
+    fn build(
+        levels: &[AggLevel],
+        base: ScanDetectorConfig,
+        plan: ShardPlan,
+        initial: Vec<Option<Vec<LevelState>>>,
+        observed: u64,
+    ) -> Self {
+        let shards = plan.shards.max(1);
+        debug_assert_eq!(initial.len(), shards);
         let coarsest = levels.iter().copied().min().unwrap_or(AggLevel::L128);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = sync_channel::<Vec<PacketRecord>>(plan.depth.max(1));
+        for init in initial {
+            let (tx, rx) = sync_channel::<ShardMsg>(plan.depth.max(1));
             let levels = levels.to_vec();
             let base = base.clone();
             workers.push(std::thread::spawn(move || {
                 let started = Instant::now();
-                let mut det = MultiLevelDetector::new(&levels, base);
-                while let Ok(batch) = rx.recv() {
-                    for r in &batch {
-                        det.observe(r);
+                let mut det = match init {
+                    Some(states) => MultiLevelDetector::from_state(&states),
+                    None => MultiLevelDetector::new(&levels, base),
+                };
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Batch(batch) => {
+                            for r in &batch {
+                                det.observe(r);
+                            }
+                        }
+                        ShardMsg::FlushIdle(now_ms) => det.flush_idle(now_ms),
+                        ShardMsg::Snapshot(reply) => {
+                            let _ = reply.send(det.state());
+                        }
                     }
                 }
                 let out: BTreeMap<AggLevel, Vec<ScanEvent>> = det
@@ -150,7 +255,7 @@ impl ShardedDetector {
             levels: levels.to_vec(),
             coarsest,
             batch: plan.batch.max(1),
-            observed: 0,
+            observed,
             routed: vec![0; shards],
             batches_sent: 0,
             stalls: 0,
@@ -162,6 +267,11 @@ impl ShardedDetector {
         self.workers.len()
     }
 
+    /// The configured aggregation levels.
+    pub fn levels(&self) -> &[AggLevel] {
+        &self.levels
+    }
+
     /// Number of packets routed so far.
     pub fn observed(&self) -> u64 {
         self.observed
@@ -171,10 +281,7 @@ impl ShardedDetector {
     /// coarsest-level prefix).
     #[inline]
     fn shard_of(&self, src: u128) -> usize {
-        let p = self.coarsest.source_of(src);
-        let bits = p.bits();
-        let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(p.len()));
-        (h % self.senders.len() as u64) as usize
+        route(self.coarsest, self.senders.len(), src)
     }
 
     /// Routes one packet to its owning shard. Packets must arrive in
@@ -194,29 +301,84 @@ impl ShardedDetector {
     /// channel is full and the router has to block on the worker.
     fn send_batch(&mut self, shard: usize, batch: Vec<PacketRecord>) {
         self.batches_sent += 1;
-        match self.senders[shard].try_send(batch) {
+        match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
             Ok(()) => {}
-            Err(TrySendError::Full(batch)) => {
+            Err(TrySendError::Full(msg)) => {
                 self.stalls += 1;
-                self.senders[shard].send(batch).expect("shard worker alive");
+                self.senders[shard].send(msg).expect("shard worker alive");
             }
             Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
         }
+    }
+
+    /// Flushes buffered batches so every worker has seen the stream up to
+    /// the current position. Must precede any control message whose effect
+    /// depends on stream position (flush-idle, snapshot).
+    fn drain_buffers(&mut self) {
+        let flushes: Vec<(usize, Vec<PacketRecord>)> = self
+            .buffers
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, buf)| !buf.is_empty())
+            .map(|(shard, buf)| (shard, std::mem::take(buf)))
+            .collect();
+        for (shard, buf) in flushes {
+            self.send_batch(shard, buf);
+        }
+    }
+
+    /// Closes runs idle since before `now - timeout` on every shard.
+    /// Report-neutral, like [`MultiLevelDetector::flush_idle`].
+    pub fn flush_idle(&mut self, now_ms: u64) {
+        self.drain_buffers();
+        for tx in &self.senders {
+            tx.send(ShardMsg::FlushIdle(now_ms))
+                .expect("shard worker alive");
+        }
+    }
+
+    /// Serializable snapshot of the complete pipeline state, merged across
+    /// shards into the same uniform per-level form the sequential detectors
+    /// produce — so a sharded checkpoint restores into any backend. The
+    /// pipeline keeps running afterwards.
+    pub fn state(&mut self) -> Vec<LevelState> {
+        self.drain_buffers();
+        // One rendezvous channel per shard; workers reply with their state
+        // once they have consumed everything queued before the request.
+        let replies: Vec<_> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = sync_channel(1);
+                tx.send(ShardMsg::Snapshot(reply_tx))
+                    .expect("shard worker alive");
+                reply_rx
+            })
+            .collect();
+        let mut merged: Option<Vec<LevelState>> = None;
+        for rx in replies {
+            let states = rx.recv().expect("shard worker alive");
+            match &mut merged {
+                None => merged = Some(states),
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(states) {
+                        a.merge(b).expect("shards share one config");
+                    }
+                }
+            }
+        }
+        let mut out = merged.unwrap_or_default();
+        for lvl in &mut out {
+            lvl.normalize();
+        }
+        out
     }
 
     /// Ends the stream: flushes buffered batches, joins the workers, and
     /// merges per-shard events into per-level reports sorted by
     /// `(start_ms, source)`.
     pub fn finish(mut self) -> BTreeMap<AggLevel, ScanReport> {
-        let flushes: Vec<(usize, Vec<PacketRecord>)> = self
-            .buffers
-            .drain(..)
-            .enumerate()
-            .filter(|(_, buf)| !buf.is_empty())
-            .collect();
-        for (shard, buf) in flushes {
-            self.send_batch(shard, buf);
-        }
+        self.drain_buffers();
         // Closing the channels ends each worker's recv loop.
         self.senders.clear();
 
@@ -383,7 +545,7 @@ mod tests {
         assert_eq!(par, seq);
 
         let sk = ScanDetectorConfig {
-            sketch: Some((64, 12)),
+            sketch: Some((64, 12).into()),
             ..Default::default()
         };
         let seq = detect_multi(&recs, &[AggLevel::L64], sk.clone());

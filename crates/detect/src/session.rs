@@ -1,0 +1,760 @@
+//! Fault-tolerant streaming ingest: the unified [`Detect`] trait, the
+//! [`DetectorBuilder`], out-of-order tolerance, and checkpoint/resume.
+//!
+//! The paper's vantage point captures continuously for 15 months; an ingest
+//! that loses all in-memory run state on restart, or aborts on the first
+//! corrupt record, cannot reproduce that operationally. This module wraps
+//! any detector backend in a [`Session`] that survives all three failure
+//! modes:
+//!
+//! 1. **Crashes** — [`Checkpoint`]s capture the complete pipeline state
+//!    (detector runs and sketches, the reorder buffer, the trace byte
+//!    offset) with an integrity checksum, written atomically (temp file +
+//!    rename). A killed run resumed from its last checkpoint produces a
+//!    report *byte-identical* to an uninterrupted run — a subprocess-tested
+//!    invariant.
+//! 2. **Reordering** — real multi-machine logs are never globally
+//!    time-ordered. A bounded [`ReorderBuffer`] with a configurable
+//!    watermark re-sorts slightly-late packets before `observe`; packets
+//!    later than the watermark are counted and dropped, never silently
+//!    mis-eventized.
+//! 3. **Corrupt records** — recoverable decode errors (field overflows)
+//!    quarantine-and-skip with per-kind `lumen6-obs` counters instead of
+//!    aborting (framing errors still abort: stream alignment is lost).
+//!
+//! The three detector backends — [`ScanDetector`], [`MultiLevelDetector`],
+//! and the sharded pipeline — all implement [`Detect`], so the CLI and the
+//! experiment harness dispatch through one code path chosen by
+//! [`DetectorBuilder`]. Snapshots use one uniform per-level format: a
+//! checkpoint written by a sharded run restores into a sequential run and
+//! vice versa, and the shard count may change across a resume.
+
+use crate::aggregate::AggLevel;
+use crate::detector::{ScanDetector, ScanDetectorConfig};
+use crate::event::ScanReport;
+use crate::multi::MultiLevelDetector;
+use crate::parallel::{ShardPlan, ShardedDetector};
+use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
+use lumen6_obs::MetricsRegistry;
+use lumen6_trace::codec::StreamingTraceReader;
+use lumen6_trace::{CodecError, PacketRecord, TracePosition};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// The unified detector trait
+// ---------------------------------------------------------------------------
+
+/// The unified push interface over all detector backends.
+///
+/// Unlike [`ScanDetector::observe`], the trait's `observe` returns nothing:
+/// the sharded backend processes packets on worker threads and cannot
+/// return closed events synchronously, so every implementation accumulates
+/// mid-stream events internally and reports them from [`finish`].
+///
+/// [`finish`]: Detect::finish
+pub trait Detect: Send {
+    /// Feeds one packet. Records must arrive in non-decreasing time order
+    /// (wrap the detector in a [`Session`] with a watermark if they don't).
+    fn observe(&mut self, r: &PacketRecord);
+
+    /// Closes runs idle since before `now_ms - timeout`, bounding state
+    /// size in a long-running deployment. Report-neutral: events closed
+    /// here are identical to what [`finish`](Detect::finish) would emit.
+    fn flush_idle(&mut self, now_ms: u64);
+
+    /// Packets observed so far.
+    fn observed(&self) -> u64;
+
+    /// The aggregation levels this detector reports on.
+    fn levels(&self) -> Vec<AggLevel>;
+
+    /// The complete serializable per-level state (see
+    /// [`LevelState`]). `&mut` because the sharded backend must quiesce its
+    /// workers to collect it; sequential backends do not mutate.
+    fn state(&mut self) -> Vec<LevelState>;
+
+    /// A versioned [`DetectorSnapshot`] wrapping [`state`](Detect::state).
+    fn snapshot(&mut self) -> DetectorSnapshot {
+        DetectorSnapshot::new(self.state())
+    }
+
+    /// Ends the stream and returns the per-level reports, each sorted by
+    /// `(start_ms, source)`.
+    fn finish(self: Box<Self>) -> BTreeMap<AggLevel, ScanReport>;
+}
+
+impl Detect for ScanDetector {
+    fn observe(&mut self, r: &PacketRecord) {
+        if let Some(e) = ScanDetector::observe(self, r) {
+            self.pending.push(e);
+        }
+    }
+
+    fn flush_idle(&mut self, now_ms: u64) {
+        let events = ScanDetector::flush_idle(self, now_ms);
+        self.pending.extend(events);
+    }
+
+    fn observed(&self) -> u64 {
+        ScanDetector::observed(self)
+    }
+
+    fn levels(&self) -> Vec<AggLevel> {
+        vec![self.config().agg]
+    }
+
+    fn state(&mut self) -> Vec<LevelState> {
+        vec![ScanDetector::state(self)]
+    }
+
+    fn finish(self: Box<Self>) -> BTreeMap<AggLevel, ScanReport> {
+        let mut this = *self;
+        let lvl = this.config().agg;
+        let mut events = std::mem::take(&mut this.pending);
+        events.extend(ScanDetector::finish(this));
+        events.sort_by_key(|e| (e.start_ms, e.source));
+        BTreeMap::from([(lvl, ScanReport::new(events))])
+    }
+}
+
+impl Detect for MultiLevelDetector {
+    fn observe(&mut self, r: &PacketRecord) {
+        MultiLevelDetector::observe(self, r);
+    }
+
+    fn flush_idle(&mut self, now_ms: u64) {
+        MultiLevelDetector::flush_idle(self, now_ms);
+    }
+
+    fn observed(&self) -> u64 {
+        MultiLevelDetector::observed(self)
+    }
+
+    fn levels(&self) -> Vec<AggLevel> {
+        MultiLevelDetector::levels(self)
+    }
+
+    fn state(&mut self) -> Vec<LevelState> {
+        MultiLevelDetector::state(self)
+    }
+
+    fn finish(self: Box<Self>) -> BTreeMap<AggLevel, ScanReport> {
+        MultiLevelDetector::finish(*self)
+    }
+}
+
+impl Detect for ShardedDetector {
+    fn observe(&mut self, r: &PacketRecord) {
+        ShardedDetector::observe(self, r);
+    }
+
+    fn flush_idle(&mut self, now_ms: u64) {
+        ShardedDetector::flush_idle(self, now_ms);
+    }
+
+    fn observed(&self) -> u64 {
+        ShardedDetector::observed(self)
+    }
+
+    fn levels(&self) -> Vec<AggLevel> {
+        ShardedDetector::levels(self).to_vec()
+    }
+
+    fn state(&mut self) -> Vec<LevelState> {
+        ShardedDetector::state(self)
+    }
+
+    fn finish(self: Box<Self>) -> BTreeMap<AggLevel, ScanReport> {
+        ShardedDetector::finish(*self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DetectorBuilder
+// ---------------------------------------------------------------------------
+
+/// Chooses and constructs a detector backend behind the [`Detect`] trait —
+/// the one code path `lumen6 detect` and the experiment harness dispatch
+/// through.
+///
+/// ```
+/// use lumen6_detect::prelude::*;
+/// use lumen6_trace::PacketRecord;
+///
+/// let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
+///     .levels(&AggLevel::PAPER_LEVELS)
+///     .build();
+/// for i in 0..150u64 {
+///     det.observe(&PacketRecord::tcp(i * 1_000, 7, 0xd000 + u128::from(i), 1, 22, 60));
+/// }
+/// let reports = det.finish();
+/// assert_eq!(reports[&AggLevel::L64].scans(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectorBuilder {
+    base: ScanDetectorConfig,
+    levels: Vec<AggLevel>,
+    plan: Option<ShardPlan>,
+}
+
+impl DetectorBuilder {
+    /// A sequential single-level builder at `base.agg`.
+    pub fn new(base: ScanDetectorConfig) -> Self {
+        let levels = vec![base.agg];
+        DetectorBuilder {
+            base,
+            levels,
+            plan: None,
+        }
+    }
+
+    /// Detect at these aggregation levels (the base config's `agg` field is
+    /// overridden per level).
+    pub fn levels(mut self, levels: &[AggLevel]) -> Self {
+        self.levels = levels.to_vec();
+        self
+    }
+
+    /// Run the sharded parallel pipeline with this plan.
+    pub fn sharded(mut self, plan: ShardPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Run sequentially (the default).
+    pub fn sequential(mut self) -> Self {
+        self.plan = None;
+        self
+    }
+
+    /// Constructs a fresh detector: the sharded pipeline when a plan is
+    /// set, a plain [`ScanDetector`] for a single level, and a
+    /// [`MultiLevelDetector`] otherwise.
+    pub fn build(&self) -> Box<dyn Detect> {
+        match (&self.plan, self.levels.as_slice()) {
+            (Some(plan), levels) => {
+                Box::new(ShardedDetector::new(levels, self.base.clone(), *plan))
+            }
+            (None, [lvl]) => {
+                let mut cfg = self.base.clone();
+                cfg.agg = *lvl;
+                Box::new(ScanDetector::new(cfg))
+            }
+            (None, levels) => Box::new(MultiLevelDetector::new(levels, self.base.clone())),
+        }
+    }
+
+    /// Reconstructs a detector from a snapshot. The snapshot's embedded
+    /// per-level configurations are authoritative (they were validated at
+    /// checkpoint time); only the builder's backend choice (sequential vs
+    /// sharded, and the shard plan) applies, which is what makes a
+    /// checkpoint portable across backends and shard counts.
+    pub fn restore(&self, snapshot: &DetectorSnapshot) -> Result<Box<dyn Detect>, SnapshotError> {
+        snapshot.check_version()?;
+        if snapshot.levels.is_empty() {
+            return Err(SnapshotError("snapshot has no levels".into()));
+        }
+        Ok(match (&self.plan, snapshot.levels.as_slice()) {
+            (Some(plan), states) => Box::new(ShardedDetector::from_state(states, *plan)?),
+            (None, [state]) => Box::new(ScanDetector::from_state(state)),
+            (None, states) => Box::new(MultiLevelDetector::from_state(states)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order tolerance
+// ---------------------------------------------------------------------------
+
+/// Heap entry ordered by `(ts, seq)`: timestamp first, arrival order as the
+/// tiebreaker so equal-timestamp packets release in arrival order.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ts: u64,
+    seq: u64,
+    rec: PacketRecord,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ts, self.seq) == (other.ts, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.seq).cmp(&(other.ts, other.seq))
+    }
+}
+
+/// Bounded reorder buffer with a time watermark.
+///
+/// Packets are held until the maximum timestamp seen exceeds theirs by more
+/// than `watermark_ms`, then released in timestamp order — so the detector
+/// always sees a non-decreasing stream as long as disorder stays within the
+/// watermark. Packets arriving *later* than the watermark (timestamp below
+/// `max_seen - watermark_ms`, i.e. after their release horizon has passed)
+/// are counted and dropped: feeding them through would either corrupt run
+/// accounting or force unbounded buffering.
+///
+/// A watermark of 0 disables the buffer entirely (pure passthrough, nothing
+/// dropped), preserving the detectors' native mild-disorder tolerance for
+/// sorted simulator output.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    watermark_ms: u64,
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    max_ts: u64,
+    late_dropped: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer releasing packets `watermark_ms` behind the newest seen.
+    pub fn new(watermark_ms: u64) -> Self {
+        ReorderBuffer {
+            watermark_ms,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            max_ts: 0,
+            late_dropped: 0,
+        }
+    }
+
+    /// The configured watermark.
+    pub fn watermark_ms(&self) -> u64 {
+        self.watermark_ms
+    }
+
+    /// Packets dropped for arriving beyond the watermark.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Packets currently buffered.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Feeds one packet; appends every packet whose release horizon passed
+    /// to `out`, in timestamp order.
+    pub fn push(&mut self, rec: PacketRecord, out: &mut Vec<PacketRecord>) {
+        if self.watermark_ms == 0 {
+            out.push(rec);
+            return;
+        }
+        let horizon = self.max_ts.saturating_sub(self.watermark_ms);
+        if rec.ts_ms < horizon {
+            self.late_dropped += 1;
+            return;
+        }
+        self.heap.push(Reverse(Entry {
+            ts: rec.ts_ms,
+            seq: self.seq,
+            rec,
+        }));
+        self.seq += 1;
+        self.max_ts = self.max_ts.max(rec.ts_ms);
+        let horizon = self.max_ts.saturating_sub(self.watermark_ms);
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.ts > horizon {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").0.rec);
+        }
+    }
+
+    /// End of stream: releases everything still buffered, in order.
+    pub fn drain(&mut self, out: &mut Vec<PacketRecord>) {
+        while let Some(Reverse(e)) = self.heap.pop() {
+            out.push(e.rec);
+        }
+    }
+
+    /// Serializable state (entries sorted by release order).
+    pub fn state(&self) -> ReorderState {
+        let mut entries: Vec<Entry> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        entries.sort_unstable();
+        ReorderState {
+            watermark_ms: self.watermark_ms,
+            max_ts: self.max_ts,
+            late_dropped: self.late_dropped,
+            entries: entries.into_iter().map(|e| e.rec).collect(),
+        }
+    }
+
+    /// Rebuilds a buffer from serialized state; buffered entries keep their
+    /// relative release order.
+    pub fn from_state(st: &ReorderState) -> Self {
+        let heap = st
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| {
+                Reverse(Entry {
+                    ts: rec.ts_ms,
+                    seq: i as u64,
+                    rec: *rec,
+                })
+            })
+            .collect();
+        ReorderBuffer {
+            watermark_ms: st.watermark_ms,
+            heap,
+            seq: st.entries.len() as u64,
+            max_ts: st.max_ts,
+            late_dropped: st.late_dropped,
+        }
+    }
+}
+
+/// Serialized [`ReorderBuffer`] contents, part of a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderState {
+    /// The configured watermark.
+    pub watermark_ms: u64,
+    /// Maximum timestamp seen so far.
+    pub max_ts: u64,
+    /// Packets dropped as beyond-watermark late.
+    pub late_dropped: u64,
+    /// Buffered packets in release order.
+    pub entries: Vec<PacketRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Header magic for checkpoint files.
+const CHECKPOINT_MAGIC: &str = "L6CK";
+/// Checkpoint framing version.
+const CHECKPOINT_FRAME_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit over a byte string — the checkpoint integrity checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The complete durable state of a [`Session`] at one stream position:
+/// resuming from a checkpoint reproduces the uninterrupted run byte for
+/// byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Trace byte offset and delta-decode state to resume the reader at.
+    pub position: TracePosition,
+    /// Records pulled from the trace so far (including late-dropped ones).
+    pub records_done: u64,
+    /// Recoverable decode errors skipped so far.
+    pub decode_skipped: u64,
+    /// Detector state.
+    pub detector: DetectorSnapshot,
+    /// Reorder buffer contents.
+    pub reorder: ReorderState,
+    /// Checkpoints written before this one, plus one.
+    pub checkpoints_written: u64,
+    /// Simulation time of the last periodic idle flush (0 = none yet).
+    pub last_flush_ms: u64,
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint atomically: serialize, checksum, write to
+    /// `<path>.tmp`, fsync, rename over `path`. A crash mid-write leaves
+    /// the previous checkpoint intact.
+    pub fn save(&self, path: &Path) -> Result<(), SessionError> {
+        let body = serde_json::to_string(self).map_err(|e| SessionError::Corrupt(e.to_string()))?;
+        let header = format!(
+            "{CHECKPOINT_MAGIC} v{CHECKPOINT_FRAME_VERSION} {:016x} {}\n",
+            fnv1a(body.as_bytes()),
+            body.len()
+        );
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and verifies a checkpoint written by [`save`](Self::save).
+    pub fn load(path: &Path) -> Result<Self, SessionError> {
+        let data = fs::read_to_string(path)?;
+        let (header, body) = data
+            .split_once('\n')
+            .ok_or_else(|| SessionError::Corrupt("missing checkpoint header".into()))?;
+        let mut parts = header.split(' ');
+        let magic = parts.next().unwrap_or_default();
+        let version = parts.next().unwrap_or_default();
+        let checksum = parts.next().unwrap_or_default();
+        let len = parts.next().unwrap_or_default();
+        if magic != CHECKPOINT_MAGIC {
+            return Err(SessionError::Corrupt(format!(
+                "bad checkpoint magic {magic:?}"
+            )));
+        }
+        if version != format!("v{CHECKPOINT_FRAME_VERSION}") {
+            return Err(SessionError::Corrupt(format!(
+                "unsupported checkpoint framing {version:?}"
+            )));
+        }
+        if len.parse::<usize>().ok() != Some(body.len()) {
+            return Err(SessionError::Corrupt(format!(
+                "checkpoint length mismatch: header says {len}, body is {}",
+                body.len()
+            )));
+        }
+        let expect = u64::from_str_radix(checksum, 16).map_err(|_| {
+            SessionError::Corrupt(format!("bad checkpoint checksum field {checksum:?}"))
+        })?;
+        let actual = fnv1a(body.as_bytes());
+        if actual != expect {
+            return Err(SessionError::Corrupt(format!(
+                "checkpoint checksum mismatch: header {expect:016x}, body {actual:016x}"
+            )));
+        }
+        let ck: Checkpoint =
+            serde_json::from_str(body).map_err(|e| SessionError::Corrupt(e.to_string()))?;
+        ck.detector
+            .check_version()
+            .map_err(SessionError::Snapshot)?;
+        Ok(ck)
+    }
+}
+
+/// When and where a [`Session`] checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file path (also probed for auto-resume).
+    pub path: PathBuf,
+    /// Write a checkpoint every this many records. 0 disables periodic
+    /// writes (the file is still probed for resume).
+    pub every_records: u64,
+    /// Stop the session (without finishing) after this many checkpoint
+    /// writes — a deterministic stand-in for `kill -9` in resume tests.
+    pub stop_after: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Session-layer configuration, orthogonal to the detector configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Reorder-buffer watermark; 0 = passthrough (sorted input).
+    pub watermark_ms: u64,
+    /// Checkpointing policy; `None` runs without durability.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Call `flush_idle` whenever stream time advances this far past the
+    /// last flush; 0 disables. Report-neutral at any cadence.
+    pub flush_idle_every_ms: u64,
+    /// Abort on recoverable decode errors instead of quarantine-and-skip.
+    pub strict: bool,
+}
+
+/// Outcome of [`Session::run`]: the stream finished, or the session stopped
+/// deliberately after `stop_after` checkpoints.
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// End of stream: final per-level reports and run statistics.
+    Finished(SessionReport),
+    /// Stopped by [`CheckpointPolicy::stop_after`]; resume from the
+    /// checkpoint file to continue.
+    Stopped {
+        /// Checkpoints written over the session's whole life.
+        checkpoints_written: u64,
+        /// Records ingested over the session's whole life.
+        records_done: u64,
+    },
+}
+
+/// Final output of a completed session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Per-level scan reports, each sorted by `(start_ms, source)`.
+    pub reports: BTreeMap<AggLevel, ScanReport>,
+    /// Records ingested (including late-dropped).
+    pub records: u64,
+    /// Packets dropped as beyond-watermark late.
+    pub late_dropped: u64,
+    /// Recoverable decode errors skipped.
+    pub decode_skipped: u64,
+    /// Checkpoints written.
+    pub checkpoints_written: u64,
+}
+
+/// Errors from [`Session`] runs and checkpoint IO.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Filesystem failure (trace or checkpoint file).
+    Io(io::Error),
+    /// Unrecoverable trace decode failure.
+    Codec(CodecError),
+    /// Snapshot version/shape mismatch on restore.
+    Snapshot(SnapshotError),
+    /// Checkpoint file failed framing or checksum validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "session io error: {e}"),
+            SessionError::Codec(e) => write!(f, "session decode error: {e}"),
+            SessionError::Snapshot(e) => write!(f, "session restore error: {e}"),
+            SessionError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<io::Error> for SessionError {
+    fn from(e: io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<CodecError> for SessionError {
+    fn from(e: CodecError) -> Self {
+        SessionError::Codec(e)
+    }
+}
+
+/// Fault-tolerant streaming ingest over any [`Detect`] backend.
+///
+/// [`Session::run`] drives a trace file end to end: it auto-resumes from
+/// the checkpoint file when one exists, re-sorts mildly disordered input,
+/// quarantines corrupt records, and checkpoints periodically. See the
+/// module docs for the guarantees.
+pub struct Session {
+    builder: DetectorBuilder,
+    config: SessionConfig,
+}
+
+impl Session {
+    /// A session dispatching through `builder` under `config`.
+    pub fn new(builder: DetectorBuilder, config: SessionConfig) -> Self {
+        Session { builder, config }
+    }
+
+    /// Runs the session over `trace` (an L6TR file). If the checkpoint
+    /// file exists, the run resumes from it; otherwise it starts fresh.
+    pub fn run(self, trace: &Path) -> Result<SessionOutcome, SessionError> {
+        let reg = MetricsRegistry::global();
+        let resume = match &self.config.checkpoint {
+            Some(p) if p.path.exists() => Some(Checkpoint::load(&p.path)?),
+            _ => None,
+        };
+
+        let (mut det, mut reorder, mut records_done, mut ckpts, skipped_before, mut last_flush) =
+            match &resume {
+                Some(ck) => (
+                    self.builder
+                        .restore(&ck.detector)
+                        .map_err(SessionError::Snapshot)?,
+                    ReorderBuffer::from_state(&ck.reorder),
+                    ck.records_done,
+                    ck.checkpoints_written,
+                    ck.decode_skipped,
+                    ck.last_flush_ms,
+                ),
+                None => (
+                    self.builder.build(),
+                    ReorderBuffer::new(self.config.watermark_ms),
+                    0,
+                    0,
+                    0,
+                    0,
+                ),
+            };
+        if resume.is_some() {
+            reg.counter("detect.session.resumes").add(1);
+        }
+
+        let file = BufReader::new(File::open(trace)?);
+        let mut reader = match &resume {
+            Some(ck) => StreamingTraceReader::resume(file, ck.position)?,
+            None => StreamingTraceReader::new(file)?,
+        }
+        .permissive(!self.config.strict);
+
+        let mut ready: Vec<PacketRecord> = Vec::new();
+        while let Some(item) = reader.next() {
+            let rec = item?;
+            records_done += 1;
+            reorder.push(rec, &mut ready);
+            for r in ready.drain(..) {
+                if self.config.flush_idle_every_ms > 0
+                    && r.ts_ms >= last_flush + self.config.flush_idle_every_ms
+                {
+                    // Flush at the watermark horizon: every future detector
+                    // input is ≥ `r.ts_ms - watermark`, so closures here
+                    // match what end-of-stream finish would emit.
+                    det.flush_idle(r.ts_ms.saturating_sub(reorder.watermark_ms()));
+                    last_flush = r.ts_ms;
+                    reg.counter("detect.session.idle_flushes").add(1);
+                }
+                det.observe(&r);
+            }
+
+            if let Some(policy) = &self.config.checkpoint {
+                if policy.every_records > 0 && records_done % policy.every_records == 0 {
+                    ckpts += 1;
+                    let ck = Checkpoint {
+                        position: reader.position(),
+                        records_done,
+                        decode_skipped: skipped_before + reader.skipped(),
+                        detector: det.snapshot(),
+                        reorder: reorder.state(),
+                        checkpoints_written: ckpts,
+                        last_flush_ms: last_flush,
+                    };
+                    ck.save(&policy.path)?;
+                    reg.counter("detect.session.checkpoints_written").add(1);
+                    if policy.stop_after.is_some_and(|n| ckpts >= n) {
+                        reg.counter("detect.session.stops").add(1);
+                        return Ok(SessionOutcome::Stopped {
+                            checkpoints_written: ckpts,
+                            records_done,
+                        });
+                    }
+                }
+            }
+        }
+
+        reorder.drain(&mut ready);
+        for r in ready.drain(..) {
+            det.observe(&r);
+        }
+        let late = reorder.late_dropped();
+        let skipped = skipped_before + reader.skipped();
+        reg.counter("detect.session.late_dropped").add(late);
+        let reports = det.finish();
+        Ok(SessionOutcome::Finished(SessionReport {
+            reports,
+            records: records_done,
+            late_dropped: late,
+            decode_skipped: skipped,
+            checkpoints_written: ckpts,
+        }))
+    }
+}

@@ -12,7 +12,71 @@
 //! small-range (linear counting) correction. Hashing is a splitmix64-style
 //! finalizer over the folded 128-bit address.
 
+use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
+
+/// Named configuration for spilling exact distinct-sets to HyperLogLog
+/// sketches, replacing the old opaque `(usize, u8)` tuple on
+/// [`ScanDetectorConfig`](crate::ScanDetectorConfig).
+///
+/// Serialization is backward compatible: deserialization accepts both the
+/// new named-field object and the legacy two-element `[spill_threshold,
+/// precision]` array that older JSON configs contain. Serialization always
+/// emits the named form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SketchConfig {
+    /// Exact-set size beyond which a per-source counter spills to a sketch.
+    pub spill_threshold: usize,
+    /// HyperLogLog precision (log2 register count), clamped to 4..=16 at
+    /// sketch construction.
+    pub precision: u8,
+}
+
+impl SketchConfig {
+    /// A sketch configuration with the default precision of 12
+    /// (4 KiB per sketch, ≈1.6% relative error).
+    pub fn spill_at(spill_threshold: usize) -> Self {
+        SketchConfig {
+            spill_threshold,
+            precision: 12,
+        }
+    }
+}
+
+impl From<(usize, u8)> for SketchConfig {
+    fn from((spill_threshold, precision): (usize, u8)) -> Self {
+        SketchConfig {
+            spill_threshold,
+            precision,
+        }
+    }
+}
+
+impl Deserialize for SketchConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Legacy tuple encoding: [spill_threshold, precision].
+            Value::Array(items) if items.len() == 2 => Ok(SketchConfig {
+                spill_threshold: usize::from_value(&items[0])?,
+                precision: u8::from_value(&items[1])?,
+            }),
+            Value::Object(_) => {
+                let get = |name: &str| {
+                    v.get(name)
+                        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
+                };
+                Ok(SketchConfig {
+                    spill_threshold: usize::from_value(get("spill_threshold")?)?,
+                    precision: u8::from_value(get("precision")?)?,
+                })
+            }
+            other => Err(DeError::expected(
+                "SketchConfig object or [spill, precision]",
+                other,
+            )),
+        }
+    }
+}
 
 /// Mixes a 128-bit value into a well-distributed 64-bit hash.
 #[inline]
@@ -179,6 +243,51 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sketch_config_parses_legacy_tuple_json() {
+        let cfg: SketchConfig = serde_json::from_str("[256, 12]").unwrap();
+        assert_eq!(
+            cfg,
+            SketchConfig {
+                spill_threshold: 256,
+                precision: 12
+            }
+        );
+    }
+
+    #[test]
+    fn sketch_config_roundtrips_named_form() {
+        let cfg = SketchConfig {
+            spill_threshold: 64,
+            precision: 10,
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("spill_threshold"), "{json}");
+        let back: SketchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn sketch_config_rejects_malformed_json() {
+        assert!(serde_json::from_str::<SketchConfig>("[256]").is_err());
+        assert!(serde_json::from_str::<SketchConfig>("\"nope\"").is_err());
+        assert!(serde_json::from_str::<SketchConfig>("{\"spill_threshold\": 4}").is_err());
+    }
+
+    #[test]
+    fn detector_config_accepts_both_sketch_encodings() {
+        use crate::detector::ScanDetectorConfig;
+        let legacy = serde_json::to_string(&ScanDetectorConfig {
+            sketch: Some(SketchConfig::spill_at(256)),
+            ..Default::default()
+        })
+        .unwrap()
+        .replace("{\"spill_threshold\":256,\"precision\":12}", "[256,12]");
+        assert!(legacy.contains("[256,12]"), "{legacy}");
+        let parsed: ScanDetectorConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.sketch, Some(SketchConfig::spill_at(256)));
+    }
 
     #[test]
     fn empty_sketch_estimates_zero() {

@@ -1,0 +1,179 @@
+//! Versioned, serializable detector state for checkpoint/resume.
+//!
+//! A long-running ingest (the paper's vantage point covers 15 months) must
+//! survive restarts without losing the open per-source activity runs, or
+//! every crash silently truncates scans in progress. This module defines a
+//! *uniform* state representation — [`DetectorSnapshot`], a set of
+//! per-aggregation-level [`LevelState`]s — that all three detector backends
+//! ([`ScanDetector`](crate::ScanDetector),
+//! [`MultiLevelDetector`](crate::multi::MultiLevelDetector), and the
+//! sharded pipeline) can produce and restore from. Because the format is
+//! backend-agnostic, a checkpoint taken from a sharded run can be resumed
+//! sequentially and vice versa, and the shard count may change across a
+//! resume: runs are re-partitioned by the deterministic routing hash at
+//! restore time.
+//!
+//! Determinism: everything order-sensitive is sorted before serialization
+//! (run lists by source, destination sets ascending), so two snapshots of
+//! equal logical state serialize identically even though the live detectors
+//! use hash maps internally.
+
+use crate::aggregate::AggLevel;
+use crate::detector::ScanDetectorConfig;
+use crate::event::ScanEvent;
+use crate::sketch::HyperLogLog;
+use lumen6_addr::Ipv6Prefix;
+use lumen6_trace::Transport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Snapshot format version; bumped on any incompatible layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Complete detector state: one [`LevelState`] per aggregation level, in
+/// ascending level order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    /// Format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// Per-level detector state, sorted by aggregation level.
+    pub levels: Vec<LevelState>,
+}
+
+impl DetectorSnapshot {
+    /// Wraps per-level states, normalizing order and stamping the version.
+    pub fn new(mut levels: Vec<LevelState>) -> Self {
+        levels.sort_by_key(|l| l.config.agg);
+        DetectorSnapshot {
+            version: SNAPSHOT_VERSION,
+            levels,
+        }
+    }
+
+    /// The aggregation levels present in this snapshot.
+    pub fn levels(&self) -> Vec<AggLevel> {
+        self.levels.iter().map(|l| l.config.agg).collect()
+    }
+
+    /// Fails unless the snapshot's version is the current one.
+    pub fn check_version(&self) -> Result<(), SnapshotError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError(format!(
+                "snapshot version {} unsupported (expected {})",
+                self.version, SNAPSHOT_VERSION
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// State of one single-level detector: configuration, counters, all open
+/// activity runs, and scan events already closed mid-stream but not yet
+/// reported.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelState {
+    /// The detector's configuration (aggregation level included).
+    pub config: ScanDetectorConfig,
+    /// Packets observed at this level so far.
+    pub observed: u64,
+    /// Activity runs ever opened at this level.
+    pub runs_opened: u64,
+    /// Open per-source runs, sorted by source prefix.
+    pub runs: Vec<RunState>,
+    /// Mid-stream events closed before the snapshot, in arrival order.
+    pub pending: Vec<ScanEvent>,
+}
+
+impl LevelState {
+    /// Merges another shard's state at the same level into this one.
+    /// Sources are disjoint across shards, so runs concatenate; counters
+    /// add. Used by the sharded pipeline to produce one uniform state.
+    pub fn merge(&mut self, other: LevelState) -> Result<(), SnapshotError> {
+        if self.config != other.config {
+            return Err(SnapshotError(format!(
+                "cannot merge level states with differing configs (level {})",
+                self.config.agg
+            )));
+        }
+        self.observed += other.observed;
+        self.runs_opened += other.runs_opened;
+        self.runs.extend(other.runs);
+        self.pending.extend(other.pending);
+        Ok(())
+    }
+
+    /// Sorts runs by source — call once after all merges so the serialized
+    /// form is deterministic regardless of shard scheduling.
+    pub fn normalize(&mut self) {
+        self.runs.sort_by_key(|r| r.source);
+    }
+}
+
+/// One open activity run, the serializable twin of the detector-internal
+/// `SourceRun`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunState {
+    /// Aggregated source prefix owning the run.
+    pub source: Ipv6Prefix,
+    /// Timestamp of the run's first packet (ms).
+    pub start_ms: u64,
+    /// Timestamp of the run's last packet (ms).
+    pub last_ms: u64,
+    /// Packets accumulated.
+    pub packets: u64,
+    /// Distinct destination counter.
+    pub dsts: CounterState,
+    /// Retained destination list (when `keep_dsts`), sorted ascending.
+    pub dst_list: Option<Vec<u128>>,
+    /// Distinct /128-source counter within the aggregate.
+    pub srcs: CounterState,
+    /// Packet counts per (protocol, destination port), sorted by key.
+    pub ports: Vec<((Transport, u16), u64)>,
+}
+
+/// Serializable state of a [`DistinctCounter`](crate::sketch::DistinctCounter):
+/// the exact set is stored as a sorted vector so equal sets serialize
+/// identically (hash-set iteration order is not deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CounterState {
+    /// Exact distinct set, sorted ascending.
+    Exact(Vec<u128>),
+    /// Spilled HyperLogLog sketch.
+    Sketch(HyperLogLog),
+}
+
+impl From<&crate::sketch::DistinctCounter> for CounterState {
+    fn from(c: &crate::sketch::DistinctCounter) -> Self {
+        match c {
+            crate::sketch::DistinctCounter::Exact(set) => {
+                let mut v: Vec<u128> = set.iter().copied().collect();
+                v.sort_unstable();
+                CounterState::Exact(v)
+            }
+            crate::sketch::DistinctCounter::Sketch(hll) => CounterState::Sketch(hll.clone()),
+        }
+    }
+}
+
+impl From<&CounterState> for crate::sketch::DistinctCounter {
+    fn from(s: &CounterState) -> Self {
+        match s {
+            CounterState::Exact(v) => {
+                crate::sketch::DistinctCounter::Exact(v.iter().copied().collect())
+            }
+            CounterState::Sketch(hll) => crate::sketch::DistinctCounter::Sketch(hll.clone()),
+        }
+    }
+}
+
+/// Snapshot validation or restore failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}

@@ -169,7 +169,7 @@ proptest! {
     fn sharded_equals_sequential_with_sketch(recs in arb_workload(), shards in 1usize..6) {
         use lumen6_detect::multi::detect_multi;
         use lumen6_detect::{detect_multi_sharded, ShardPlan};
-        let base = ScanDetectorConfig { sketch: Some((16, 12)), ..cfg(3, 30_000) };
+        let base = ScanDetectorConfig { sketch: Some((16, 12).into()), ..cfg(3, 30_000) };
         let levels = [AggLevel::L64];
         let seq = detect_multi(&recs, &levels, base.clone());
         let par = detect_multi_sharded(&recs, &levels, base, ShardPlan { shards, batch: 17, depth: 2 });
@@ -199,5 +199,51 @@ proptest! {
         let mut batch_events = batch.events.clone();
         batch_events.sort_by_key(|e| (e.start_ms, e.source));
         prop_assert_eq!(events, batch_events);
+    }
+
+    /// Out-of-order tolerance: feeding any within-watermark shuffle of a
+    /// workload through the reorder buffer yields exactly the sorted-stream
+    /// report, with nothing dropped. Arrival order is a jitter-sort: each
+    /// record's sort key is its timestamp plus a jitter below half the
+    /// watermark, so two records only ever swap when their true timestamps
+    /// are within the watermark of each other.
+    #[test]
+    fn reorder_buffer_recovers_sorted_report(
+        recs in arb_workload(),
+        jitter_seed in 0u64..1_000_000,
+        watermark in 1_000u64..50_000,
+    ) {
+        use lumen6_detect::{DetectorBuilder, ReorderBuffer};
+        let config = cfg(5, 20_000);
+        let sorted_report = detect(&recs, config.clone());
+
+        let mut arrival: Vec<(u64, usize)> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                // Cheap deterministic per-record jitter in [0, watermark/2).
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ jitter_seed;
+                (r.ts_ms + h % (watermark / 2).max(1), i)
+            })
+            .collect();
+        arrival.sort_unstable();
+
+        let mut buf = ReorderBuffer::new(watermark);
+        let mut det = DetectorBuilder::new(config).sequential().build();
+        let mut ready = Vec::new();
+        for &(_, i) in &arrival {
+            buf.push(recs[i], &mut ready);
+            for r in ready.drain(..) {
+                det.observe(&r);
+            }
+        }
+        buf.drain(&mut ready);
+        for r in ready.drain(..) {
+            det.observe(&r);
+        }
+        prop_assert_eq!(buf.late_dropped(), 0);
+        let reports = det.finish();
+        let got = &reports[&AggLevel::L64];
+        prop_assert_eq!(&got.events, &sorted_report.events);
     }
 }

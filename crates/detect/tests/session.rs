@@ -1,0 +1,681 @@
+//! Integration tests for the fault-tolerant streaming session layer:
+//! snapshot/restore across all three backends, out-of-order tolerance,
+//! checkpoint durability, and kill-resume determinism.
+
+use lumen6_detect::prelude::*;
+use lumen6_trace::{PacketRecord, TraceWriter};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+
+/// A per-test temp directory (removed on drop).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "lumen6-session-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A sorted workload with scans at several aggregation levels: one heavy
+/// /128, a spread /64 (100 distinct /128 sources, one destination each),
+/// and background noise that never qualifies.
+fn workload() -> Vec<PacketRecord> {
+    let spread: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+    let heavy: u128 = 0x2001_0db9_0000_0000_0000_0000_0000_0001;
+    let noise: u128 = 0x2001_0dbc_0000_0000_0000_0000_0000_0007;
+    let mut recs: Vec<PacketRecord> = (0..100u64)
+        .map(|i| {
+            PacketRecord::tcp(
+                i * 1_000,
+                spread + u128::from(i),
+                0xa000 + u128::from(i),
+                1,
+                22,
+                60,
+            )
+        })
+        .collect();
+    recs.extend(
+        (0..150u64).map(|i| PacketRecord::tcp(i * 900, heavy, 0xb000 + u128::from(i), 1, 443, 60)),
+    );
+    // Two bursts from the heavy source separated by more than the timeout,
+    // so an event closes mid-stream.
+    recs.extend((0..120u64).map(|i| {
+        PacketRecord::tcp(
+            8_000_000 + i * 500,
+            heavy,
+            0xc000 + u128::from(i),
+            1,
+            443,
+            60,
+        )
+    }));
+    recs.extend((0..40u64).map(|i| PacketRecord::tcp(i * 2_000, noise, 0xd000, 1, 80, 60)));
+    lumen6_trace::sort_by_time(&mut recs);
+    recs
+}
+
+fn write_trace(path: &std::path::Path, recs: &[PacketRecord]) {
+    let mut w = TraceWriter::new(BufWriter::new(File::create(path).unwrap())).unwrap();
+    for r in recs {
+        w.append(r).unwrap();
+    }
+    w.finish().unwrap().flush().unwrap();
+}
+
+fn base_config() -> ScanDetectorConfig {
+    ScanDetectorConfig {
+        min_dsts: 50,
+        ..Default::default()
+    }
+}
+
+/// Reports serialized to canonical JSON, for byte-level comparison.
+fn report_json(reports: &BTreeMap<AggLevel, ScanReport>) -> String {
+    let per_level: Vec<String> = reports
+        .iter()
+        .map(|(lvl, r)| format!("{lvl}:{}", serde_json::to_string(&r.events).unwrap()))
+        .collect();
+    per_level.join("\n")
+}
+
+fn builders() -> Vec<(&'static str, DetectorBuilder)> {
+    let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+    vec![
+        (
+            "sequential-single",
+            DetectorBuilder::new(base_config()).sequential(),
+        ),
+        (
+            "sequential-multi",
+            DetectorBuilder::new(base_config())
+                .levels(&levels)
+                .sequential(),
+        ),
+        (
+            "sharded",
+            DetectorBuilder::new(base_config())
+                .levels(&levels)
+                .sharded(ShardPlan::with_shards(3)),
+        ),
+    ]
+}
+
+#[test]
+fn all_backends_agree_through_the_trait() {
+    let recs = workload();
+    let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+    let mut outputs = Vec::new();
+    for plan in [None, Some(ShardPlan::with_shards(3))] {
+        let mut b = DetectorBuilder::new(base_config()).levels(&levels);
+        b = match plan {
+            Some(p) => b.sharded(p),
+            None => b.sequential(),
+        };
+        let mut det = b.build();
+        for r in &recs {
+            det.observe(r);
+        }
+        outputs.push(report_json(&det.finish()));
+    }
+    assert_eq!(outputs[0], outputs[1], "sequential vs sharded");
+}
+
+#[test]
+fn snapshot_roundtrip_every_backend() {
+    let recs = workload();
+    for (name, builder) in builders() {
+        // Uninterrupted reference.
+        let mut reference = builder.build();
+        for r in &recs {
+            reference.observe(r);
+        }
+        let expect = report_json(&reference.finish());
+
+        // Snapshot mid-stream, restore, continue.
+        let mid = recs.len() / 2;
+        let mut first = builder.build();
+        for r in &recs[..mid] {
+            first.observe(r);
+        }
+        let snap = first.snapshot();
+        drop(first);
+        let mut resumed = builder.restore(&snap).unwrap();
+        assert_eq!(resumed.observed(), mid as u64, "{name}: observed count");
+        for r in &recs[mid..] {
+            resumed.observe(r);
+        }
+        assert_eq!(report_json(&resumed.finish()), expect, "{name}");
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_with_sketch_and_kept_dsts() {
+    let recs = workload();
+    for (tag, cfg) in [
+        (
+            "sketch",
+            ScanDetectorConfig {
+                min_dsts: 50,
+                sketch: Some(SketchConfig::spill_at(16)),
+                ..Default::default()
+            },
+        ),
+        (
+            "keep-dsts",
+            ScanDetectorConfig {
+                min_dsts: 50,
+                keep_dsts: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let builder = DetectorBuilder::new(cfg).sequential();
+        let mut reference = builder.build();
+        for r in &recs {
+            reference.observe(r);
+        }
+        let expect = report_json(&reference.finish());
+
+        let mid = recs.len() / 3;
+        let mut first = builder.build();
+        for r in &recs[..mid] {
+            first.observe(r);
+        }
+        let snap = first.snapshot();
+        let mut resumed = builder.restore(&snap).unwrap();
+        for r in &recs[mid..] {
+            resumed.observe(r);
+        }
+        assert_eq!(report_json(&resumed.finish()), expect, "{tag}");
+    }
+}
+
+#[test]
+fn snapshots_are_portable_across_backends_and_shard_counts() {
+    let recs = workload();
+    let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+    let sequential = DetectorBuilder::new(base_config())
+        .levels(&levels)
+        .sequential();
+    let sharded2 = DetectorBuilder::new(base_config())
+        .levels(&levels)
+        .sharded(ShardPlan::with_shards(2));
+    let sharded5 = DetectorBuilder::new(base_config())
+        .levels(&levels)
+        .sharded(ShardPlan::with_shards(5));
+
+    let mut reference = sequential.build();
+    for r in &recs {
+        reference.observe(r);
+    }
+    let expect = report_json(&reference.finish());
+
+    let mid = recs.len() / 2;
+    // Snapshot taken by a sharded run...
+    let mut first = sharded2.build();
+    for r in &recs[..mid] {
+        first.observe(r);
+    }
+    let snap = first.snapshot();
+    // ...restores into a sequential run, and into a different shard count.
+    for (name, builder) in [("sequential", &sequential), ("sharded-5", &sharded5)] {
+        let mut resumed = builder.restore(&snap).unwrap();
+        for r in &recs[mid..] {
+            resumed.observe(r);
+        }
+        assert_eq!(
+            report_json(&resumed.finish()),
+            expect,
+            "restore into {name}"
+        );
+    }
+}
+
+#[test]
+fn flush_idle_is_report_neutral() {
+    let recs = workload();
+    for (name, builder) in builders() {
+        let mut plain = builder.build();
+        for r in &recs {
+            plain.observe(r);
+        }
+        let expect = report_json(&plain.finish());
+
+        // Aggressive flushing at every packet must not change the report.
+        let mut flushed = builder.build();
+        for r in &recs {
+            flushed.flush_idle(r.ts_ms);
+            flushed.observe(r);
+        }
+        assert_eq!(report_json(&flushed.finish()), expect, "{name}");
+    }
+}
+
+#[test]
+fn flush_idle_closes_idle_runs() {
+    // After the heavy source's first burst times out, a flush must retire
+    // its run from live state (the event is held as pending, not lost).
+    let cfg = base_config();
+    let timeout = cfg.timeout_ms;
+    let mut det = DetectorBuilder::new(cfg).sequential().build();
+    let heavy: u128 = 0x2001_0db9_0000_0000_0000_0000_0000_0001;
+    for i in 0..150u64 {
+        det.observe(&PacketRecord::tcp(
+            i * 900,
+            heavy,
+            u128::from(i),
+            1,
+            443,
+            60,
+        ));
+    }
+    let last_ts = 149 * 900;
+    det.flush_idle(last_ts + timeout + 1);
+    let state = &det.state()[0];
+    assert!(state.runs.is_empty(), "idle run still open after flush");
+    assert_eq!(state.pending.len(), 1, "closed event must be pending");
+    let reports = det.finish();
+    assert_eq!(reports[&AggLevel::L64].scans(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order tolerance
+// ---------------------------------------------------------------------------
+
+fn rec_at(ts: u64, tag: u128) -> PacketRecord {
+    PacketRecord::tcp(ts, 7, tag, 1, 22, 60)
+}
+
+#[test]
+fn reorder_releases_in_timestamp_order() {
+    let mut buf = ReorderBuffer::new(1_000);
+    let mut out = Vec::new();
+    for &ts in &[5_000u64, 4_500, 4_200, 6_000, 5_500, 7_500] {
+        buf.push(rec_at(ts, u128::from(ts)), &mut out);
+    }
+    buf.drain(&mut out);
+    let times: Vec<u64> = out.iter().map(|r| r.ts_ms).collect();
+    assert_eq!(times, vec![4_200, 4_500, 5_000, 5_500, 6_000, 7_500]);
+    assert_eq!(buf.late_dropped(), 0);
+}
+
+#[test]
+fn reorder_at_watermark_is_kept() {
+    // Lateness exactly equal to the watermark is still admissible.
+    let mut buf = ReorderBuffer::new(1_000);
+    let mut out = Vec::new();
+    buf.push(rec_at(10_000, 1), &mut out);
+    buf.push(rec_at(9_000, 2), &mut out); // exactly max_ts - watermark
+    buf.drain(&mut out);
+    assert_eq!(buf.late_dropped(), 0);
+    let times: Vec<u64> = out.iter().map(|r| r.ts_ms).collect();
+    assert_eq!(times, vec![9_000, 10_000]);
+}
+
+#[test]
+fn reorder_beyond_watermark_is_dropped_and_counted() {
+    let mut buf = ReorderBuffer::new(1_000);
+    let mut out = Vec::new();
+    buf.push(rec_at(10_000, 1), &mut out);
+    buf.push(rec_at(8_999, 2), &mut out); // 1 ms beyond the watermark
+    buf.push(rec_at(5_000, 3), &mut out); // far beyond
+    buf.drain(&mut out);
+    assert_eq!(buf.late_dropped(), 2);
+    let times: Vec<u64> = out.iter().map(|r| r.ts_ms).collect();
+    assert_eq!(times, vec![10_000]);
+}
+
+#[test]
+fn zero_watermark_is_pure_passthrough() {
+    let mut buf = ReorderBuffer::new(0);
+    let mut out = Vec::new();
+    for &ts in &[5_000u64, 1_000, 9_000, 3] {
+        buf.push(rec_at(ts, u128::from(ts)), &mut out);
+    }
+    assert_eq!(out.len(), 4, "nothing buffered");
+    assert_eq!(buf.late_dropped(), 0, "nothing dropped");
+    let times: Vec<u64> = out.iter().map(|r| r.ts_ms).collect();
+    assert_eq!(times, vec![5_000, 1_000, 9_000, 3], "original order kept");
+}
+
+#[test]
+fn reorder_state_roundtrip_preserves_release_order() {
+    let mut buf = ReorderBuffer::new(10_000);
+    let mut out = Vec::new();
+    for &ts in &[5_000u64, 4_000, 4_000, 6_000, 5_500] {
+        buf.push(rec_at(ts, u128::from(out.len() as u64)), &mut out);
+    }
+    assert!(out.is_empty(), "all within watermark, all buffered");
+    let mut direct = Vec::new();
+    let restored_state = buf.state();
+    buf.drain(&mut direct);
+
+    let mut restored = ReorderBuffer::from_state(&restored_state);
+    let mut via_snapshot = Vec::new();
+    restored.drain(&mut via_snapshot);
+    assert_eq!(direct, via_snapshot);
+}
+
+/// The central out-of-order guarantee: shuffling a stream within the
+/// watermark, then feeding it through the reorder buffer, yields exactly
+/// the sorted-stream report with nothing dropped.
+#[test]
+fn within_watermark_shuffle_yields_sorted_report() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let watermark = 60_000u64;
+    let sorted = workload();
+
+    let mut reference = DetectorBuilder::new(base_config()).sequential().build();
+    for r in &sorted {
+        reference.observe(r);
+    }
+    let expect = report_json(&reference.finish());
+
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Jitter-sort: perturb each timestamp by < watermark/2 and sort by
+        // the perturbed key. Any two records swap only if their true
+        // timestamps are within the watermark of each other, so the
+        // arrival order is a valid within-watermark shuffle.
+        let mut arrival: Vec<(u64, usize)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.ts_ms + rng.gen_range(0..watermark / 2), i))
+            .collect();
+        arrival.sort_unstable();
+
+        let mut buf = ReorderBuffer::new(watermark);
+        let mut det = DetectorBuilder::new(base_config()).sequential().build();
+        let mut ready = Vec::new();
+        for &(_, i) in &arrival {
+            buf.push(sorted[i], &mut ready);
+            for r in ready.drain(..) {
+                det.observe(&r);
+            }
+        }
+        buf.drain(&mut ready);
+        for r in ready.drain(..) {
+            det.observe(&r);
+        }
+        assert_eq!(buf.late_dropped(), 0, "seed {seed}: nothing may drop");
+        assert_eq!(report_json(&det.finish()), expect, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files
+// ---------------------------------------------------------------------------
+
+fn sample_checkpoint() -> Checkpoint {
+    let mut det = DetectorBuilder::new(base_config()).sequential().build();
+    for r in workload().iter().take(100) {
+        det.observe(r);
+    }
+    Checkpoint {
+        position: lumen6_trace::TracePosition {
+            offset: 1_234,
+            prev_ts: 99_000,
+        },
+        records_done: 100,
+        decode_skipped: 2,
+        detector: det.snapshot(),
+        reorder: ReorderBuffer::new(5_000).state(),
+        checkpoints_written: 3,
+        last_flush_ms: 42,
+    }
+}
+
+#[test]
+fn checkpoint_save_load_roundtrip() {
+    let dir = TempDir::new("ck-roundtrip");
+    let path = dir.path("state.l6ck");
+    let ck = sample_checkpoint();
+    ck.save(&path).unwrap();
+    let back = Checkpoint::load(&path).unwrap();
+    assert_eq!(back, ck);
+}
+
+#[test]
+fn checkpoint_detects_corruption() {
+    let dir = TempDir::new("ck-corrupt");
+    let path = dir.path("state.l6ck");
+    sample_checkpoint().save(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one byte in the body (past the header line).
+    let body_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    bytes[body_start + 10] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    match Checkpoint::load(&path) {
+        Err(SessionError::Corrupt(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_rejects_bad_magic_and_truncation() {
+    let dir = TempDir::new("ck-frame");
+    let path = dir.path("state.l6ck");
+    std::fs::write(&path, "NOPE v1 0 0\n{}").unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(SessionError::Corrupt(_))
+    ));
+    let saved = {
+        let p = dir.path("ok.l6ck");
+        sample_checkpoint().save(&p).unwrap();
+        std::fs::read_to_string(&p).unwrap()
+    };
+    std::fs::write(&path, &saved[..saved.len() - 7]).unwrap();
+    assert!(matches!(
+        Checkpoint::load(&path),
+        Err(SessionError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Sessions over trace files
+// ---------------------------------------------------------------------------
+
+fn session_report_json(rep: &SessionReport) -> String {
+    serde_json::to_string(rep).unwrap()
+}
+
+#[test]
+fn session_finishes_without_checkpointing() {
+    let dir = TempDir::new("plain");
+    let trace = dir.path("t.l6tr");
+    let recs = workload();
+    write_trace(&trace, &recs);
+    let builder = DetectorBuilder::new(base_config()).sequential();
+    let outcome = Session::new(builder.clone(), SessionConfig::default())
+        .run(&trace)
+        .unwrap();
+    let SessionOutcome::Finished(rep) = outcome else {
+        panic!("expected Finished");
+    };
+    assert_eq!(rep.records, recs.len() as u64);
+    assert_eq!(rep.late_dropped, 0);
+    assert_eq!(rep.decode_skipped, 0);
+    assert_eq!(rep.checkpoints_written, 0);
+
+    let mut direct = builder.build();
+    for r in &recs {
+        direct.observe(r);
+    }
+    assert_eq!(report_json(&rep.reports), report_json(&direct.finish()));
+}
+
+/// Kill-and-resume in process: stop after each checkpoint in turn, resume,
+/// and require the final report to be byte-identical to an uninterrupted
+/// session, whatever the interruption point and even when the backend
+/// changes across the restart.
+#[test]
+fn kill_resume_is_byte_identical() {
+    let dir = TempDir::new("kill-resume");
+    let trace = dir.path("t.l6tr");
+    let recs = workload();
+    write_trace(&trace, &recs);
+    let every = 100u64;
+    let total_ckpts = recs.len() as u64 / every;
+    assert!(total_ckpts >= 3, "workload too small to interrupt");
+
+    let config = |path: PathBuf, stop_after: Option<u64>| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: every,
+            stop_after,
+        }),
+        ..Default::default()
+    };
+
+    let sequential = DetectorBuilder::new(base_config()).sequential();
+    let sharded = DetectorBuilder::new(base_config()).sharded(ShardPlan::with_shards(2));
+
+    // Uninterrupted reference (with the same checkpoint cadence, so the
+    // checkpoint counters in the report line up).
+    let reference = Session::new(sequential.clone(), config(dir.path("ref.l6ck"), None))
+        .run(&trace)
+        .unwrap();
+    let SessionOutcome::Finished(expect) = reference else {
+        panic!("reference must finish");
+    };
+    let expect = session_report_json(&expect);
+
+    for stop_at in 1..=total_ckpts {
+        let ck = dir.path(&format!("stop{stop_at}.l6ck"));
+        let outcome = Session::new(sequential.clone(), config(ck.clone(), Some(stop_at)))
+            .run(&trace)
+            .unwrap();
+        match outcome {
+            SessionOutcome::Stopped {
+                checkpoints_written,
+                records_done,
+            } => {
+                assert_eq!(checkpoints_written, stop_at);
+                assert_eq!(records_done, stop_at * every);
+            }
+            SessionOutcome::Finished(_) => panic!("stop {stop_at}: expected Stopped"),
+        }
+        // Resume with a *different* backend to also prove portability.
+        let resumed = Session::new(sharded.clone(), config(ck, None))
+            .run(&trace)
+            .unwrap();
+        let SessionOutcome::Finished(rep) = resumed else {
+            panic!("stop {stop_at}: resume must finish");
+        };
+        assert_eq!(session_report_json(&rep), expect, "stop after {stop_at}");
+    }
+}
+
+#[test]
+fn double_interruption_still_matches() {
+    let dir = TempDir::new("double-kill");
+    let trace = dir.path("t.l6tr");
+    let recs = workload();
+    write_trace(&trace, &recs);
+    let builder = DetectorBuilder::new(base_config()).sequential();
+    let ck = dir.path("state.l6ck");
+    let config = |stop_after| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path: ck.clone(),
+            every_records: 64,
+            stop_after,
+        }),
+        ..Default::default()
+    };
+
+    let reference = Session::new(
+        builder.clone(),
+        SessionConfig {
+            checkpoint: Some(CheckpointPolicy {
+                path: dir.path("ref.l6ck"),
+                every_records: 64,
+                stop_after: None,
+            }),
+            ..Default::default()
+        },
+    )
+    .run(&trace)
+    .unwrap();
+    let SessionOutcome::Finished(expect) = reference else {
+        panic!("reference must finish");
+    };
+
+    // First run stops after 1 checkpoint; second run (resuming) stops after
+    // 2 more; third finishes.
+    assert!(matches!(
+        Session::new(builder.clone(), config(Some(1)))
+            .run(&trace)
+            .unwrap(),
+        SessionOutcome::Stopped { .. }
+    ));
+    assert!(matches!(
+        Session::new(builder.clone(), config(Some(3)))
+            .run(&trace)
+            .unwrap(),
+        SessionOutcome::Stopped {
+            checkpoints_written: 3,
+            ..
+        }
+    ));
+    let SessionOutcome::Finished(rep) = Session::new(builder, config(None)).run(&trace).unwrap()
+    else {
+        panic!("final run must finish");
+    };
+    assert_eq!(session_report_json(&rep), session_report_json(&expect));
+}
+
+#[test]
+fn session_flush_idle_cadence_is_report_neutral() {
+    let dir = TempDir::new("flush-cadence");
+    let trace = dir.path("t.l6tr");
+    let recs = workload();
+    write_trace(&trace, &recs);
+    let builder = DetectorBuilder::new(base_config()).sequential();
+
+    let plain = Session::new(builder.clone(), SessionConfig::default())
+        .run(&trace)
+        .unwrap();
+    let SessionOutcome::Finished(plain) = plain else {
+        panic!()
+    };
+    for every in [1_000u64, 100_000, 3_600_000] {
+        let flushed = Session::new(
+            builder.clone(),
+            SessionConfig {
+                flush_idle_every_ms: every,
+                ..Default::default()
+            },
+        )
+        .run(&trace)
+        .unwrap();
+        let SessionOutcome::Finished(flushed) = flushed else {
+            panic!()
+        };
+        assert_eq!(
+            report_json(&flushed.reports),
+            report_json(&plain.reports),
+            "flush every {every} ms"
+        );
+    }
+}

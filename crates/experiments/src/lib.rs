@@ -14,9 +14,10 @@ pub mod csv_out;
 pub mod ext;
 pub mod mawi_exp;
 
-use lumen6_detect::multi::detect_multi;
-use lumen6_detect::parallel::{detect_multi_sharded, ShardedDetector};
-use lumen6_detect::{AggLevel, ArtifactFilter, FilterReport, ScanDetectorConfig, ScanReport};
+use lumen6_detect::{
+    AggLevel, ArtifactFilter, DetectorBuilder, FilterReport, ScanDetectorConfig, ScanReport,
+    Session, SessionConfig, SessionError, SessionOutcome,
+};
 use lumen6_mawi::{MawiConfig, MawiWorld};
 use lumen6_scanners::{FleetConfig, World};
 use lumen6_trace::PacketRecord;
@@ -59,16 +60,27 @@ impl DetectMode {
         matches!(self, DetectMode::Sharded(_))
     }
 
+    /// The [`DetectorBuilder`] realizing this mode — the single dispatch
+    /// point the labs share with `lumen6 detect`.
+    pub fn builder(&self, base: ScanDetectorConfig, levels: &[AggLevel]) -> DetectorBuilder {
+        let b = DetectorBuilder::new(base).levels(levels);
+        match *self {
+            DetectMode::Sequential => b.sequential(),
+            DetectMode::Sharded(plan) => b.sharded(plan),
+        }
+    }
+
     fn run(
         &self,
         records: &[PacketRecord],
         levels: &[AggLevel],
         base: ScanDetectorConfig,
     ) -> BTreeMap<AggLevel, ScanReport> {
-        match *self {
-            DetectMode::Sequential => detect_multi(records, levels, base),
-            DetectMode::Sharded(plan) => detect_multi_sharded(records, levels, base, plan),
+        let mut det = self.builder(base, levels).build();
+        for r in records {
+            det.observe(r);
         }
+        det.finish()
     }
 }
 
@@ -130,8 +142,8 @@ impl CdnLab {
     }
 
     /// Builds a lab by streaming an L6TR trace from disk in bounded memory
-    /// (64 Ki-record chunks feed the detectors; the full trace is never
-    /// resident).
+    /// through a strict (abort-on-decode-error) [`Session`]; the full trace
+    /// is never resident.
     ///
     /// The artifact prefilter and the destination-retaining /64 pass both
     /// need state proportional to the trace, so this constructor skips
@@ -150,27 +162,21 @@ impl CdnLab {
             keep_dsts: false,
             ..Default::default()
         };
-        let file = std::io::BufReader::new(std::fs::File::open(path)?);
-        let chunks = lumen6_trace::decode_chunks(file, 65_536)?;
-        let reports = match mode {
-            DetectMode::Sequential => {
-                let mut det = lumen6_detect::multi::MultiLevelDetector::new(&levels, base);
-                for chunk in chunks {
-                    for r in chunk? {
-                        det.observe(&r);
-                    }
-                }
-                det.finish()
-            }
-            DetectMode::Sharded(plan) => {
-                let mut det = ShardedDetector::new(&levels, base, plan);
-                for chunk in chunks {
-                    for r in chunk? {
-                        det.observe(&r);
-                    }
-                }
-                det.finish()
-            }
+        let session = Session::new(
+            mode.builder(base, &levels),
+            SessionConfig {
+                strict: true,
+                ..Default::default()
+            },
+        );
+        let reports = match session.run(path) {
+            Ok(SessionOutcome::Finished(rep)) => rep.reports,
+            // No checkpoint policy is configured, so the session can only
+            // finish or fail.
+            Ok(SessionOutcome::Stopped { .. }) => unreachable!("no checkpoint policy"),
+            Err(SessionError::Codec(e)) => return Err(e),
+            Err(SessionError::Io(e)) => return Err(lumen6_trace::CodecError::Io(e)),
+            Err(e) => return Err(lumen6_trace::CodecError::Io(std::io::Error::other(e))),
         };
         Ok(CdnLab {
             world,

@@ -23,6 +23,7 @@
 use crate::record::{PacketRecord, Transport};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lumen6_obs::MetricsRegistry;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -65,16 +66,8 @@ impl Drop for DecodeStats {
 /// Counts one decode error under `trace.codec.errors.<variant>`. Errors are
 /// rare, so these hit the global registry directly.
 fn note_decode_error(e: &CodecError) {
-    let variant = match e {
-        CodecError::BadMagic(_) => "bad_magic",
-        CodecError::BadVersion(_) => "bad_version",
-        CodecError::Truncated => "truncated",
-        CodecError::VarintOverflow => "varint_overflow",
-        CodecError::FieldOverflow(..) => "field_overflow",
-        CodecError::Io(_) => "io",
-    };
     MetricsRegistry::global()
-        .counter(&format!("trace.codec.errors.{variant}"))
+        .counter(&format!("trace.codec.errors.{}", e.kind()))
         .inc();
 }
 
@@ -110,6 +103,30 @@ impl fmt::Display for CodecError {
             CodecError::FieldOverflow(name, v) => write!(f, "field {name} out of range: {v}"),
             CodecError::Io(e) => write!(f, "I/O error: {e}"),
         }
+    }
+}
+
+impl CodecError {
+    /// Stable machine-readable error-kind label, used for per-kind
+    /// quarantine and metrics counters (`trace.codec.errors.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CodecError::BadMagic(_) => "bad_magic",
+            CodecError::BadVersion(_) => "bad_version",
+            CodecError::Truncated => "truncated",
+            CodecError::VarintOverflow => "varint_overflow",
+            CodecError::FieldOverflow(..) => "field_overflow",
+            CodecError::Io(_) => "io",
+        }
+    }
+
+    /// Whether decoding can continue past this error. Only
+    /// [`CodecError::FieldOverflow`] is record-local: every field of the
+    /// offending record was consumed before validation failed, so the next
+    /// record starts at a known offset. Framing errors (truncation, varint
+    /// overflow, I/O) leave the stream position unknowable.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, CodecError::FieldOverflow(..))
     }
 }
 
@@ -378,13 +395,29 @@ fn slice_u128(data: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
     Ok(u128::from_be_bytes(bytes.try_into().expect("16 bytes")))
 }
 
+/// A resumable decode position inside an `L6TR` stream: the byte offset of
+/// the next un-decoded record plus the delta-decoding state at that point.
+/// Recorded in session checkpoints so a killed run can reopen the trace,
+/// [`StreamingTraceReader::resume`] at this position, and continue decoding
+/// mid-file as if never interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracePosition {
+    /// Absolute byte offset of the next record (header included in count).
+    pub offset: u64,
+    /// Timestamp of the record preceding `offset` (delta-decode base).
+    pub prev_ts: u64,
+}
+
 /// Streaming `L6TR` reader over any [`Read`] source in bounded memory.
 ///
 /// Unlike [`TraceReader::from_reader`], which materializes the whole file,
 /// this keeps only a refill window of [`STREAM_BUF_LEN`] bytes plus at most
 /// one partial record, so decoding a multi-gigabyte trace costs the same
 /// memory as decoding a kilobyte one. Yields
-/// `Result<PacketRecord, CodecError>` and fuses after the first error.
+/// `Result<PacketRecord, CodecError>` and fuses after the first error —
+/// unless [`permissive`](Self::permissive) mode is on, in which case
+/// record-local errors ([`CodecError::is_recoverable`]) are skipped and
+/// counted instead of ending the stream.
 #[derive(Debug)]
 pub struct StreamingTraceReader<R: Read> {
     src: R,
@@ -393,6 +426,12 @@ pub struct StreamingTraceReader<R: Read> {
     eof: bool,
     prev_ts: u64,
     failed: bool,
+    /// Total bytes pulled from `src`, header included.
+    fed: u64,
+    /// Skip recoverable per-record errors instead of fusing.
+    permissive: bool,
+    /// Records skipped in permissive mode.
+    skipped: u64,
     stats: DecodeStats,
 }
 
@@ -412,18 +451,63 @@ impl<R: Read> StreamingTraceReader<R> {
             note_decode_error(&e);
             return Err(e);
         }
-        Ok(StreamingTraceReader {
+        Ok(Self::raw(src, header.len() as u64, 0))
+    }
+
+    /// Resumes decoding mid-stream at a [`TracePosition`] previously taken
+    /// with [`position`](Self::position). Seeks `src` to the recorded byte
+    /// offset and restores the delta-decode state; the header is not
+    /// re-validated (the position can only have come from a successful
+    /// decode of the same stream).
+    pub fn resume(mut src: R, at: TracePosition) -> Result<Self, CodecError>
+    where
+        R: io::Seek,
+    {
+        src.seek(io::SeekFrom::Start(at.offset))?;
+        Ok(Self::raw(src, at.offset, at.prev_ts))
+    }
+
+    fn raw(src: R, fed: u64, prev_ts: u64) -> Self {
+        StreamingTraceReader {
             src,
             buf: Vec::with_capacity(STREAM_BUF_LEN + MAX_RECORD_LEN),
             pos: 0,
             eof: false,
-            prev_ts: 0,
+            prev_ts,
             failed: false,
+            fed,
+            permissive: false,
+            skipped: 0,
             stats: DecodeStats {
-                bytes: header.len() as u64,
+                bytes: fed,
                 ..DecodeStats::default()
             },
-        })
+        }
+    }
+
+    /// Enables or disables permissive mode: recoverable per-record errors
+    /// (field overflows) are skipped — counted in [`skipped`](Self::skipped)
+    /// and under `trace.codec.skipped.<kind>` — instead of fusing the
+    /// iterator. Framing errors still end the stream.
+    pub fn permissive(mut self, yes: bool) -> Self {
+        self.permissive = yes;
+        self
+    }
+
+    /// Records skipped so far in permissive mode.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The current decode position: byte offset of the next un-decoded
+    /// record and the timestamp base it will be delta-decoded against.
+    /// Valid input to [`resume`](Self::resume) on a fresh reader over the
+    /// same stream.
+    pub fn position(&self) -> TracePosition {
+        TracePosition {
+            offset: self.fed - (self.buf.len() - self.pos) as u64,
+            prev_ts: self.prev_ts,
+        }
     }
 
     /// Ensures a whole record's worth of bytes is buffered unless the source
@@ -439,6 +523,7 @@ impl<R: Read> StreamingTraceReader<R> {
                 self.eof = true;
             } else {
                 self.stats.bytes += n as u64;
+                self.fed += n as u64;
                 self.buf.extend_from_slice(&chunk[..n]);
             }
         }
@@ -464,6 +549,11 @@ impl<R: Read> StreamingTraceReader<R> {
         let sport = slice_varint(data, &mut pos)?;
         let dport = slice_varint(data, &mut pos)?;
         let len = slice_varint(data, &mut pos)?;
+        // All fields are consumed: commit the position and timestamp base
+        // before validation, so a field-overflow error leaves the reader
+        // aligned on the next record (what permissive skip relies on).
+        self.pos = pos;
+        self.prev_ts += delta;
         if sport > u64::from(u16::MAX) {
             return Err(CodecError::FieldOverflow("sport", sport));
         }
@@ -473,8 +563,6 @@ impl<R: Read> StreamingTraceReader<R> {
         if len > u64::from(u16::MAX) {
             return Err(CodecError::FieldOverflow("len", len));
         }
-        self.pos = pos;
-        self.prev_ts += delta;
         Ok(Some(PacketRecord {
             ts_ms: self.prev_ts,
             src,
@@ -502,16 +590,25 @@ impl<R: Read> Iterator for StreamingTraceReader<R> {
         if self.failed {
             return None;
         }
-        match self.next_record() {
-            Ok(Some(r)) => {
-                self.stats.records += 1;
-                Some(Ok(r))
-            }
-            Ok(None) => None,
-            Err(e) => {
-                self.failed = true;
-                note_decode_error(&e);
-                Some(Err(e))
+        loop {
+            match self.next_record() {
+                Ok(Some(r)) => {
+                    self.stats.records += 1;
+                    return Some(Ok(r));
+                }
+                Ok(None) => return None,
+                Err(e) if self.permissive && e.is_recoverable() => {
+                    self.skipped += 1;
+                    MetricsRegistry::global()
+                        .counter(&format!("trace.codec.skipped.{}", e.kind()))
+                        .inc();
+                    continue;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    note_decode_error(&e);
+                    return Some(Err(e));
+                }
             }
         }
     }
@@ -539,6 +636,28 @@ pub struct TraceChunks<R: Read> {
     chunk_len: usize,
     pending_err: Option<CodecError>,
     done: bool,
+}
+
+impl<R: Read> TraceChunks<R> {
+    /// The decode position after the most recently yielded chunk: the byte
+    /// offset and timestamp base of the first record of the *next* chunk.
+    /// Checkpointing at a chunk boundary records this so decode can
+    /// [`resume`](StreamingTraceReader::resume) mid-file.
+    pub fn position(&self) -> TracePosition {
+        self.inner.position()
+    }
+
+    /// Permissive-mode passthrough (see
+    /// [`StreamingTraceReader::permissive`]).
+    pub fn permissive(mut self, yes: bool) -> Self {
+        self.inner = self.inner.permissive(yes);
+        self
+    }
+
+    /// Records skipped by the underlying reader in permissive mode.
+    pub fn skipped(&self) -> u64 {
+        self.inner.skipped()
+    }
 }
 
 impl<R: Read> Iterator for TraceChunks<R> {
@@ -787,6 +906,128 @@ mod tests {
     fn decode_chunks_empty_trace() {
         let bytes = encode(&[]).unwrap();
         assert_eq!(decode_chunks(&bytes[..], 10).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn position_resume_matches_full_decode() {
+        let recs: Vec<PacketRecord> = (0..5_000u64)
+            .map(|i| PacketRecord::tcp(i * 11, i as u128, (i * 3) as u128, 1, 22, 60))
+            .collect();
+        let bytes = encode(&recs).unwrap();
+        // Decode the first half, record the position, resume in a fresh
+        // reader over a cursor, and check the concatenation is exact.
+        let mut first = StreamingTraceReader::new(io::Cursor::new(bytes.clone())).unwrap();
+        let mut head: Vec<PacketRecord> = Vec::new();
+        for _ in 0..2_500 {
+            head.push(first.next().unwrap().unwrap());
+        }
+        let pos = first.position();
+        assert_eq!(pos.prev_ts, head.last().unwrap().ts_ms);
+        drop(first);
+        let tail: Result<Vec<_>, _> = StreamingTraceReader::resume(io::Cursor::new(bytes), pos)
+            .unwrap()
+            .collect();
+        head.extend(tail.unwrap());
+        assert_eq!(head, recs);
+    }
+
+    #[test]
+    fn position_at_eof_is_stream_length() {
+        let bytes = encode(&sample()).unwrap();
+        let mut r = StreamingTraceReader::new(&bytes[..]).unwrap();
+        while r.next().is_some() {}
+        assert_eq!(r.position().offset, bytes.len() as u64);
+    }
+
+    #[test]
+    fn chunks_position_resumes_at_chunk_boundary() {
+        let recs: Vec<PacketRecord> = (0..900u64)
+            .map(|i| PacketRecord::udp(i * 2, i as u128, 5, 1, 53, 80))
+            .collect();
+        let bytes = encode(&recs).unwrap();
+        let mut chunks = decode_chunks(io::Cursor::new(bytes.clone()), 400).unwrap();
+        let first = chunks.next().unwrap().unwrap();
+        assert_eq!(first.len(), 400);
+        let pos = chunks.position();
+        drop(chunks);
+        let rest: Result<Vec<_>, _> = StreamingTraceReader::resume(io::Cursor::new(bytes), pos)
+            .unwrap()
+            .collect();
+        let mut all = first;
+        all.extend(rest.unwrap());
+        assert_eq!(all, recs);
+    }
+
+    /// Encodes one record with an out-of-range dport varint (recoverable
+    /// field overflow) surrounded by good records.
+    fn bytes_with_bad_dport() -> (Vec<u8>, Vec<PacketRecord>) {
+        let good: Vec<PacketRecord> = (0..10u64)
+            .map(|i| PacketRecord::tcp(i * 100, 1, 0xd0 + i as u128, 1, 22, 60))
+            .collect();
+        let mut buf = BytesMut::with_capacity(1024);
+        let mut out = MAGIC.to_vec();
+        out.push(VERSION);
+        let mut prev = 0u64;
+        for (i, r) in good.iter().enumerate() {
+            put_varint(&mut buf, r.ts_ms - prev);
+            prev = r.ts_ms;
+            buf.put_u128(r.src);
+            buf.put_u128(r.dst);
+            buf.put_u8(r.proto.to_byte());
+            put_varint(&mut buf, u64::from(r.sport));
+            // Record 5 claims dport 70_000: decodes, fails range validation.
+            put_varint(&mut buf, if i == 5 { 70_000 } else { u64::from(r.dport) });
+            put_varint(&mut buf, u64::from(r.len));
+        }
+        out.extend_from_slice(&buf);
+        let expected: Vec<PacketRecord> = good
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, r)| *r)
+            .collect();
+        (out, expected)
+    }
+
+    #[test]
+    fn strict_mode_fuses_on_field_overflow() {
+        let (bytes, _) = bytes_with_bad_dport();
+        let items: Vec<_> = StreamingTraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(items.len(), 6, "five good records then the error");
+        assert!(matches!(
+            items.last().unwrap(),
+            Err(CodecError::FieldOverflow("dport", 70_000))
+        ));
+    }
+
+    #[test]
+    fn permissive_mode_skips_field_overflow() {
+        let (bytes, expected) = bytes_with_bad_dport();
+        let mut r = StreamingTraceReader::new(&bytes[..])
+            .unwrap()
+            .permissive(true);
+        let got: Result<Vec<_>, _> = r.by_ref().collect();
+        assert_eq!(got.unwrap(), expected);
+        assert_eq!(r.skipped(), 1);
+    }
+
+    #[test]
+    fn permissive_mode_still_fuses_on_truncation() {
+        let bytes = encode(&sample()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = StreamingTraceReader::new(cut).unwrap().permissive(true);
+        let (mut oks, mut errs) = (0, 0);
+        for item in r.by_ref() {
+            match item {
+                Ok(_) => oks += 1,
+                Err(e) => {
+                    assert!(!e.is_recoverable());
+                    errs += 1;
+                }
+            }
+        }
+        assert_eq!((oks, errs), (3, 1));
+        assert_eq!(r.skipped(), 0);
     }
 
     #[test]

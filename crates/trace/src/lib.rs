@@ -18,7 +18,8 @@ pub mod record;
 pub mod time;
 
 pub use codec::{
-    decode_chunks, CodecError, StreamingTraceReader, TraceChunks, TraceReader, TraceWriter,
+    decode_chunks, CodecError, StreamingTraceReader, TraceChunks, TracePosition, TraceReader,
+    TraceWriter,
 };
 pub use record::{PacketRecord, Transport};
 pub use time::{SimTime, DAY_MS, HOUR_MS, MINUTE_MS, WEEK_MS};
