@@ -53,7 +53,7 @@ where
     }
 
     let mut sources: HashMap<PortClass, u64> = HashMap::new();
-    for (_, c) in widest.iter() {
+    for c in widest.values() {
         *sources.entry(*c).or_default() += 1;
     }
     let total_sources: u64 = widest.len() as u64;

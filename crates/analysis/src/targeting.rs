@@ -105,7 +105,7 @@ pub fn summarize_dns(breakdowns: &[SourceDns]) -> DnsSummary {
                 .collect::<Vec<_>>(),
             &breakdowns
                 .iter()
-                .map(|b| b.not_in_dns_frac())
+                .map(SourceDns::not_in_dns_frac)
                 .collect::<Vec<_>>(),
         ),
     }
@@ -262,7 +262,7 @@ mod tests {
         // A zero-duration event can yield a 0/0 = NaN rate upstream; the
         // rank sort previously used `partial_cmp().unwrap()` and panicked.
         // NaN ranks are arbitrary but the function must stay total.
-        let nan = 0.0f64 / 0.0;
+        let nan = f64::NAN;
         let rho = rank_correlation(&[1.0, nan, 2.0, 0.5], &[0.1, 0.2, 0.3, 0.4]);
         assert!(rho.is_finite());
         // NaN-free inputs still rank correctly.

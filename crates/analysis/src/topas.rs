@@ -76,7 +76,7 @@ pub fn top_as_table(
                 asn,
                 descriptor: asn
                     .and_then(|a| registry.as_info(a))
-                    .map(|i| i.descriptor())
+                    .map(lumen6_netmodel::AsInfo::descriptor)
                     .unwrap_or_else(|| "Unknown".to_string()),
                 packets: pk,
                 share: crate::stats::share(pk, total),

@@ -1,0 +1,16 @@
+//! Suppression-hygiene fixture: every directive here is itself a
+//! violation (L000).
+
+pub fn f(v: &[u64]) -> u64 {
+    // lumen6: allow(L001)
+    let a = v.first().unwrap(); // the reasonless allow above does NOT suppress
+    // lumen6: allow(L999, unknown lint id)
+    let b = v.get(1).unwrap();
+    // lumen6: allowed(L001, wrong keyword)
+    *a + *b
+}
+
+pub fn stale(v: &[u64]) -> u64 {
+    // lumen6: allow(L001, nothing on the next line violates L001)
+    v.len() as u64
+}

@@ -1,0 +1,19 @@
+//! L001 bad fixture: panicking calls in (pretend) library-crate code.
+
+pub fn lookup(v: &[u64]) -> u64 {
+    let first = v.first().unwrap(); // line 4: .unwrap()
+    let second = v.get(1).expect("second element"); // line 5: .expect()
+    if *first > *second {
+        panic!("out of order"); // line 7: panic!
+    }
+    *first
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u64];
+        assert_eq!(v.first().unwrap(), &1); // not flagged: test module
+    }
+}

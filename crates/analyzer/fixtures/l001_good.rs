@@ -1,0 +1,20 @@
+//! L001 good fixture: typed errors, allowed escapes, and non-code
+//! occurrences that must not trip the lint.
+
+/// Doc comments may show `v.first().unwrap()` freely.
+pub fn lookup(v: &[u64]) -> Result<u64, &'static str> {
+    let first = v.first().ok_or("empty")?;
+    let msg = "string containing .unwrap() and panic!( is not code";
+    // A commented-out x.unwrap() is not code either.
+    let _ = msg;
+    Ok(*first)
+}
+
+pub fn invariant(v: &[u64]) -> u64 {
+    // lumen6: allow(L001, slice is non-empty: the caller validated length above)
+    *v.first().expect("non-empty")
+}
+
+pub fn trailing(v: &[u64]) -> u64 {
+    *v.first().unwrap() // lumen6: allow(L001, same-line allow form)
+}

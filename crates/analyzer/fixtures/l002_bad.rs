@@ -1,0 +1,5 @@
+//! L002 bad fixture: NaN-unsafe float ordering.
+
+pub fn top(rates: &mut [(u64, f64)]) {
+    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap()); // line 4
+}

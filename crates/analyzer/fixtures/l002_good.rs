@@ -1,0 +1,20 @@
+//! L002 good fixture: total_cmp ordering, and a PartialOrd impl
+//! definition (not a call) which must not be flagged.
+
+pub fn top(rates: &mut [(u64, f64)]) {
+    rates.sort_by(|a, b| b.1.total_cmp(&a.1));
+}
+
+pub struct Entry(u64);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.cmp(&other.0))
+    }
+}

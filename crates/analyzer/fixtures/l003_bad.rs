@@ -1,0 +1,12 @@
+//! L003 bad fixture: wall-clock and OS entropy in (pretend) deterministic
+//! simulation code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t0 = Instant::now(); // line 7
+    let _wall = SystemTime::now(); // line 8
+    let mut rng = rand::thread_rng(); // line 9
+    let _ = &mut rng;
+    0
+}

@@ -1,0 +1,3 @@
+//! L004 fixture: framing anchor.
+
+pub const CHECKPOINT_MAGIC: &str = "L6CK";

@@ -1,0 +1,18 @@
+//! L004 fixture: a snapshot module whose shape drifted from the committed
+//! fingerprint without a SNAPSHOT_VERSION bump.
+
+use serde::{Deserialize, Serialize};
+
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSnapshot {
+    pub version: u32,
+    pub levels: Vec<LevelState>,
+    pub sneaky_new_field: u64, // added without bumping SNAPSHOT_VERSION
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelState {
+    pub level: u8,
+}

@@ -1,0 +1,8 @@
+//! L005 bad fixture: metric names violating the crate.subsystem.metric
+//! scheme.
+
+pub fn instrument(reg: &lumen6_obs::MetricsRegistry) {
+    let _c = reg.counter("packets"); // line 5: single segment
+    let _g = reg.gauge("Detect.Queue.Depth"); // line 6: uppercase
+    let _h = reg.histogram("detect..latency_us"); // line 7: empty segment
+}

@@ -1,0 +1,285 @@
+//! Per-file analysis context: lexed tokens, test-code regions, and
+//! `// lumen6: allow(...)` suppression directives.
+
+use crate::{Finding, KNOWN_LINTS};
+use syn::{Token, TokenKind};
+
+/// A parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Lint ID being suppressed, e.g. `L001`.
+    pub lint: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Line the directive comment sits on.
+    pub line: u32,
+    /// The line the directive applies to besides its own: the next line
+    /// containing code (so a directive can sit above the offending line).
+    pub next_code_line: u32,
+    /// Set during matching; unused directives are themselves a violation.
+    pub used: bool,
+}
+
+/// Everything the token lints need to know about one source file.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Short crate directory name (`detect`, `trace`, …); `None` for the
+    /// root package / loose files.
+    pub crate_name: Option<String>,
+    /// Whole file is test or bench code (under `tests/` or `benches/`).
+    pub is_test_file: bool,
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    pub code: Vec<usize>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Suppression directives found in comments.
+    pub allows: Vec<Allow>,
+    /// Malformed-directive findings (L000), emitted unconditionally.
+    pub directive_findings: Vec<Finding>,
+}
+
+impl FileCtx {
+    /// Lexes `src` and precomputes regions and directives.
+    pub fn new(
+        rel_path: String,
+        crate_name: Option<String>,
+        is_test_file: bool,
+        src: &str,
+    ) -> Result<FileCtx, syn::LexError> {
+        let tokens = syn::tokenize(src)?;
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut ctx = FileCtx {
+            rel_path,
+            crate_name,
+            is_test_file,
+            tokens,
+            code,
+            test_ranges: Vec::new(),
+            allows: Vec::new(),
+            directive_findings: Vec::new(),
+        };
+        ctx.find_test_ranges();
+        ctx.find_allow_directives();
+        Ok(ctx)
+    }
+
+    /// Token (by code index) helper.
+    pub fn ct(&self, code_idx: usize) -> &Token {
+        &self.tokens[self.code[code_idx]]
+    }
+
+    /// True if the given line is test code.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// Scans for `#[cfg(test)]` / `#[test]`-gated items and records the
+    /// line span of each (attribute through end of item body).
+    fn find_test_ranges(&mut self) {
+        let mut i = 0;
+        while i < self.code.len() {
+            if self.ct(i).is_punct('#') && i + 1 < self.code.len() && self.ct(i + 1).is_punct('[') {
+                let attr_start = i;
+                let Some(close) = self.match_delim(i + 1, '[', ']') else {
+                    break;
+                };
+                if self.attr_is_test(attr_start + 2, close) {
+                    let start_line = self.ct(attr_start).span.line;
+                    let end = self.item_end(close + 1);
+                    let end_line = self.ct(end.min(self.code.len() - 1)).span.line;
+                    self.test_ranges.push((start_line, end_line));
+                    i = end + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does the attribute body (code indices `lo..hi`, exclusive of the
+    /// closing `]`) gate test compilation? Matches `test`, `cfg(test)`,
+    /// `cfg(any(test, …))` — but not `cfg_attr(…)` or `cfg(not(test))`.
+    fn attr_is_test(&self, lo: usize, hi: usize) -> bool {
+        if lo >= hi {
+            return false;
+        }
+        let first = self.ct(lo);
+        if first.is_ident("test") {
+            return true;
+        }
+        if !first.is_ident("cfg") {
+            return false;
+        }
+        for k in lo + 1..hi {
+            if self.ct(k).is_ident("test") {
+                let negated =
+                    k >= 2 && self.ct(k - 1).is_punct('(') && self.ct(k - 2).is_ident("not");
+                if !negated {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Given the code index of an opening delimiter, returns the index of
+    /// its matching closer.
+    pub fn match_delim(&self, open_idx: usize, open: char, close: char) -> Option<usize> {
+        let mut depth = 0usize;
+        for k in open_idx..self.code.len() {
+            let t = self.ct(k);
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    /// From a code index just past an item's attributes, finds the code
+    /// index ending the item: the brace matching its body's `{`, or a `;`
+    /// at zero delimiter depth (e.g. `use …;`, tuple structs).
+    fn item_end(&self, from: usize) -> usize {
+        let mut k = from;
+        // Skip any further attributes.
+        while k + 1 < self.code.len() && self.ct(k).is_punct('#') && self.ct(k + 1).is_punct('[') {
+            match self.match_delim(k + 1, '[', ']') {
+                Some(c) => k = c + 1,
+                None => return self.code.len() - 1,
+            }
+        }
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while k < self.code.len() {
+            let t = self.ct(k);
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') {
+                return self.match_delim(k, '{', '}').unwrap_or(self.code.len() - 1);
+            } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                return k;
+            }
+            k += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Parses `// lumen6: allow(LXXX, reason)` comments. Malformed
+    /// directives (unknown lint, missing reason) become L000 findings.
+    fn find_allow_directives(&mut self) {
+        let mut directives = Vec::new();
+        let mut bad = Vec::new();
+        for t in &self.tokens {
+            if t.kind != TokenKind::LineComment {
+                continue;
+            }
+            let body = t.text.trim_start_matches('/').trim();
+            let Some(rest) = body.strip_prefix("lumen6:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let parsed = rest
+                .strip_prefix("allow(")
+                .and_then(|r| r.strip_suffix(')'))
+                .and_then(|inner| {
+                    let (id, reason) = inner.split_once(',')?;
+                    let id = id.trim();
+                    let reason = reason.trim();
+                    let id_ok = KNOWN_LINTS.iter().any(|l| l.id == id);
+                    (id_ok && !reason.is_empty()).then(|| (id.to_string(), reason.to_string()))
+                });
+            match parsed {
+                Some((lint, reason)) => directives.push(Allow {
+                    lint,
+                    reason,
+                    line: t.span.line,
+                    next_code_line: 0,
+                    used: false,
+                }),
+                None => bad.push(Finding {
+                    lint: "L000",
+                    file: self.rel_path.clone(),
+                    line: t.span.line,
+                    col: t.span.col,
+                    message: format!(
+                        "malformed suppression {body:?}: expected \
+                         `lumen6: allow(LNNN, reason)` with a known lint ID \
+                         and a non-empty reason"
+                    ),
+                    suppressed: false,
+                    reason: None,
+                }),
+            }
+        }
+        for d in &mut directives {
+            d.next_code_line = self
+                .code
+                .iter()
+                .map(|&i| self.tokens[i].span.line)
+                .find(|&l| l > d.line)
+                .unwrap_or(u32::MAX);
+        }
+        self.allows = directives;
+        self.directive_findings = bad;
+    }
+
+    /// Applies suppression directives to `findings` (marking both sides),
+    /// then appends an L000 finding for every directive that suppressed
+    /// nothing — stale allows must not linger.
+    pub fn apply_allows(&mut self, findings: &mut Vec<Finding>) {
+        for f in findings.iter_mut() {
+            if f.lint == "L000" {
+                continue;
+            }
+            if let Some(d) = self
+                .allows
+                .iter_mut()
+                .find(|d| d.lint == f.lint && (d.line == f.line || d.next_code_line == f.line))
+            {
+                d.used = true;
+                f.suppressed = true;
+                f.reason = Some(d.reason.clone());
+            }
+        }
+        for d in self.allows.iter().filter(|d| !d.used) {
+            findings.push(Finding {
+                lint: "L000",
+                file: self.rel_path.clone(),
+                line: d.line,
+                col: 1,
+                message: format!(
+                    "unused suppression for {}: no matching finding on this \
+                     or the next code line — remove the stale allow",
+                    d.lint
+                ),
+                suppressed: false,
+                reason: None,
+            });
+        }
+        findings.append(&mut self.directive_findings);
+    }
+}

@@ -1,0 +1,194 @@
+//! Token-level lints: L001 panic-freedom, L002 float-ordering, L003
+//! determinism, L005 metric-name scheme.
+
+use crate::ctx::FileCtx;
+use crate::Finding;
+use syn::TokenKind;
+
+/// Library crates whose non-test code must be panic-free (L001). These are
+/// the crates linked into long-running services; a panic there is an
+/// outage, not a test failure.
+pub const LIBRARY_CRATES: &[&str] = &["detect", "trace", "analysis", "netmodel", "addr", "obs"];
+
+/// Crates whose whole point is seeded reproducibility (L003): simulation
+/// output must be a pure function of the seed, never of wall-clock time or
+/// OS entropy.
+pub const DETERMINISTIC_CRATES: &[&str] = &["scanners", "telescope", "netmodel", "backscatter"];
+
+fn finding(ctx: &FileCtx, lint: &'static str, code_idx: usize, message: String) -> Finding {
+    let span = ctx.ct(code_idx).span;
+    Finding {
+        lint,
+        file: ctx.rel_path.clone(),
+        line: span.line,
+        col: span.col,
+        message,
+        suppressed: false,
+        reason: None,
+    }
+}
+
+/// L001: no `.unwrap()` / `.expect(…)` / `panic!(…)` in non-test code of
+/// library crates. Guards the panic classes PR 2 fixed by hand (NaN sorts,
+/// corrupt-length pcap panics) from regressing in new forms.
+pub fn l001(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let in_scope = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| LIBRARY_CRATES.contains(&c));
+    if !in_scope || ctx.is_test_file {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.ct(i);
+        if t.kind != TokenKind::Ident || ctx.in_test(t.span.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && ctx.ct(i - 1).is_punct('.');
+        let next = ctx.code.get(i + 1).map(|_| ctx.ct(i + 1));
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next.is_some_and(|n| n.is_punct('(')) => {
+                out.push(finding(
+                    ctx,
+                    "L001",
+                    i,
+                    format!(
+                        ".{}() in library crate non-test code: return a typed \
+                         error or restructure so the invariant is expressed \
+                         without a panic path",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" if next.is_some_and(|n| n.is_punct('!')) => {
+                out.push(finding(
+                    ctx,
+                    "L001",
+                    i,
+                    "panic!() in library crate non-test code: return a typed \
+                     error instead"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// L002: no `.partial_cmp(…)` calls in non-test code — float comparisons
+/// must use `total_cmp`, which is total over NaN. Locks in the PR 2 fixes
+/// (targeting, concentration, topports, cdn) where
+/// `partial_cmp().unwrap()` panicked on NaN rates from zero-duration
+/// events.
+pub fn l002(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.ct(i);
+        if !t.is_ident("partial_cmp") || ctx.in_test(t.span.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && ctx.ct(i - 1).is_punct('.');
+        let next_paren = ctx.code.get(i + 1).is_some() && ctx.ct(i + 1).is_punct('(');
+        if prev_dot && next_paren {
+            out.push(finding(
+                ctx,
+                "L002",
+                i,
+                ".partial_cmp() call: use f64::total_cmp for float ordering \
+                 (total over NaN), or derive Ord for integer keys"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// L003: no `SystemTime::now` / `Instant::now` / `thread_rng` in the
+/// deterministic simulation crates — synthetic traces must replay
+/// bit-identically from a seed.
+pub fn l003(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let in_scope = ctx
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    if !in_scope || ctx.is_test_file {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        let t = ctx.ct(i);
+        if t.kind != TokenKind::Ident || ctx.in_test(t.span.line) {
+            continue;
+        }
+        let qualified_now = |base: &str| {
+            t.is_ident(base)
+                && i + 3 < ctx.code.len()
+                && ctx.ct(i + 1).is_punct(':')
+                && ctx.ct(i + 2).is_punct(':')
+                && ctx.ct(i + 3).is_ident("now")
+        };
+        if qualified_now("SystemTime") || qualified_now("Instant") {
+            out.push(finding(
+                ctx,
+                "L003",
+                i,
+                format!(
+                    "{}::now() in a deterministic simulation crate: thread \
+                     simulated time through explicitly, seeded from the \
+                     scenario config",
+                    t.text
+                ),
+            ));
+        } else if t.is_ident("thread_rng") {
+            out.push(finding(
+                ctx,
+                "L003",
+                i,
+                "thread_rng() in a deterministic simulation crate: use a \
+                 seeded SmallRng carried in the component state"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// L005: metric-name string literals passed to
+/// `.counter/.gauge/.histogram/.stage(…)` must satisfy the `lumen6-obs`
+/// `crate.subsystem.metric` scheme — at lint time, not first at runtime.
+pub fn l005(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_test_file {
+        return;
+    }
+    const METHODS: &[&str] = &["counter", "gauge", "histogram", "stage"];
+    for i in 0..ctx.code.len() {
+        let t = ctx.ct(i);
+        if t.kind != TokenKind::Ident
+            || !METHODS.contains(&t.text.as_str())
+            || ctx.in_test(t.span.line)
+        {
+            continue;
+        }
+        let prev_dot = i > 0 && ctx.ct(i - 1).is_punct('.');
+        if !prev_dot || i + 2 >= ctx.code.len() || !ctx.ct(i + 1).is_punct('(') {
+            continue;
+        }
+        let arg = ctx.ct(i + 2);
+        if arg.kind != TokenKind::Str {
+            continue; // Name built dynamically — runtime validate() covers it.
+        }
+        let Some(name) = arg.str_value() else {
+            continue;
+        };
+        if !lumen6_obs::valid_metric_name(&name) {
+            out.push(finding(
+                ctx,
+                "L005",
+                i + 2,
+                format!(
+                    "metric name {name:?} violates the crate.subsystem.metric \
+                     scheme (≥2 dot-separated segments of [a-z0-9_])"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p lumen6-analyzer                  # check the workspace
+//! cargo run -p lumen6-analyzer -- --json        # machine-readable report
+//! cargo run -p lumen6-analyzer -- --bless-snapshot
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/internal error.
+
+use lumen6_analyzer::{render_human, run, Options, KNOWN_LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lumen6-analyzer [options]
+  --root DIR         workspace root (default: current directory)
+  --json             print the machine-readable JSON report to stdout
+  --report FILE      also write the JSON report to FILE
+  --bless-snapshot   record the current snapshot fingerprint (L004)
+  --force-bless      bless even without a SNAPSHOT_VERSION bump
+  --file PATH        lint one file instead of the workspace (skips L004)
+  --as-crate NAME    with --file: treat it as part of crate NAME
+  --list-lints       print the lint inventory and exit
+  -h, --help         this help";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut bless = false;
+    let mut force_bless = false;
+    let mut file: Option<PathBuf> = None;
+    let mut as_crate: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--json" => json = true,
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage_error("--report needs a value"),
+            },
+            "--bless-snapshot" => bless = true,
+            "--force-bless" => force_bless = true,
+            "--file" => match args.next() {
+                Some(v) => file = Some(PathBuf::from(v)),
+                None => return usage_error("--file needs a value"),
+            },
+            "--as-crate" => match args.next() {
+                Some(v) => as_crate = Some(v),
+                None => return usage_error("--as-crate needs a value"),
+            },
+            "--list-lints" => {
+                for l in KNOWN_LINTS {
+                    println!("{}  {}", l.id, l.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let opts = Options {
+        root,
+        bless_snapshot: bless,
+        force_bless,
+        single_file: file.map(|f| (f, as_crate)),
+    };
+    let outcome = match run(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lumen6-analyzer: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json || report_path.is_some() {
+        match serde_json::to_string_pretty(&outcome) {
+            Ok(s) => {
+                if json {
+                    println!("{s}");
+                }
+                if let Some(p) = report_path {
+                    if let Err(e) = std::fs::write(&p, s + "\n") {
+                        eprintln!("lumen6-analyzer: error writing {}: {e}", p.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("lumen6-analyzer: error serializing report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !json {
+        print!("{}", render_human(&outcome));
+        if outcome.blessed {
+            println!("snapshot fingerprint blessed");
+        }
+    }
+    if outcome.unsuppressed().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lumen6-analyzer: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,249 @@
+//! L004: snapshot-format drift guard.
+//!
+//! The checkpoint format (`DetectorSnapshot` + L6CK framing) is persisted
+//! state: a field added, renamed, or re-typed without a
+//! `SNAPSHOT_VERSION` bump silently corrupts resume-from-checkpoint.
+//! This pass extracts the canonical shape of every `Serialize` type
+//! reachable from `DetectorSnapshot`, fingerprints it, and compares
+//! against the committed fingerprint file. A mismatch while the stored
+//! `snapshot_version` equals the current one is a build failure.
+
+use crate::ctx::FileCtx;
+use crate::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use syn::TokenKind;
+
+/// Committed fingerprint state (JSON, human-reviewable: the per-type
+/// canonical signatures make review diffs show *what* changed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotFingerprint {
+    /// `SNAPSHOT_VERSION` at bless time.
+    pub snapshot_version: u32,
+    /// fnv1a64 over the canonical text, hex.
+    pub fingerprint: String,
+    /// Canonical signature per reachable type.
+    pub types: BTreeMap<String, String>,
+}
+
+/// One `#[derive(…Serialize…)]` type definition found in source.
+struct SerType {
+    /// Canonical signature: attrs + body tokens joined by single spaces.
+    sig: String,
+    /// Identifiers referenced in the signature (for reachability).
+    refs: Vec<String>,
+}
+
+/// Extracts all non-test `Serialize`-derived type definitions in a file.
+fn collect_ser_types(ctx: &FileCtx, into: &mut BTreeMap<String, SerType>) {
+    let mut i = 0;
+    while i < ctx.code.len() {
+        if !(ctx.ct(i).is_punct('#') && i + 1 < ctx.code.len() && ctx.ct(i + 1).is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = ctx.match_delim(i + 1, '[', ']') else {
+            break;
+        };
+        let attr_lo = i + 2;
+        let is_ser_derive = attr_lo < close
+            && ctx.ct(attr_lo).is_ident("derive")
+            && (attr_lo..close).any(|k| ctx.ct(k).is_ident("Serialize"));
+        if !is_ser_derive || ctx.in_test(ctx.ct(i).span.line) {
+            i = close + 1;
+            continue;
+        }
+        // Capture from just past the derive attr (keeping any #[serde(…)]
+        // attrs — they change the wire format) through the item end.
+        let mut k = close + 1;
+        let mut sig_tokens: Vec<&str> = Vec::new();
+        let mut name: Option<String> = None;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while k < ctx.code.len() {
+            let t = ctx.ct(k);
+            sig_tokens.push(&t.text);
+            if name.is_none()
+                && (t.is_ident("struct") || t.is_ident("enum"))
+                && k + 1 < ctx.code.len()
+            {
+                name = Some(ctx.ct(k + 1).text.clone());
+            }
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('{') {
+                let end = ctx.match_delim(k, '{', '}').unwrap_or(ctx.code.len() - 1);
+                for m in k + 1..=end.min(ctx.code.len() - 1) {
+                    sig_tokens.push(&ctx.ct(m).text);
+                }
+                k = end;
+                break;
+            } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(name) = name {
+            let refs = {
+                let mut v: Vec<String> = Vec::new();
+                for m in close + 1..=k.min(ctx.code.len() - 1) {
+                    let t = ctx.ct(m);
+                    if t.kind == TokenKind::Ident {
+                        v.push(t.text.clone());
+                    }
+                }
+                v
+            };
+            into.insert(
+                name,
+                SerType {
+                    sig: sig_tokens.join(" "),
+                    refs,
+                },
+            );
+        }
+        i = k + 1;
+    }
+}
+
+/// Finds `const NAME … = <literal>` and returns the literal token text.
+fn const_literal(ctx: &FileCtx, name: &str) -> Option<String> {
+    for i in 0..ctx.code.len() {
+        if !ctx.ct(i).is_ident(name) {
+            continue;
+        }
+        for k in i + 1..ctx.code.len().min(i + 8) {
+            if ctx.ct(k).is_punct('=') {
+                return Some(ctx.ct(k + 1).text.clone());
+            }
+        }
+    }
+    None
+}
+
+/// FNV-1a 64-bit (matches the checksum family the snapshot writer uses).
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Computes the current fingerprint from the scanned files. Returns the
+/// fingerprint and the extracted `SNAPSHOT_VERSION`, or an error message
+/// when the anchors can't be found.
+pub fn compute(ctxs: &[FileCtx]) -> Result<SnapshotFingerprint, String> {
+    let mut all: BTreeMap<String, SerType> = BTreeMap::new();
+    for ctx in ctxs {
+        collect_ser_types(ctx, &mut all);
+    }
+    if !all.contains_key("DetectorSnapshot") {
+        return Err("DetectorSnapshot definition not found in scanned files".into());
+    }
+    // BFS over referenced identifiers that are themselves Serialize types.
+    let mut reach: BTreeSet<String> = BTreeSet::new();
+    let mut queue = vec!["DetectorSnapshot".to_string()];
+    while let Some(name) = queue.pop() {
+        if !reach.insert(name.clone()) {
+            continue;
+        }
+        if let Some(t) = all.get(&name) {
+            for r in &t.refs {
+                if all.contains_key(r) && !reach.contains(r) {
+                    queue.push(r.clone());
+                }
+            }
+        }
+    }
+    let version_txt = ctxs
+        .iter()
+        .filter(|c| c.rel_path.ends_with("snapshot.rs"))
+        .find_map(|c| const_literal(c, "SNAPSHOT_VERSION"))
+        .ok_or("SNAPSHOT_VERSION const not found (crates/detect/src/snapshot.rs)")?;
+    let snapshot_version: u32 = version_txt
+        .parse()
+        .map_err(|_| format!("SNAPSHOT_VERSION is not an integer literal: {version_txt}"))?;
+    let magic = ctxs
+        .iter()
+        .filter(|c| c.rel_path.ends_with("session.rs"))
+        .find_map(|c| const_literal(c, "CHECKPOINT_MAGIC"))
+        .ok_or("CHECKPOINT_MAGIC const not found (crates/detect/src/session.rs)")?;
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for name in &reach {
+        if let Some(t) = all.get(name) {
+            types.insert(name.clone(), t.sig.clone());
+        }
+    }
+    types.insert("__framing".into(), format!("magic={magic}"));
+
+    let mut canon = String::new();
+    for (name, sig) in &types {
+        canon.push_str(name);
+        canon.push_str(" := ");
+        canon.push_str(sig);
+        canon.push('\n');
+    }
+    Ok(SnapshotFingerprint {
+        snapshot_version,
+        fingerprint: format!("{:016x}", fnv1a64(canon.as_bytes())),
+        types,
+    })
+}
+
+/// Evaluates L004 against the committed fingerprint file contents (if
+/// any); `file_rel` is the path reported in findings.
+pub fn l004(
+    current: &SnapshotFingerprint,
+    stored: Option<&SnapshotFingerprint>,
+    file_rel: &str,
+    out: &mut Vec<Finding>,
+) {
+    let mk = |message: String| Finding {
+        lint: "L004",
+        file: file_rel.to_string(),
+        line: 1,
+        col: 1,
+        message,
+        suppressed: false,
+        reason: None,
+    };
+    match stored {
+        None => out.push(mk(format!(
+            "snapshot fingerprint file missing: run `cargo run -p \
+             lumen6-analyzer -- --bless-snapshot` to record the current \
+             format (version {})",
+            current.snapshot_version
+        ))),
+        Some(s) if s.fingerprint == current.fingerprint => {}
+        Some(s) if s.snapshot_version == current.snapshot_version => {
+            let changed: Vec<&String> = current
+                .types
+                .iter()
+                .filter(|(k, v)| s.types.get(*k) != Some(v))
+                .map(|(k, _)| k)
+                .chain(s.types.keys().filter(|k| !current.types.contains_key(*k)))
+                .collect();
+            out.push(mk(format!(
+                "serialized snapshot shape changed without a SNAPSHOT_VERSION \
+                 bump (still {}): changed types {:?} — bump SNAPSHOT_VERSION \
+                 in crates/detect/src/snapshot.rs, then re-bless",
+                s.snapshot_version, changed
+            )));
+        }
+        Some(s) => out.push(mk(format!(
+            "SNAPSHOT_VERSION bumped {} -> {} but the fingerprint file is \
+             stale: run `cargo run -p lumen6-analyzer -- --bless-snapshot` \
+             and commit the result",
+            s.snapshot_version, current.snapshot_version
+        ))),
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixture-based self-tests: every known-bad snippet must trip exactly
+//! its lint at the expected lines; known-good snippets must stay clean.
+
+use lumen6_analyzer::{run, Options};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Runs single-file analysis of a fixture as if it lived in `as_crate`.
+fn analyze(name: &str, as_crate: Option<&str>) -> lumen6_analyzer::Outcome {
+    let opts = Options {
+        root: PathBuf::from("."),
+        bless_snapshot: false,
+        force_bless: false,
+        single_file: Some((fixture(name), as_crate.map(String::from))),
+    };
+    run(&opts).expect("fixture analyzes")
+}
+
+/// (lint, line) pairs of unsuppressed findings, sorted.
+fn hits(outcome: &lumen6_analyzer::Outcome) -> Vec<(&'static str, u32)> {
+    let mut v: Vec<(&'static str, u32)> =
+        outcome.unsuppressed().map(|f| (f.lint, f.line)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn l001_bad_trips_each_panic_site() {
+    let out = analyze("l001_bad.rs", Some("detect"));
+    assert_eq!(hits(&out), vec![("L001", 4), ("L001", 5), ("L001", 7)]);
+}
+
+#[test]
+fn l001_good_is_clean_with_suppressed_allows() {
+    let out = analyze("l001_good.rs", Some("detect"));
+    assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+    let suppressed: Vec<_> = out.findings.iter().filter(|f| f.suppressed).collect();
+    assert_eq!(suppressed.len(), 2, "both allow forms must match");
+    assert!(suppressed.iter().all(|f| f.reason.is_some()));
+}
+
+#[test]
+fn l001_only_applies_to_library_crates() {
+    // Same bad file, but attributed to the CLI crate: no findings.
+    let out = analyze("l001_bad.rs", Some("cli"));
+    assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+}
+
+#[test]
+fn l002_bad_flags_partial_cmp_call() {
+    let out = analyze("l002_bad.rs", None);
+    assert_eq!(hits(&out), vec![("L002", 4)]);
+}
+
+#[test]
+fn l002_good_allows_total_cmp_and_trait_impls() {
+    let out = analyze("l002_good.rs", None);
+    assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+}
+
+#[test]
+fn l003_bad_flags_wallclock_and_entropy() {
+    let out = analyze("l003_bad.rs", Some("scanners"));
+    assert_eq!(hits(&out), vec![("L003", 7), ("L003", 8), ("L003", 9)]);
+}
+
+#[test]
+fn l003_good_is_clean_and_scoped() {
+    assert_eq!(
+        hits(&analyze("l003_good.rs", Some("scanners"))),
+        Vec::<(&str, u32)>::new()
+    );
+    // The bad file is fine in a non-deterministic crate.
+    assert_eq!(
+        hits(&analyze("l003_bad.rs", Some("detect"))),
+        Vec::<(&str, u32)>::new()
+    );
+}
+
+#[test]
+fn l005_bad_flags_scheme_violations() {
+    let out = analyze("l005_bad.rs", None);
+    assert_eq!(hits(&out), vec![("L005", 5), ("L005", 6), ("L005", 7)]);
+}
+
+#[test]
+fn l005_good_is_clean() {
+    assert_eq!(
+        hits(&analyze("l005_good.rs", None)),
+        Vec::<(&str, u32)>::new()
+    );
+}
+
+#[test]
+fn malformed_and_stale_allows_are_rejected() {
+    let out = analyze("allow_bad.rs", Some("detect"));
+    let got = hits(&out);
+    // Three malformed directives (no reason / unknown lint / wrong
+    // keyword), one stale directive, and the two unwraps the malformed
+    // directives failed to suppress.
+    assert_eq!(
+        got,
+        vec![
+            ("L000", 5),
+            ("L000", 7),
+            ("L000", 9),
+            ("L000", 14),
+            ("L001", 6),
+            ("L001", 8),
+        ]
+    );
+}
+
+#[test]
+fn l004_fixture_tree_detects_unbumped_drift() {
+    let opts = Options::workspace(fixture("l004_tree"));
+    let out = run(&opts).expect("fixture tree analyzes");
+    let l004: Vec<_> = out.unsuppressed().filter(|f| f.lint == "L004").collect();
+    assert_eq!(l004.len(), 1, "findings: {:?}", out.findings);
+    assert!(
+        l004[0].message.contains("without a SNAPSHOT_VERSION bump"),
+        "message: {}",
+        l004[0].message
+    );
+    assert!(l004[0].message.contains("DetectorSnapshot"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The acceptance criterion: zero unsuppressed violations over the
+    // actual workspace, and the committed fingerprint is current.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run(&Options::workspace(root)).expect("workspace analyzes");
+    let bad: Vec<_> = out.unsuppressed().collect();
+    assert!(bad.is_empty(), "unsuppressed violations: {bad:?}");
+    assert!(
+        out.files_scanned > 50,
+        "walker must see the whole workspace"
+    );
+}

@@ -175,7 +175,7 @@ fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 
@@ -208,7 +208,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let fx = CdnFixture::new();
     let records = fx.filtered.len();
     let bytes = encode(&fx.filtered).expect("encode fixture trace");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     const RUNS: usize = 5;
 
     let sequential_s = median_secs(RUNS, || {

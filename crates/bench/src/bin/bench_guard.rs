@@ -32,7 +32,7 @@ fn median_secs(mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

@@ -600,7 +600,10 @@ mod tests {
 
     fn run_cli(line: &[&str]) -> (String, Result<(), CliError>) {
         let mut buf = Vec::new();
-        let res = run(line.iter().map(|s| s.to_string()).collect(), &mut buf);
+        let res = run(
+            line.iter().map(std::string::ToString::to_string).collect(),
+            &mut buf,
+        );
         (String::from_utf8(buf).unwrap(), res)
     }
 

@@ -141,7 +141,11 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> Args {
-        Args::parse(v.iter().map(|s| s.to_string()), &["seed", "days", "out"]).unwrap()
+        Args::parse(
+            v.iter().map(std::string::ToString::to_string),
+            &["seed", "days", "out"],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -266,9 +266,10 @@ impl ScanDetector {
             .collect();
         let mut out = Vec::new();
         for s in idle {
-            let run = self.runs.remove(&s).expect("key collected above");
-            if let Some(e) = Self::emit(&self.config, s, run) {
-                out.push(e);
+            if let Some(run) = self.runs.remove(&s) {
+                if let Some(e) = Self::emit(&self.config, s, run) {
+                    out.push(e);
+                }
             }
         }
         out

@@ -108,7 +108,7 @@ impl ScanReport {
 
     /// Sorted scan durations in milliseconds.
     pub fn durations_ms(&self) -> Vec<u64> {
-        let mut d: Vec<u64> = self.events.iter().map(|e| e.duration_ms()).collect();
+        let mut d: Vec<u64> = self.events.iter().map(ScanEvent::duration_ms).collect();
         d.sort_unstable();
         d
     }

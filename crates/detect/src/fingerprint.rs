@@ -116,7 +116,7 @@ pub fn cluster(events: &[ScanEvent], threshold: f64) -> Vec<Cluster> {
     for (i, fp) in prints.iter().enumerate() {
         let v = fp.vector();
         let mut placed = false;
-        for (members, centroid) in clusters.iter_mut() {
+        for (members, centroid) in &mut clusters {
             let d = centroid
                 .iter()
                 .zip(v.iter())
@@ -173,7 +173,7 @@ pub fn same_actor(a_events: &[&ScanEvent], b_events: &[&ScanEvent], threshold: f
                 *a += v;
             }
         }
-        for a in acc.iter_mut() {
+        for a in &mut acc {
             *a /= events.len() as f64;
         }
         Some(acc)

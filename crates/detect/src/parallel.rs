@@ -297,6 +297,20 @@ impl ShardedDetector {
         }
     }
 
+    /// A shard's channel can only close while the pipeline is live if its
+    /// worker panicked. Joining the dead worker retrieves the original
+    /// payload so the root cause — not a secondary send/recv error —
+    /// surfaces at the call site that observed the failure.
+    fn propagate_worker_panic(&mut self, shard: usize) -> ! {
+        if shard < self.workers.len() {
+            if let Err(payload) = self.workers.remove(shard).join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        // lumen6: allow(L001, a live shard channel closed but its worker exited cleanly: unreachable by construction, and the router has no error channel to its caller)
+        panic!("shard {shard} channel closed but its worker exited cleanly");
+    }
+
     /// Sends one batch to a shard, counting a stall when the bounded
     /// channel is full and the router has to block on the worker.
     fn send_batch(&mut self, shard: usize, batch: Vec<PacketRecord>) {
@@ -305,9 +319,11 @@ impl ShardedDetector {
             Ok(()) => {}
             Err(TrySendError::Full(msg)) => {
                 self.stalls += 1;
-                self.senders[shard].send(msg).expect("shard worker alive");
+                if self.senders[shard].send(msg).is_err() {
+                    self.propagate_worker_panic(shard);
+                }
             }
-            Err(TrySendError::Disconnected(_)) => panic!("shard worker alive"),
+            Err(TrySendError::Disconnected(_)) => self.propagate_worker_panic(shard),
         }
     }
 
@@ -331,9 +347,13 @@ impl ShardedDetector {
     /// Report-neutral, like [`MultiLevelDetector::flush_idle`].
     pub fn flush_idle(&mut self, now_ms: u64) {
         self.drain_buffers();
-        for tx in &self.senders {
-            tx.send(ShardMsg::FlushIdle(now_ms))
-                .expect("shard worker alive");
+        for shard in 0..self.senders.len() {
+            if self.senders[shard]
+                .send(ShardMsg::FlushIdle(now_ms))
+                .is_err()
+            {
+                self.propagate_worker_panic(shard);
+            }
         }
     }
 
@@ -345,23 +365,27 @@ impl ShardedDetector {
         self.drain_buffers();
         // One rendezvous channel per shard; workers reply with their state
         // once they have consumed everything queued before the request.
-        let replies: Vec<_> = self
-            .senders
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = sync_channel(1);
-                tx.send(ShardMsg::Snapshot(reply_tx))
-                    .expect("shard worker alive");
-                reply_rx
-            })
-            .collect();
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if self.senders[shard]
+                .send(ShardMsg::Snapshot(reply_tx))
+                .is_err()
+            {
+                self.propagate_worker_panic(shard);
+            }
+            replies.push(reply_rx);
+        }
         let mut merged: Option<Vec<LevelState>> = None;
-        for rx in replies {
-            let states = rx.recv().expect("shard worker alive");
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let Ok(states) = rx.recv() else {
+                self.propagate_worker_panic(shard)
+            };
             match &mut merged {
                 None => merged = Some(states),
                 Some(acc) => {
                     for (a, b) in acc.iter_mut().zip(states) {
+                        // lumen6: allow(L001, every shard detector is built from the single config captured in new(), so a merge mismatch cannot occur)
                         a.merge(b).expect("shards share one config");
                     }
                 }
@@ -395,7 +419,13 @@ impl ShardedDetector {
         let mut merged: BTreeMap<AggLevel, Vec<ScanEvent>> =
             self.levels.iter().map(|&lvl| (lvl, Vec::new())).collect();
         for worker in self.workers.drain(..) {
-            for (lvl, events) in worker.join().expect("shard worker panicked") {
+            let shard_events = match worker.join() {
+                Ok(events) => events,
+                // Re-raise the worker's own panic payload: the root cause,
+                // not a generic "worker panicked" message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (lvl, events) in shard_events {
                 merged.entry(lvl).or_default().extend(events);
             }
         }

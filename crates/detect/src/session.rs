@@ -367,11 +367,10 @@ impl ReorderBuffer {
         self.seq += 1;
         self.max_ts = self.max_ts.max(rec.ts_ms);
         let horizon = self.max_ts.saturating_sub(self.watermark_ms);
-        while let Some(Reverse(e)) = self.heap.peek() {
-            if e.ts > horizon {
-                break;
+        while self.heap.peek().is_some_and(|Reverse(e)| e.ts <= horizon) {
+            if let Some(Reverse(e)) = self.heap.pop() {
+                out.push(e.rec);
             }
-            out.push(self.heap.pop().expect("peeked").0.rec);
         }
     }
 

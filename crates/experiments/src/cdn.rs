@@ -86,10 +86,10 @@ pub fn table1_totals(lab: &CdnLab) -> String {
     }
     for lvl in [AggLevel::L128, AggLevel::L64, AggLevel::L48] {
         let r = &lab.reports[&lvl];
-        let ases = lab
-            .world
-            .registry
-            .distinct_origin_ases(r.source_set().iter().map(|s| s.bits()), true);
+        let ases = lab.world.registry.distinct_origin_ases(
+            r.source_set().iter().map(lumen6_addr::Ipv6Prefix::bits),
+            true,
+        );
         t.row(vec![
             lvl.to_string(),
             r.scans().to_string(),
@@ -451,7 +451,10 @@ pub fn targets(lab: &CdnLab) -> String {
     .unwrap();
     if !as18_rows.is_empty() {
         let hidden: u64 = as18_rows.iter().map(|b| b.not_in_dns).sum();
-        let total: u64 = as18_rows.iter().map(|b| b.total()).sum();
+        let total: u64 = as18_rows
+            .iter()
+            .map(lumen6_analysis::targeting::SourceDns::total)
+            .sum();
         writeln!(
             out,
             "AS#18: {} of its probed addresses not in DNS ({})",

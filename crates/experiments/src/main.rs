@@ -91,7 +91,7 @@ fn main() {
         names = CDN_EXPERIMENTS
             .iter()
             .chain(MAWI_EXPERIMENTS)
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
     }
 
@@ -166,7 +166,7 @@ fn main() {
         if let Some(lab) = cdn.as_ref() {
             match lumen6_experiments::csv_out::export_cdn(lab, dir) {
                 Ok(files) => {
-                    eprintln!("# wrote {} CDN CSV files to {}", files.len(), dir.display())
+                    eprintln!("# wrote {} CDN CSV files to {}", files.len(), dir.display());
                 }
                 Err(e) => eprintln!("# CSV export failed: {e}"),
             }

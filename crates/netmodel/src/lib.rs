@@ -136,6 +136,15 @@ pub enum RegistryError {
     UnknownAs(u32),
     /// The exact prefix is already announced (by the contained AS).
     DuplicateAnnouncement(Ipv6Prefix, u32),
+    /// An allocation length outside the layout's supported 12..=120 range.
+    AllocationLengthOutOfRange(u8),
+    /// The slot index does not fit the allocation's prefix length.
+    SlotOverflow {
+        /// Requested slot.
+        slot: u32,
+        /// Allocation prefix length the slot must fit under.
+        len: u8,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -144,6 +153,15 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownAs(asn) => write!(f, "AS{asn} is not registered"),
             RegistryError::DuplicateAnnouncement(p, asn) => {
                 write!(f, "prefix {p} already announced by AS{asn}")
+            }
+            RegistryError::AllocationLengthOutOfRange(len) => {
+                write!(
+                    f,
+                    "allocation length /{len} outside the supported 12..=120 range"
+                )
+            }
+            RegistryError::SlotOverflow { slot, len } => {
+                write!(f, "slot {slot} does not fit a /{len} allocation")
             }
         }
     }
@@ -187,6 +205,11 @@ impl InternetRegistry {
     /// Registers an AS and announces its RIR-conventional allocation in one
     /// step, returning the allocated prefix. `slot` disambiguates multiple
     /// allocations: it is placed in the bits just below the 2000::/12 space.
+    ///
+    /// Fails with a typed error (never panics) when the slot does not fit
+    /// the allocation length, or when an equal `(length, slot)` allocation
+    /// was already announced — e.g. the same slot reused for two ASes of
+    /// the same type.
     pub fn register_with_allocation(
         &mut self,
         asn: u32,
@@ -194,28 +217,25 @@ impl InternetRegistry {
         country: &str,
         name: &str,
         slot: u32,
-    ) -> Ipv6Prefix {
-        self.register(asn, ty, country, name);
+    ) -> Result<Ipv6Prefix, RegistryError> {
         let len = alloc_len(ty);
         // Deterministic, collision-free layout inside 2000::/3: bits 3..11
         // carry the allocation *length*, so allocations of different
         // lengths live in disjoint sub-spaces, and the slot occupies the
         // lowest prefix bits, so equal-length allocations with distinct
         // slots never overlap either.
-        assert!(
-            (12..=120).contains(&len),
-            "allocation length {len} out of range"
-        );
-        assert!(
-            u64::from(slot) < (1u64 << (len - 11)),
-            "slot {slot} does not fit a /{len} allocation"
-        );
+        if !(12..=120).contains(&len) {
+            return Err(RegistryError::AllocationLengthOutOfRange(len));
+        }
+        if u64::from(slot) >= (1u64 << (len - 11)) {
+            return Err(RegistryError::SlotOverflow { slot, len });
+        }
+        self.register(asn, ty, country, name);
         let bits =
             (1u128 << 125) | (u128::from(len) << 117) | ((slot as u128) << (128 - u32::from(len)));
         let prefix = Ipv6Prefix::new(bits, len);
-        self.announce(prefix, asn)
-            .expect("length-tagged slots never collide");
-        prefix
+        self.announce(prefix, asn)?;
+        Ok(prefix)
     }
 
     /// Longest-prefix-match origin lookup.
@@ -325,13 +345,39 @@ mod tests {
     #[test]
     fn register_with_allocation_is_deterministic_and_disjoint() {
         let mut reg = InternetRegistry::new();
-        let a = reg.register_with_allocation(10, AsType::Isp, "RU", "a", 1);
-        let b = reg.register_with_allocation(11, AsType::Isp, "RU", "b", 2);
+        let a = reg
+            .register_with_allocation(10, AsType::Isp, "RU", "a", 1)
+            .unwrap();
+        let b = reg
+            .register_with_allocation(11, AsType::Isp, "RU", "b", 2)
+            .unwrap();
         assert_eq!(a.len(), 32);
         assert_ne!(a, b);
         assert!(!a.contains(&b) && !b.contains(&a));
         assert_eq!(reg.origin_asn(a.first_addr() + 5), Some(10));
         assert_eq!(reg.origin_asn(b.first_addr() + 5), Some(11));
+    }
+
+    #[test]
+    fn allocation_errors_are_typed_not_panics() {
+        let mut reg = InternetRegistry::new();
+        // Slot too large for an enterprise /48 layout (slot must fit
+        // len - 11 = 37 bits — use a /32 ISP whose budget is 21 bits).
+        let e = reg.register_with_allocation(1, AsType::Isp, "DE", "a", u32::MAX);
+        assert_eq!(
+            e,
+            Err(RegistryError::SlotOverflow {
+                slot: u32::MAX,
+                len: 32
+            })
+        );
+        // Reusing a (type, slot) pair collides on the same prefix and
+        // surfaces as a duplicate announcement, not a panic.
+        let p = reg
+            .register_with_allocation(2, AsType::Isp, "DE", "b", 7)
+            .unwrap();
+        let e = reg.register_with_allocation(3, AsType::Isp, "DE", "c", 7);
+        assert_eq!(e, Err(RegistryError::DuplicateAnnouncement(p, 2)));
     }
 
     #[test]

@@ -30,7 +30,10 @@ proptest! {
             .enumerate()
             .map(|(i, &ty)| {
                 let asn = 70_000 + i as u32;
-                (asn, reg.register_with_allocation(asn, ty, "XX", &format!("as-{i}"), 1 + i as u32))
+                let p = reg
+                    .register_with_allocation(asn, ty, "XX", &format!("as-{i}"), 1 + i as u32)
+                    .unwrap();
+                (asn, p)
             })
             .collect();
         for (i, (asn, p)) in prefixes.iter().enumerate() {
@@ -80,7 +83,10 @@ proptest! {
         let mut prefixes = Vec::new();
         for i in 0..as_count {
             let asn = 100 + i as u32;
-            prefixes.push(reg.register_with_allocation(asn, AsType::Isp, "XX", "x", 1 + i as u32));
+            prefixes.push(
+                reg.register_with_allocation(asn, AsType::Isp, "XX", "x", 1 + i as u32)
+                    .unwrap(),
+            );
         }
         let addrs: Vec<u128> = (0..addr_count)
             .map(|i| prefixes[i % prefixes.len()].first_addr() + i as u128)

@@ -225,8 +225,15 @@ impl MetricsRegistry {
     }
 
     /// Returns (creating on first use) the counter with this name.
+    ///
+    /// Lock poisoning is recovered throughout this registry: the guarded
+    /// state is plain maps of atomic handles with no multi-step invariants,
+    /// so a panic elsewhere must not take observability down with it.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Counter(Arc::clone(
             inner.counters.entry(name.to_string()).or_default(),
         ))
@@ -234,7 +241,10 @@ impl MetricsRegistry {
 
     /// Returns (creating on first use) the gauge with this name.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Gauge(Arc::clone(
             inner.gauges.entry(name.to_string()).or_default(),
         ))
@@ -242,7 +252,10 @@ impl MetricsRegistry {
 
     /// Returns (creating on first use) the histogram with this name.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Histogram(Arc::clone(
             inner
                 .histograms
@@ -258,7 +271,10 @@ impl MetricsRegistry {
 
     /// Takes a point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -302,7 +318,10 @@ impl MetricsRegistry {
     /// Zeroes every registered metric (handles stay valid). Test helper —
     /// concurrent writers may land increments before or after the sweep.
     pub fn reset(&self) {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for c in inner.counters.values() {
             c.store(0, Ordering::Relaxed);
         }
@@ -462,27 +481,33 @@ impl MetricsSnapshot {
     }
 }
 
+/// The `crate.subsystem.metric` name scheme: at least two non-empty
+/// dot-separated segments of `[a-z0-9_]`. This is the single source of
+/// truth — [`validate`] applies it to runtime snapshots and the
+/// `lumen6-analyzer` L005 lint applies it to metric-name literals at
+/// lint time.
+pub fn valid_metric_name(n: &str) -> bool {
+    !n.is_empty()
+        && n.split('.').count() >= 2
+        && n.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
 /// Validates snapshot invariants (used by the `check_metrics` CI binary and
 /// reusable from tests). Returns every violated rule.
 pub fn validate(snap: &MetricsSnapshot) -> Vec<String> {
     let mut errs = Vec::new();
-    let name_ok = |n: &str| {
-        !n.is_empty()
-            && n.split('.').count() >= 2
-            && n.split('.').all(|seg| {
-                !seg.is_empty()
-                    && seg
-                        .chars()
-                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
-            })
-    };
     for name in snap
         .counters
         .keys()
         .chain(snap.gauges.keys())
         .chain(snap.histograms.keys())
     {
-        if !name_ok(name) {
+        if !valid_metric_name(name) {
             errs.push(format!(
                 "metric name {name:?} violates the crate.subsystem.metric scheme"
             ));

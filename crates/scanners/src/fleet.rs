@@ -430,6 +430,7 @@ impl Builder<'_> {
             &format!("scan-as-{rank}"),
             rank as u32,
         );
+        let prefix = prefix.expect("fleet ranks fit the allocation layout");
         self.truth.push(GroundTruth {
             rank,
             asn,

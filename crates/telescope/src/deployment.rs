@@ -94,6 +94,7 @@ impl CdnDeployment {
                 &format!("cdn-host-{i}"),
                 config.base_slot + i as u32,
             );
+            let prefix = prefix.expect("deployment slots fit the /32 allocation layout");
             as_prefixes.push((asn, prefix));
         }
 

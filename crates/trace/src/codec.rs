@@ -392,7 +392,10 @@ fn slice_u128(data: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
     let end = *pos + 16;
     let bytes = data.get(*pos..end).ok_or(CodecError::Truncated)?;
     *pos = end;
-    Ok(u128::from_be_bytes(bytes.try_into().expect("16 bytes")))
+    // The `.get` above guarantees 16 bytes; map the impossible length
+    // mismatch to Truncated rather than carrying a panic path.
+    let arr: [u8; 16] = bytes.try_into().map_err(|_| CodecError::Truncated)?;
+    Ok(u128::from_be_bytes(arr))
 }
 
 /// A resumable decode position inside an `L6TR` stream: the byte offset of
@@ -440,7 +443,7 @@ impl<R: Read> StreamingTraceReader<R> {
     pub fn new(mut src: R) -> Result<Self, CodecError> {
         let mut header = [0u8; 5];
         read_exactly(&mut src, &mut header).inspect_err(note_decode_error)?;
-        let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
+        let magic = [header[0], header[1], header[2], header[3]];
         if &magic != MAGIC {
             let e = CodecError::BadMagic(magic);
             note_decode_error(&e);

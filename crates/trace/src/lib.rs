@@ -36,7 +36,7 @@ pub fn merge_sorted(traces: Vec<Vec<PacketRecord>>) -> Vec<PacketRecord> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let total: usize = traces.iter().map(std::vec::Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     // Heap of (next timestamp, trace index, position).
     let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();

@@ -339,8 +339,9 @@ impl<R: Read> PcapReader<R> {
                 PcapError::Io(e)
             }
         })?;
-        let magic_le = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let magic_be = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+        let magic = [header[0], header[1], header[2], header[3]];
+        let magic_le = u32::from_le_bytes(magic);
+        let magic_be = u32::from_be_bytes(magic);
         let (big_endian, nanos) = if magic_le == MAGIC_US {
             (false, false)
         } else if magic_le == MAGIC_NS {
@@ -352,7 +353,7 @@ impl<R: Read> PcapReader<R> {
         } else {
             return Err(PcapError::BadMagic(magic_le));
         };
-        let link_bytes: [u8; 4] = header[20..24].try_into().expect("4 bytes");
+        let link_bytes = [header[20], header[21], header[22], header[23]];
         let link_type = if big_endian {
             u32::from_be_bytes(link_bytes)
         } else {
@@ -379,8 +380,8 @@ impl<R: Read> PcapReader<R> {
         self.skipped
     }
 
-    fn u32_field(&self, b: &[u8], o: usize) -> u32 {
-        let arr: [u8; 4] = b[o..o + 4].try_into().expect("4 bytes");
+    fn u32_field(&self, b: &[u8; 16], o: usize) -> u32 {
+        let arr = [b[o], b[o + 1], b[o + 2], b[o + 3]];
         if self.big_endian {
             u32::from_be_bytes(arr)
         } else {

@@ -113,7 +113,7 @@ proptest! {
                     .collect()
             })
             .collect();
-        let total: usize = traces.iter().map(|t| t.len()).sum();
+        let total: usize = traces.iter().map(std::vec::Vec::len).sum();
         let merged = merge_sorted(traces);
         prop_assert_eq!(merged.len(), total);
         prop_assert!(merged.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));

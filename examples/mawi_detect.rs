@@ -7,7 +7,7 @@
 //! ```
 
 use lumen6::addr::HammingDistribution;
-use lumen6::detect::{AggLevel, MawiConfig as FhConfig, MawiDetector};
+use lumen6::detect::{AggLevel, MawiConfig as FhConfig, MawiDetector, MawiScan};
 use lumen6::mawi::{split_days, MawiConfig, MawiWorld};
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         let mut icmp_days = 0;
         for (_, slice) in split_days(&trace, 0, days) {
             let scans = det.detect(slice);
-            if scans.iter().any(|s| s.is_icmpv6()) {
+            if scans.iter().any(MawiScan::is_icmpv6) {
                 icmp_days += 1;
             }
             daily.push(scans.len());

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use lumen6::netmodel::AsInfo;
 use lumen6::prelude::*;
 
 fn main() {
@@ -49,7 +50,7 @@ fn main() {
             .registry
             .origin_asn(source.bits())
             .and_then(|asn| world.registry.as_info(asn))
-            .map(|i| i.descriptor())
+            .map(AsInfo::descriptor)
             .unwrap_or_else(|| "unknown".into());
         println!("  {source}  {packets} packets  [{who}]");
     }

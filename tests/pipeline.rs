@@ -246,7 +246,7 @@ fn most_sources_target_only_dns_exposed_addresses() {
         .filter(|b| as18.contains(&b.source))
         .collect();
     let hidden: u64 = as18_rows.iter().map(|b| b.not_in_dns).sum();
-    let total: u64 = as18_rows.iter().map(|b| b.total()).sum();
+    let total: u64 = as18_rows.iter().map(targeting::SourceDns::total).sum();
     let frac = hidden as f64 / total as f64;
     assert!((0.4..0.6).contains(&frac), "AS18 hidden fraction {frac}");
 }

@@ -1,0 +1,516 @@
+//! Offline stand-in for `syn`: the exact subset `lumen6-analyzer` uses.
+//!
+//! The real `syn` crate is a full Rust parser built on `proc-macro2` token
+//! streams. This build environment has no registry access, so — following
+//! the workspace's vendoring convention — this stand-in implements only
+//! what the analyzer consumes: a faithful *lexer* that turns Rust source
+//! into a flat stream of spanned tokens (identifiers, literals,
+//! punctuation, comments), plus small helpers for reading literal values.
+//!
+//! Fidelity matters for a lint driver: `unwrap` inside a string literal or
+//! a doc comment must not trip a panic-freedom lint. The lexer therefore
+//! handles the full literal grammar the workspace uses: nested block
+//! comments, raw strings with arbitrary `#` counts, byte strings, char
+//! literals vs. lifetimes, raw identifiers, and numeric literals with
+//! suffixes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Coarse token classification — everything a token-level lint needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `foo`, `self`, keywords — any identifier-shaped word.
+    Ident,
+    /// `r#type` — raw identifier (text retains the `r#` prefix).
+    RawIdent,
+    /// `'a`, `'static`.
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// `"..."` or `r"..."`/`r#"..."#` — text retains the quotes/hashes.
+    Str,
+    /// `b"..."` / `br#"..."#`.
+    ByteStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, …).
+    Punct,
+    /// `// …` including `///` and `//!` doc comments (text retains `//`).
+    LineComment,
+    /// `/* … */` including doc variants; nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// Position of the token's first character.
+    pub span: Span,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True for line or block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// For [`TokenKind::Str`] tokens: the literal's *value* (delimiters
+    /// stripped, standard escapes decoded). `None` for other kinds.
+    pub fn str_value(&self) -> Option<String> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let t = &self.text;
+        if let Some(rest) = t.strip_prefix('r') {
+            // r"…" or r#"…"# — no escapes inside raw strings.
+            let hashes = rest.chars().take_while(|&c| c == '#').count();
+            let inner = &rest[hashes..];
+            let inner = inner.strip_prefix('"')?;
+            let inner = inner.strip_suffix(&format!("\"{}", "#".repeat(hashes)))?;
+            return Some(inner.to_string());
+        }
+        let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('\'') => out.push('\''),
+                // \u{…}, \xNN and anything exotic: keep verbatim — lints
+                // only compare against plain ASCII schemes.
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        Some(out)
+    }
+}
+
+/// A lexing failure (unterminated literal or comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the offending construct started.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if !(0x80..0xC0).contains(&b) {
+            // Count a multi-byte UTF-8 sequence as one column: only the
+            // leading byte advances the column.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn err(&self, span: Span, message: &str) -> LexError {
+        LexError {
+            span,
+            message: message.to_string(),
+        }
+    }
+
+    /// Consumes a double-quoted string body (opening quote already
+    /// consumed), honoring backslash escapes.
+    fn finish_quoted(&mut self, start_span: Span) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+                None => return Err(self.err(start_span, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// Consumes a raw string: caller consumed the `r`/`br` prefix; `self`
+    /// is positioned at the first `#` or the opening quote.
+    fn finish_raw(&mut self, start_span: Span) -> Result<(), LexError> {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.bump() != Some(b'"') {
+            return Err(self.err(start_span, "malformed raw string literal"));
+        }
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err(start_span, "unterminated raw string literal")),
+            }
+        }
+    }
+
+    /// Consumes a char/byte literal body (opening `'` already consumed).
+    fn finish_char(&mut self, start_span: Span) -> Result<(), LexError> {
+        match self.bump() {
+            Some(b'\\') => {
+                self.bump();
+                // \u{...} — consume through the closing brace.
+                if self.peek(0) == Some(b'{') {
+                    self.take_while(|b| b != b'}');
+                    self.bump();
+                }
+            }
+            Some(_) => {}
+            None => return Err(self.err(start_span, "unterminated char literal")),
+        }
+        // Escapes like \x7f leave trailing hex digits before the quote.
+        self.take_while(|b| b != b'\'' && b != b'\n');
+        if self.bump() != Some(b'\'') {
+            return Err(self.err(start_span, "unterminated char literal"));
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) {
+        // Integer part (covers 0x/0o/0b bodies and type suffixes).
+        self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        // Fraction only when followed by a digit: `1..4` stays two tokens.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+        // Exponent sign: 1e-9 / 1E+9.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self
+                .src
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|&b| b == b'e' || b == b'E')
+        {
+            self.bump();
+            self.take_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        }
+    }
+}
+
+/// Tokenizes Rust source, comments included.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        lx.take_while(|b| b.is_ascii_whitespace());
+        let span = lx.span();
+        let start = lx.pos;
+        let Some(b) = lx.peek(0) else {
+            return Ok(out);
+        };
+        let kind = match b {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.take_while(|b| b != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                loop {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth += 1;
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => return Err(lx.err(span, "unterminated block comment")),
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.finish_quoted(span)?;
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime vs char literal: 'a followed by another ident
+                // char or not followed by a closing quote is a lifetime.
+                let one = lx.peek(1);
+                let two = lx.peek(2);
+                let is_lifetime = match one {
+                    Some(c) if is_ident_start(c) => two != Some(b'\''),
+                    _ => false,
+                };
+                lx.bump();
+                if is_lifetime {
+                    lx.take_while(is_ident_continue);
+                    TokenKind::Lifetime
+                } else {
+                    lx.finish_char(span)?;
+                    TokenKind::Char
+                }
+            }
+            b'r' if lx.peek(1) == Some(b'#') && lx.peek(2).is_some_and(is_ident_start) => {
+                lx.bump();
+                lx.bump();
+                lx.take_while(is_ident_continue);
+                TokenKind::RawIdent
+            }
+            b'r' if matches!(lx.peek(1), Some(b'"') | Some(b'#')) => {
+                lx.bump();
+                lx.finish_raw(span)?;
+                TokenKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.bump();
+                lx.bump();
+                lx.finish_quoted(span)?;
+                TokenKind::ByteStr
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.bump();
+                lx.bump();
+                lx.finish_char(span)?;
+                TokenKind::Char
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                lx.bump();
+                lx.bump();
+                lx.finish_raw(span)?;
+                TokenKind::ByteStr
+            }
+            c if is_ident_start(c) => {
+                lx.take_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lx.number();
+                TokenKind::Number
+            }
+            _ => {
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            text: lx.text_from(start),
+            span,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("x.unwrap()");
+        assert_eq!(t[0], (TokenKind::Ident, "x".into()));
+        assert_eq!(t[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokenKind::Ident, "unwrap".into()));
+        assert_eq!(t[3], (TokenKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let t = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(!t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r##"r#"inner "quoted" text"# x"##);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn str_value_unescapes() {
+        let t = tokenize(r#""a\nb""#).unwrap();
+        assert_eq!(t[0].str_value().unwrap(), "a\nb");
+        let t = tokenize(r###"r#"a"b"#"###).unwrap();
+        assert_eq!(t[0].str_value().unwrap(), "a\"b");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("&'a str; 'x'; '\\n'; b'z'");
+        assert_eq!(t[1], (TokenKind::Lifetime, "'a".into()));
+        assert!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count() == 3);
+    }
+
+    #[test]
+    fn comments_nested_and_doc() {
+        let t = kinds("/* a /* b */ c */ /// doc .unwrap()\ncode");
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert_eq!(t[1].0, TokenKind::LineComment);
+        assert_eq!(t[2], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines() {
+        let t = tokenize("a\n  b").unwrap();
+        assert_eq!((t[0].span.line, t[0].span.col), (1, 1));
+        assert_eq!((t[1].span.line, t[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let t = kinds("0..16");
+        assert_eq!(t[0], (TokenKind::Number, "0".into()));
+        assert_eq!(t[1].0, TokenKind::Punct);
+        assert_eq!(t[2].0, TokenKind::Punct);
+        assert_eq!(t[3], (TokenKind::Number, "16".into()));
+    }
+
+    #[test]
+    fn float_with_exponent_and_suffix() {
+        let t = kinds("1.5e-9f64 2u32");
+        assert_eq!(t[0], (TokenKind::Number, "1.5e-9f64".into()));
+        assert_eq!(t[1], (TokenKind::Number, "2u32".into()));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = kinds("r#type");
+        assert_eq!(t[0], (TokenKind::RawIdent, "r#type".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("/* abc").is_err());
+    }
+}
