@@ -8,7 +8,9 @@ use syn::TokenKind;
 /// Library crates whose non-test code must be panic-free (L001). These are
 /// the crates linked into long-running services; a panic there is an
 /// outage, not a test failure.
-pub const LIBRARY_CRATES: &[&str] = &["detect", "trace", "analysis", "netmodel", "addr", "obs"];
+pub const LIBRARY_CRATES: &[&str] = &[
+    "detect", "trace", "analysis", "netmodel", "addr", "obs", "mawi", "report",
+];
 
 /// Crates whose whole point is seeded reproducibility (L003): simulation
 /// output must be a pure function of the seed, never of wall-clock time or

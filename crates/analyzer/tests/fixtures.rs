@@ -52,6 +52,19 @@ fn l001_only_applies_to_library_crates() {
 }
 
 #[test]
+fn l001_covers_mawi_and_report_crates() {
+    // The panic-freedom scope includes the mawi and report library crates.
+    for krate in ["mawi", "report"] {
+        let out = analyze("l001_bad.rs", Some(krate));
+        assert_eq!(
+            hits(&out),
+            vec![("L001", 4), ("L001", 5), ("L001", 7)],
+            "crate {krate} must be in L001 scope"
+        );
+    }
+}
+
+#[test]
 fn l002_bad_flags_partial_cmp_call() {
     let out = analyze("l002_bad.rs", None);
     assert_eq!(hits(&out), vec![("L002", 4)]);

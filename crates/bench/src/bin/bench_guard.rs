@@ -1,27 +1,36 @@
 //! Bench regression guard for CI.
 //!
-//! Re-measures sequential multi-level detection throughput on the standard
+//! Re-measures the batched columnar detection hot path on the standard
 //! bench fixture and compares it against the committed baseline in
 //! `BENCH_detection.json`. Exits non-zero when:
 //!
-//! - sequential throughput regressed more than the tolerance (default 10%,
-//!   override with `BENCH_GUARD_TOLERANCE=0.25`), or
-//! - the session-layer ingest (the `Detect`-trait drive `lumen6 detect`
-//!   uses) costs more than the allowed overhead over raw sequential
-//!   detection (default 5%, override with `BENCH_GUARD_SESSION_OVERHEAD`).
+//! - sequential (batched) throughput regressed more than the tolerance
+//!   (default 10%, override with `BENCH_GUARD_TOLERANCE=0.25`),
+//! - the session-layer ingest (the `Detect`-trait staged-batch drive
+//!   `lumen6 detect` uses) costs more than the allowed overhead over raw
+//!   sequential detection (default 5%, override with
+//!   `BENCH_GUARD_SESSION_OVERHEAD`), or
+//! - streaming chunked decode is slower than materialize-then-detect by
+//!   more than the parity tolerance (default 10%, override with
+//!   `BENCH_GUARD_STREAM_TOLERANCE`) — both sides feed the same batched
+//!   detector, so the comparison isolates decode strategy.
 //!
 //! Run with `cargo run --release -p lumen6-bench --bin bench_guard`; a debug
 //! build measures debug-build throughput, which is meaningless against a
 //! release baseline.
 
 use lumen6_bench::CdnFixture;
-use lumen6_detect::multi::detect_multi;
+use lumen6_detect::multi::MultiLevelDetector;
 use lumen6_detect::{AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig};
+use lumen6_trace::codec::{decode, decode_chunks, encode};
+use lumen6_trace::{PacketRecord, RecordBatch};
 use serde::value::Value;
 use std::time::Instant;
 
 const LEVELS: [AggLevel; 3] = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
 const RUNS: usize = 5;
+/// Records per columnar batch — matches the `detection` bench.
+const BATCH: usize = 8_192;
 
 /// Median wall-clock seconds over `RUNS` runs of `f`.
 fn median_secs(mut f: impl FnMut()) -> f64 {
@@ -34,6 +43,19 @@ fn median_secs(mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// Batched sequential multi-level detection over a resident slice — the
+/// same hot path `emit_bench_json` measures for the baseline.
+fn detect_batched(records: &[PacketRecord]) {
+    let mut det = MultiLevelDetector::new(&LEVELS, ScanDetectorConfig::default());
+    let mut batch = RecordBatch::with_capacity(BATCH);
+    for part in records.chunks(BATCH) {
+        batch.clear();
+        batch.extend(part.iter().copied());
+        det.observe_batch(&batch);
+    }
+    std::hint::black_box(det.finish());
 }
 
 fn as_f64(v: &Value) -> Option<f64> {
@@ -68,17 +90,13 @@ fn main() {
         .expect("baseline sequential.records_per_s");
     let tolerance = env_f64("BENCH_GUARD_TOLERANCE", 0.10);
     let max_overhead = env_f64("BENCH_GUARD_SESSION_OVERHEAD", 0.05);
+    let stream_tolerance = env_f64("BENCH_GUARD_STREAM_TOLERANCE", 0.10);
 
     let fx = CdnFixture::new();
     let records = fx.filtered.len() as f64;
+    let bytes = encode(&fx.filtered).expect("encode fixture trace");
 
-    let sequential_s = median_secs(|| {
-        std::hint::black_box(detect_multi(
-            &fx.filtered,
-            &LEVELS,
-            ScanDetectorConfig::default(),
-        ));
-    });
+    let sequential_s = median_secs(|| detect_batched(&fx.filtered));
     let session_s = median_secs(|| {
         let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
             .levels(&LEVELS)
@@ -86,17 +104,40 @@ fn main() {
             .build();
         let mut buf = ReorderBuffer::new(0);
         let mut ready = Vec::new();
+        let mut staged = RecordBatch::with_capacity(BATCH);
         for r in &fx.filtered {
             buf.push(*r, &mut ready);
             for r in ready.drain(..) {
-                det.observe(&r);
+                staged.push(r);
+                if staged.len() >= BATCH {
+                    det.observe_batch(&staged);
+                    staged.clear();
+                }
             }
+        }
+        if !staged.is_empty() {
+            det.observe_batch(&staged);
+        }
+        std::hint::black_box(det.finish());
+    });
+    let materialized_s = median_secs(|| {
+        let recs = decode(&bytes).expect("decode");
+        detect_batched(&recs);
+    });
+    let streaming_s = median_secs(|| {
+        let mut chunks = decode_chunks(&bytes[..], BATCH).expect("header");
+        let mut det = MultiLevelDetector::new(&LEVELS, ScanDetectorConfig::default());
+        let mut batch = RecordBatch::with_capacity(BATCH);
+        while let Some(res) = chunks.next_batch(&mut batch) {
+            res.expect("chunk");
+            det.observe_batch(&batch);
         }
         std::hint::black_box(det.finish());
     });
 
     let current_rps = records / sequential_s;
     let overhead = session_s / sequential_s - 1.0;
+    let stream_ratio = streaming_s / materialized_s - 1.0;
     println!(
         "bench_guard: sequential {current_rps:.0} rec/s (baseline {baseline_rps:.0}, \
          tolerance {:.0}%)",
@@ -107,6 +148,12 @@ fn main() {
         records / session_s,
         overhead * 100.0,
         max_overhead * 100.0
+    );
+    println!(
+        "bench_guard: streaming decode {streaming_s:.6}s vs materialized \
+         {materialized_s:.6}s, {:+.1}% (limit {:.0}%)",
+        stream_ratio * 100.0,
+        stream_tolerance * 100.0
     );
 
     let mut failed = false;
@@ -123,6 +170,15 @@ fn main() {
             "bench_guard: FAIL — session-layer overhead {:.1}% exceeds {:.1}%",
             overhead * 100.0,
             max_overhead * 100.0
+        );
+        failed = true;
+    }
+    if stream_ratio > stream_tolerance {
+        eprintln!(
+            "bench_guard: FAIL — streaming decode {:.1}% slower than materialized \
+             (allowed {:.1}%)",
+            stream_ratio * 100.0,
+            stream_tolerance * 100.0
         );
         failed = true;
     }

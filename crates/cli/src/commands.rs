@@ -37,7 +37,7 @@ USAGE:
                 [--timeout-secs N] [--prefilter] [--top N] [--json]
                 [--threads N] [--sequential] [--metrics-out FILE.json]
                 [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
-                [--watermark-secs N] [--strict]
+                [--watermark-secs N] [--strict] [--batch N]
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -70,6 +70,7 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "checkpoint-every",
             "stop-after",
             "watermark-secs",
+            "batch",
         ],
     )?;
     let cmd = args
@@ -236,6 +237,7 @@ fn session_config(args: &Args) -> Result<SessionConfig, CliError> {
         checkpoint,
         flush_idle_every_ms: 0,
         strict: args.has("strict"),
+        batch: args.get_parsed::<usize>("batch", lumen6_detect::DEFAULT_SESSION_BATCH)?,
     })
 }
 
@@ -286,9 +288,15 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             filter_report.input_packets,
             filter_report.removed_sources
         )?;
+        // Feed the resident records through the columnar batch path: same
+        // results as per-record observe, one run-state lookup per
+        // (source, batch).
         let mut det = builder.build();
-        for r in &kept {
-            det.observe(r);
+        let mut batch = lumen6_trace::RecordBatch::with_capacity(session.batch.max(1));
+        for part in kept.chunks(session.batch.max(1)) {
+            batch.clear();
+            batch.extend(part.iter().copied());
+            det.observe_batch(&batch);
         }
         det.finish().remove(&agg).expect("requested level present")
     } else {
@@ -688,6 +696,38 @@ mod tests {
         let (auto, res) = run_cli(&["detect", "--trace", p, "--min-dsts", "50"]);
         res.unwrap();
         assert_eq!(auto, seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_size_does_not_change_output() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&[
+            "generate", "cdn", "--out", p, "--days", "6", "--seed", "11", "--small",
+        ])
+        .1
+        .unwrap();
+
+        let (reference, res) =
+            run_cli(&["detect", "--trace", p, "--min-dsts", "50", "--sequential"]);
+        res.unwrap();
+        for batch in ["1", "17", "100000"] {
+            let (out, res) = run_cli(&[
+                "detect",
+                "--trace",
+                p,
+                "--min-dsts",
+                "50",
+                "--sequential",
+                "--batch",
+                batch,
+            ]);
+            res.unwrap();
+            assert_eq!(out, reference, "--batch {batch} output differs");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

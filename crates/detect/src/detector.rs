@@ -16,12 +16,13 @@
 
 use crate::aggregate::AggLevel;
 use crate::event::{ScanEvent, ScanReport};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::sketch::{DistinctCounter, SketchConfig};
 use crate::snapshot::{CounterState, LevelState, RunState};
 use lumen6_addr::Ipv6Prefix;
-use lumen6_trace::{PacketRecord, Transport};
+use lumen6_trace::{PacketRecord, RecordBatch, Transport};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Configuration of the large-scale scan definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,9 +81,9 @@ struct SourceRun {
     last_ms: u64,
     packets: u64,
     dsts: DistinctCounter,
-    dst_list: Option<HashSet<u128>>,
+    dst_list: Option<FxHashSet<u128>>,
     srcs: DistinctCounter,
-    ports: HashMap<(Transport, u16), u64>,
+    ports: FxHashMap<(Transport, u16), u64>,
 }
 
 impl SourceRun {
@@ -92,11 +93,28 @@ impl SourceRun {
             last_ms: ts,
             packets: 0,
             dsts: DistinctCounter::new(),
-            dst_list: keep_dsts.then(HashSet::new),
+            dst_list: keep_dsts.then(FxHashSet::default),
             srcs: DistinctCounter::new(),
-            ports: HashMap::new(),
+            ports: FxHashMap::default(),
         }
     }
+}
+
+/// Reusable grouping scratch for [`ScanDetector::observe_batch`]: index
+/// vectors and closure buffers survive across batches so the batched path
+/// allocates nothing in steady state. Never serialized — it carries no
+/// detector state between batches.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Source → position in `groups` for the batch being processed.
+    index: FxHashMap<Ipv6Prefix, u32>,
+    /// Per-source record indices (into the batch), in arrival order.
+    groups: Vec<(Ipv6Prefix, Vec<u32>)>,
+    /// Recycled index vectors.
+    pool: Vec<Vec<u32>>,
+    /// Closed events tagged with the batch index of the closing record, so
+    /// emission order can be restored to exact arrival order.
+    closed: Vec<(u32, ScanEvent)>,
 }
 
 /// Memory-footprint snapshot of a running detector (what an operator
@@ -132,13 +150,19 @@ pub struct DetectorMemory {
 #[derive(Debug)]
 pub struct ScanDetector {
     config: ScanDetectorConfig,
-    runs: HashMap<Ipv6Prefix, SourceRun>,
+    runs: FxHashMap<Ipv6Prefix, SourceRun>,
     observed: u64,
     runs_opened: u64,
     /// Mid-stream events accumulated when this detector is driven through
     /// the unified [`Detect`](crate::session::Detect) trait (whose `observe`
     /// returns nothing); empty when driven via the inherent API.
     pub(crate) pending: Vec<ScanEvent>,
+    scratch: BatchScratch,
+    /// Batched-path statistics: records ingested via `observe_batch` and
+    /// how many of them hit the last-source memo (consecutive records from
+    /// the same aggregated source, the common shape of scan traffic).
+    batch_records: u64,
+    memo_hits: u64,
 }
 
 impl ScanDetector {
@@ -146,10 +170,13 @@ impl ScanDetector {
     pub fn new(config: ScanDetectorConfig) -> Self {
         ScanDetector {
             config,
-            runs: HashMap::new(),
+            runs: FxHashMap::default(),
             observed: 0,
             runs_opened: 0,
             pending: Vec::new(),
+            scratch: BatchScratch::default(),
+            batch_records: 0,
+            memo_hits: 0,
         }
     }
 
@@ -254,6 +281,127 @@ impl ScanDetector {
         closed
     }
 
+    /// Feeds a decoded [`RecordBatch`] (struct-of-arrays) through the
+    /// batched hot path. Returns every scan event closed by records in the
+    /// batch, in exact arrival order — byte-for-byte the same events, state,
+    /// and ordering as feeding each record through
+    /// [`observe`](Self::observe) individually.
+    ///
+    /// The batch is grouped by aggregated source prefix first, so the
+    /// per-source run state is looked up in the runs map once per
+    /// (source, batch) instead of once per packet; a last-source memo makes
+    /// the grouping itself O(1) per record for bursty scan traffic.
+    pub fn observe_batch(&mut self, batch: &RecordBatch) -> Vec<ScanEvent> {
+        self.observe_batch_with(batch.len(), |i| batch.get(i))
+    }
+
+    /// [`observe_batch`](Self::observe_batch) over a plain record slice
+    /// (the sharded pipeline's worker channels carry `Vec<PacketRecord>`).
+    pub fn observe_records(&mut self, records: &[PacketRecord]) -> Vec<ScanEvent> {
+        self.observe_batch_with(records.len(), |i| records[i])
+    }
+
+    /// Records ingested through the batched path and how many hit the
+    /// last-source memo, for the obs hit-rate counters.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (self.batch_records, self.memo_hits)
+    }
+
+    fn observe_batch_with(
+        &mut self,
+        n: usize,
+        rec: impl Fn(usize) -> PacketRecord,
+    ) -> Vec<ScanEvent> {
+        let (spill, precision) = self
+            .config
+            .sketch
+            .map_or((usize::MAX, 12), |s| (s.spill_threshold, s.precision));
+        let keep = self.config.keep_dsts;
+        let timeout = self.config.timeout_ms;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let BatchScratch {
+            index,
+            groups,
+            pool,
+            closed,
+        } = &mut scratch;
+
+        // Phase 1: group record indices by aggregated source, preserving
+        // arrival order within each group. Consecutive same-source records
+        // (the dominant pattern under scan traffic) skip the map entirely.
+        let mut last: Option<(Ipv6Prefix, u32)> = None;
+        let mut memo_hits = 0u64;
+        for i in 0..n {
+            let source = self.config.agg.source_of(rec(i).src);
+            let gi = match last {
+                Some((s, g)) if s == source => {
+                    memo_hits += 1;
+                    g
+                }
+                _ => *index.entry(source).or_insert_with(|| {
+                    let g = groups.len() as u32;
+                    groups.push((source, pool.pop().unwrap_or_default()));
+                    g
+                }),
+            };
+            groups[gi as usize].1.push(i as u32);
+            last = Some((source, gi));
+        }
+
+        // Phase 2: one runs-map lookup per (source, batch), then replay the
+        // group's records against the held run. Per-source state depends
+        // only on that source's subsequence, so processing groups out of
+        // arrival order cannot change any run or counter.
+        let mut opened = 0u64;
+        for (source, idxs) in groups.iter_mut() {
+            let run = match self.runs.entry(*source) {
+                std::collections::hash_map::Entry::Occupied(occ) => occ.into_mut(),
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    opened += 1;
+                    let first = rec(idxs[0] as usize);
+                    vac.insert(SourceRun::new(first.ts_ms, keep))
+                }
+            };
+            for &i in idxs.iter() {
+                let r = rec(i as usize);
+                debug_assert_eq!(*source, self.config.agg.source_of(r.src));
+                let gap = r.ts_ms.saturating_sub(run.last_ms);
+                if gap > timeout {
+                    let old = std::mem::replace(run, SourceRun::new(r.ts_ms, keep));
+                    opened += 1;
+                    if let Some(e) = Self::emit(&self.config, *source, old) {
+                        closed.push((i, e));
+                    }
+                }
+                run.last_ms = run.last_ms.max(r.ts_ms);
+                run.packets += 1;
+                run.dsts.insert(r.dst, spill, precision);
+                if let Some(list) = run.dst_list.as_mut() {
+                    list.insert(r.dst);
+                }
+                run.srcs.insert(r.src, spill, precision);
+                *run.ports.entry((r.proto, r.dport)).or_default() += 1;
+            }
+        }
+
+        // Phase 3: restore exact arrival order for the closure events (a
+        // record closes at most one run, so sorting by batch index alone is
+        // total) and recycle the scratch buffers.
+        closed.sort_unstable_by_key(|&(i, _)| i);
+        let out: Vec<ScanEvent> = closed.drain(..).map(|(_, e)| e).collect();
+        for (_, mut v) in groups.drain(..) {
+            v.clear();
+            pool.push(v);
+        }
+        index.clear();
+        self.scratch = scratch;
+        self.observed += n as u64;
+        self.runs_opened += opened;
+        self.batch_records += n as u64;
+        self.memo_hits += memo_hits;
+        out
+    }
+
     /// Closes and returns qualifying runs idle since before
     /// `now - timeout`. Lets a long-running deployment bound state size.
     pub fn flush_idle(&mut self, now_ms: u64) -> Vec<ScanEvent> {
@@ -277,7 +425,17 @@ impl ScanDetector {
 
     /// Ends the stream: closes every open run and returns the qualifying
     /// events, sorted by (start time, source) for determinism.
+    ///
+    /// If the batch path was used, flushes its telemetry
+    /// (`detect.batch.records` / `detect.batch.memo_hits`) to the global
+    /// metrics registry — accumulated as plain integers during the stream
+    /// so the hot path stays free of atomics.
     pub fn finish(mut self) -> Vec<ScanEvent> {
+        if self.batch_records > 0 {
+            let reg = lumen6_obs::MetricsRegistry::global();
+            reg.counter("detect.batch.records").add(self.batch_records);
+            reg.counter("detect.batch.memo_hits").add(self.memo_hits);
+        }
         let mut out: Vec<ScanEvent> = self
             .runs
             .drain()
@@ -376,6 +534,9 @@ impl ScanDetector {
             observed: state.observed,
             runs_opened: state.runs_opened,
             pending: state.pending.clone(),
+            scratch: BatchScratch::default(),
+            batch_records: 0,
+            memo_hits: 0,
         }
     }
 }
@@ -466,6 +627,82 @@ mod tests {
         recs.extend(burst(1, 99_000 + HOUR + 1, 100, 22));
         let report = detect(&recs, ScanDetectorConfig::paper(AggLevel::L128));
         assert_eq!(report.scans(), 2);
+    }
+
+    /// A mixed workload: interleaved sources, a timeout split, and
+    /// sub-threshold noise — exercises memo hits, group reuse, and
+    /// mid-batch closures.
+    fn mixed_workload() -> Vec<PacketRecord> {
+        let mut recs = Vec::new();
+        for s in 0..5u64 {
+            recs.extend(burst(0x2001_0000 + u128::from(s), s * 137, 110 + s, 22));
+        }
+        recs.extend(burst(0x2001_0000, 200_000 + HOUR + 1, 120, 443));
+        recs.extend(burst(0x9999, 50_000, 20, 53)); // below min_dsts
+        lumen6_trace::sort_by_time(&mut recs);
+        recs
+    }
+
+    #[test]
+    fn observe_batch_matches_per_record() {
+        for cfg in [
+            ScanDetectorConfig::paper(AggLevel::L128),
+            ScanDetectorConfig::paper(AggLevel::L64),
+            ScanDetectorConfig {
+                keep_dsts: true,
+                ..ScanDetectorConfig::paper(AggLevel::L128)
+            },
+            ScanDetectorConfig {
+                sketch: Some((64, 12).into()),
+                ..ScanDetectorConfig::paper(AggLevel::L128)
+            },
+        ] {
+            let recs = mixed_workload();
+            let mut per_record = ScanDetector::new(cfg.clone());
+            let mut per_events = Vec::new();
+            for r in &recs {
+                per_events.extend(per_record.observe(r));
+            }
+
+            // Awkward batch sizes: mid-run splits, size-1 batches.
+            for chunk in [1usize, 7, 64, recs.len()] {
+                let mut batched = ScanDetector::new(cfg.clone());
+                let mut bat_events = Vec::new();
+                for part in recs.chunks(chunk) {
+                    let batch: RecordBatch = part.iter().copied().collect();
+                    bat_events.extend(batched.observe_batch(&batch));
+                }
+                assert_eq!(bat_events, per_events, "chunk={chunk}: events");
+                assert_eq!(
+                    batched.state(),
+                    per_record.state(),
+                    "chunk={chunk}: snapshot state"
+                );
+                assert_eq!(batched.observed(), per_record.observed());
+                assert_eq!(batched.runs_opened(), per_record.runs_opened());
+            }
+        }
+    }
+
+    #[test]
+    fn observe_records_slice_path_matches_batch_path() {
+        let recs = mixed_workload();
+        let cfg = ScanDetectorConfig::paper(AggLevel::L64);
+        let mut a = ScanDetector::new(cfg.clone());
+        let mut b = ScanDetector::new(cfg);
+        let batch: RecordBatch = recs.iter().copied().collect();
+        assert_eq!(a.observe_batch(&batch), b.observe_records(&recs));
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn batch_memo_counts_consecutive_same_source_lookups() {
+        let recs = burst(7, 0, 100, 22);
+        let mut det = ScanDetector::new(ScanDetectorConfig::paper(AggLevel::L128));
+        det.observe_records(&recs);
+        let (records, memo_hits) = det.batch_stats();
+        assert_eq!(records, 100);
+        assert_eq!(memo_hits, 99, "every record after the first memo-hits");
     }
 
     #[test]

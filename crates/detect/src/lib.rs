@@ -44,6 +44,7 @@ pub mod blocklist;
 pub mod detector;
 pub mod event;
 pub mod fingerprint;
+pub mod fxhash;
 pub mod ids;
 pub mod mawi;
 pub mod multi;
@@ -59,6 +60,7 @@ pub use blocklist::{Blocklist, BlocklistConfig};
 pub use detector::{ScanDetector, ScanDetectorConfig};
 pub use event::{ScanEvent, ScanReport};
 pub use fingerprint::Fingerprint;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{Ids, IdsAction, IdsConfig};
 pub use mawi::{MawiConfig, MawiDetector, MawiScan};
 pub use parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
@@ -66,7 +68,7 @@ pub use portclass::{classify_ports, PortClass};
 pub use prefilter::{ArtifactFilter, FilterReport};
 pub use session::{
     Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session, SessionConfig,
-    SessionError, SessionOutcome, SessionReport,
+    SessionError, SessionOutcome, SessionReport, DEFAULT_SESSION_BATCH,
 };
 pub use sketch::{HyperLogLog, SketchConfig};
 pub use snapshot::{DetectorSnapshot, LevelState, SnapshotError};

@@ -12,7 +12,7 @@ use crate::detector::{ScanDetector, ScanDetectorConfig};
 use crate::event::{ScanEvent, ScanReport};
 use crate::snapshot::LevelState;
 use lumen6_addr::Ipv6Prefix;
-use lumen6_trace::PacketRecord;
+use lumen6_trace::{PacketRecord, RecordBatch};
 use std::collections::BTreeMap;
 
 /// Simultaneous multi-level scan detection.
@@ -72,6 +72,30 @@ impl MultiLevelDetector {
             prev = Some(source);
             if let Some(e) = det.observe_aggregated(source, r) {
                 self.pending.entry(*lvl).or_default().push(e);
+            }
+        }
+    }
+
+    /// Feeds a columnar batch to every level via the grouped batch path
+    /// (see [`ScanDetector::observe_batch`]). Equivalent to calling
+    /// [`observe`](Self::observe) on each record in order; the per-level
+    /// grouping pass amortizes source aggregation and run-state lookups
+    /// across the batch instead of narrowing prefixes per packet.
+    pub fn observe_batch(&mut self, batch: &RecordBatch) {
+        for (lvl, det) in &mut self.detectors {
+            let events = det.observe_batch(batch);
+            if !events.is_empty() {
+                self.pending.entry(*lvl).or_default().extend(events);
+            }
+        }
+    }
+
+    /// [`observe_batch`](Self::observe_batch) over a plain record slice.
+    pub fn observe_records(&mut self, records: &[PacketRecord]) {
+        for (lvl, det) in &mut self.detectors {
+            let events = det.observe_records(records);
+            if !events.is_empty() {
+                self.pending.entry(*lvl).or_default().extend(events);
             }
         }
     }

@@ -41,7 +41,7 @@ use crate::event::{ScanEvent, ScanReport};
 use crate::multi::MultiLevelDetector;
 use crate::snapshot::{LevelState, SnapshotError};
 use lumen6_obs::MetricsRegistry;
-use lumen6_trace::PacketRecord;
+use lumen6_trace::{PacketRecord, RecordBatch};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
@@ -225,11 +225,10 @@ impl ShardedDetector {
                 };
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        ShardMsg::Batch(batch) => {
-                            for r in &batch {
-                                det.observe(r);
-                            }
-                        }
+                        // The grouped batch path: one run-state lookup per
+                        // (source, batch) inside the worker instead of one
+                        // per packet.
+                        ShardMsg::Batch(batch) => det.observe_records(&batch),
                         ShardMsg::FlushIdle(now_ms) => det.flush_idle(now_ms),
                         ShardMsg::Snapshot(reply) => {
                             let _ = reply.send(det.state());
@@ -294,6 +293,33 @@ impl ShardedDetector {
         if self.buffers[shard].len() >= self.batch {
             let full = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
             self.send_batch(shard, full);
+        }
+    }
+
+    /// Routes a columnar batch to the owning shards. A last-shard memo
+    /// skips the routing hash for consecutive same-source packets, the
+    /// common shape of bursty scan traffic. Results are identical to
+    /// calling [`observe`](Self::observe) per record.
+    pub fn observe_batch(&mut self, batch: &RecordBatch) {
+        let srcs = batch.src();
+        let mut last: Option<(u128, usize)> = None;
+        for (i, &src) in srcs.iter().enumerate() {
+            let shard = match last {
+                Some((s, sh)) if s == src => sh,
+                _ => {
+                    let sh = self.shard_of(src);
+                    last = Some((src, sh));
+                    sh
+                }
+            };
+            self.observed += 1;
+            self.routed[shard] += 1;
+            self.buffers[shard].push(batch.get(i));
+            if self.buffers[shard].len() >= self.batch {
+                let full =
+                    std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+                self.send_batch(shard, full);
+            }
         }
     }
 

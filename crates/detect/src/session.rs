@@ -37,7 +37,7 @@ use crate::parallel::{ShardPlan, ShardedDetector};
 use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
 use lumen6_obs::MetricsRegistry;
 use lumen6_trace::codec::StreamingTraceReader;
-use lumen6_trace::{CodecError, PacketRecord, TracePosition};
+use lumen6_trace::{CodecError, PacketRecord, RecordBatch, TracePosition};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -62,6 +62,16 @@ pub trait Detect: Send {
     /// Feeds one packet. Records must arrive in non-decreasing time order
     /// (wrap the detector in a [`Session`] with a watermark if they don't).
     fn observe(&mut self, r: &PacketRecord);
+
+    /// Feeds a columnar batch, equivalent to observing each record in
+    /// order. The default loops over [`observe`](Detect::observe); every
+    /// backend overrides it with a grouped path that looks up per-source
+    /// run state once per (source, batch).
+    fn observe_batch(&mut self, batch: &RecordBatch) {
+        for i in 0..batch.len() {
+            self.observe(&batch.get(i));
+        }
+    }
 
     /// Closes runs idle since before `now_ms - timeout`, bounding state
     /// size in a long-running deployment. Report-neutral: events closed
@@ -96,6 +106,11 @@ impl Detect for ScanDetector {
         }
     }
 
+    fn observe_batch(&mut self, batch: &RecordBatch) {
+        let events = ScanDetector::observe_batch(self, batch);
+        self.pending.extend(events);
+    }
+
     fn flush_idle(&mut self, now_ms: u64) {
         let events = ScanDetector::flush_idle(self, now_ms);
         self.pending.extend(events);
@@ -128,6 +143,10 @@ impl Detect for MultiLevelDetector {
         MultiLevelDetector::observe(self, r);
     }
 
+    fn observe_batch(&mut self, batch: &RecordBatch) {
+        MultiLevelDetector::observe_batch(self, batch);
+    }
+
     fn flush_idle(&mut self, now_ms: u64) {
         MultiLevelDetector::flush_idle(self, now_ms);
     }
@@ -152,6 +171,10 @@ impl Detect for MultiLevelDetector {
 impl Detect for ShardedDetector {
     fn observe(&mut self, r: &PacketRecord) {
         ShardedDetector::observe(self, r);
+    }
+
+    fn observe_batch(&mut self, batch: &RecordBatch) {
+        ShardedDetector::observe_batch(self, batch);
     }
 
     fn flush_idle(&mut self, now_ms: u64) {
@@ -556,7 +579,7 @@ pub struct CheckpointPolicy {
 // ---------------------------------------------------------------------------
 
 /// Session-layer configuration, orthogonal to the detector configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Reorder-buffer watermark; 0 = passthrough (sorted input).
     pub watermark_ms: u64,
@@ -567,7 +590,30 @@ pub struct SessionConfig {
     pub flush_idle_every_ms: u64,
     /// Abort on recoverable decode errors instead of quarantine-and-skip.
     pub strict: bool,
+    /// Records staged per [`Detect::observe_batch`] call on the hot path.
+    /// Values ≤ 1 feed single-record batches. Any value produces reports
+    /// and checkpoints byte-identical to per-record ingest; this only
+    /// trades latency of mid-stream event collection against lookup
+    /// amortization.
+    pub batch: usize,
 }
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            watermark_ms: 0,
+            checkpoint: None,
+            flush_idle_every_ms: 0,
+            strict: false,
+            batch: DEFAULT_SESSION_BATCH,
+        }
+    }
+}
+
+/// Default [`SessionConfig::batch`]: large enough to amortize per-source
+/// lookups on bursty scan traffic, small enough that mid-stream events
+/// surface promptly.
+pub const DEFAULT_SESSION_BATCH: usize = 4096;
 
 /// Outcome of [`Session::run`]: the stream finished, or the session stopped
 /// deliberately after `stop_after` checkpoints.
@@ -696,6 +742,23 @@ impl Session {
         }
         .permissive(!self.config.strict);
 
+        // Released records are staged into a reusable columnar batch and
+        // flushed to the detector's grouped batch path. Staging never
+        // crosses an ordering point: the stage is flushed before every
+        // `flush_idle` and before every checkpoint snapshot, so the
+        // detector state at those points — and therefore every checkpoint
+        // byte — is identical to per-record ingest.
+        let batch_cap = self.config.batch.max(1);
+        let mut staged = RecordBatch::with_capacity(batch_cap);
+        let flush_staged = |det: &mut Box<dyn Detect>, staged: &mut RecordBatch| {
+            if !staged.is_empty() {
+                reg.histogram("detect.session.batch_size")
+                    .record(staged.len() as u64);
+                det.observe_batch(staged);
+                staged.clear();
+            }
+        };
+
         let mut ready: Vec<PacketRecord> = Vec::new();
         while let Some(item) = reader.next() {
             let rec = item?;
@@ -708,15 +771,20 @@ impl Session {
                     // Flush at the watermark horizon: every future detector
                     // input is ≥ `r.ts_ms - watermark`, so closures here
                     // match what end-of-stream finish would emit.
+                    flush_staged(&mut det, &mut staged);
                     det.flush_idle(r.ts_ms.saturating_sub(reorder.watermark_ms()));
                     last_flush = r.ts_ms;
                     reg.counter("detect.session.idle_flushes").add(1);
                 }
-                det.observe(&r);
+                staged.push(r);
+                if staged.len() >= batch_cap {
+                    flush_staged(&mut det, &mut staged);
+                }
             }
 
             if let Some(policy) = &self.config.checkpoint {
                 if policy.every_records > 0 && records_done % policy.every_records == 0 {
+                    flush_staged(&mut det, &mut staged);
                     ckpts += 1;
                     let ck = Checkpoint {
                         position: reader.position(),
@@ -741,9 +809,8 @@ impl Session {
         }
 
         reorder.drain(&mut ready);
-        for r in ready.drain(..) {
-            det.observe(&r);
-        }
+        staged.extend(ready.drain(..));
+        flush_staged(&mut det, &mut staged);
         let late = reorder.late_dropped();
         let skipped = skipped_before + reader.skipped();
         reg.counter("detect.session.late_dropped").add(late);

@@ -189,8 +189,12 @@ impl HyperLogLog {
 /// for the heavy hitters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum DistinctCounter {
-    /// Exact set, used while small.
-    Exact(std::collections::HashSet<u128>),
+    /// Exact set, used while small. Hashed with the deterministic
+    /// [`FxBuildHasher`](crate::fxhash::FxBuildHasher) — this insert is on
+    /// the per-packet hot path, and the serialized form
+    /// ([`CounterState`](crate::snapshot::CounterState)) sorts the set, so
+    /// iteration order never reaches any output.
+    Exact(crate::fxhash::FxHashSet<u128>),
     /// Sketch, after spilling.
     Sketch(HyperLogLog),
 }

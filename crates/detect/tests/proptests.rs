@@ -201,6 +201,140 @@ proptest! {
         prop_assert_eq!(events, batch_events);
     }
 
+    /// The columnar batch path is exactly equivalent to per-record observe
+    /// across all three backends — single-level, multi-level, and sharded:
+    /// same snapshots, same reports (events in the same order), for any
+    /// workload and batch geometry.
+    #[test]
+    fn batched_equals_per_record_all_backends(
+        recs in arb_workload(),
+        chunk in 1usize..400,
+    ) {
+        use lumen6_detect::{DetectorBuilder, ShardPlan};
+        use lumen6_trace::RecordBatch;
+        let base = cfg(5, 20_000);
+        let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+        let builders = [
+            DetectorBuilder::new(base.clone()).sequential(),
+            DetectorBuilder::new(base.clone()).levels(&levels).sequential(),
+            DetectorBuilder::new(base).levels(&levels).sharded(ShardPlan {
+                shards: 3,
+                batch: 64,
+                depth: 2,
+            }),
+        ];
+        for builder in builders {
+            let mut per = builder.build();
+            for r in &recs {
+                per.observe(r);
+            }
+            let mut bat = builder.build();
+            for part in recs.chunks(chunk) {
+                let b: RecordBatch = part.iter().copied().collect();
+                bat.observe_batch(&b);
+            }
+            prop_assert_eq!(per.state(), bat.state());
+            prop_assert_eq!(per.finish(), bat.finish());
+        }
+    }
+
+    /// A checkpoint written mid-batch is byte-identical to one written by
+    /// per-record ingest at the same stream position, and resuming from it
+    /// reproduces the uninterrupted per-record report exactly.
+    #[test]
+    fn checkpoint_resume_byte_identical_across_batch_sizes(
+        recs in arb_workload(),
+        batch in 2usize..300,
+        every in 10u64..120,
+    ) {
+        use lumen6_detect::{
+            CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
+        };
+        use lumen6_trace::TraceWriter;
+        use std::io::Write as _;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let id = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "lumen6-ckpt-prop-{}-{id}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.l6tr");
+        let mut w = TraceWriter::new(std::io::BufWriter::new(
+            std::fs::File::create(&trace).unwrap(),
+        ))
+        .unwrap();
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.finish().unwrap().flush().unwrap();
+
+        let levels = [AggLevel::L128, AggLevel::L64];
+        let builder = DetectorBuilder::new(cfg(5, 20_000)).levels(&levels);
+
+        // Uninterrupted per-record reference.
+        let reference = match Session::new(
+            builder.clone(),
+            SessionConfig { batch: 1, ..Default::default() },
+        )
+        .run(&trace)
+        .unwrap()
+        {
+            SessionOutcome::Finished(rep) => rep,
+            SessionOutcome::Stopped { .. } => unreachable!("no checkpoint policy"),
+        };
+
+        let mut reports = Vec::new();
+        let mut first_checkpoints = Vec::new();
+        for b in [1usize, batch] {
+            let ck = dir.join(format!("ck-{b}"));
+            let stop_cfg = SessionConfig {
+                checkpoint: Some(CheckpointPolicy {
+                    path: ck.clone(),
+                    every_records: every,
+                    stop_after: Some(1),
+                }),
+                batch: b,
+                ..Default::default()
+            };
+            let report = match Session::new(builder.clone(), stop_cfg).run(&trace).unwrap() {
+                SessionOutcome::Stopped { .. } => {
+                    first_checkpoints.push(std::fs::read(&ck).unwrap());
+                    // Resume (the checkpoint file is probed automatically).
+                    let resume_cfg = SessionConfig {
+                        checkpoint: Some(CheckpointPolicy {
+                            path: ck,
+                            every_records: every,
+                            stop_after: None,
+                        }),
+                        batch: b,
+                        ..Default::default()
+                    };
+                    match Session::new(builder.clone(), resume_cfg).run(&trace).unwrap() {
+                        SessionOutcome::Finished(rep) => rep,
+                        SessionOutcome::Stopped { .. } => unreachable!("no stop_after"),
+                    }
+                }
+                // Stream shorter than one checkpoint interval.
+                SessionOutcome::Finished(rep) => rep,
+            };
+            reports.push(report);
+        }
+        if first_checkpoints.len() == 2 {
+            prop_assert_eq!(
+                &first_checkpoints[0],
+                &first_checkpoints[1],
+                "mid-batch checkpoint differs from per-record checkpoint"
+            );
+        }
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[0].reports, &reference.reports);
+        prop_assert_eq!(reports[0].records, reference.records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Out-of-order tolerance: feeding any within-watermark shuffle of a
     /// workload through the reorder buffer yields exactly the sorted-stream
     /// report, with nothing dropped. Arrival order is a jitter-sort: each

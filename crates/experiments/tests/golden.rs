@@ -1,0 +1,160 @@
+//! Golden-output tests for the experiments harness.
+//!
+//! Each test renders one paper artifact (Table 1, Fig. 2, Fig. 5) from a
+//! small fixed-seed lab and compares it against the expected output
+//! committed as JSON under `tests/golden/` at the repository root. The
+//! goldens pin the *full rendered text*, so any behavioral drift in the
+//! generators, the artifact filter, or the detection pipeline shows up as
+//! a reviewable diff rather than a silently shifted number.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p lumen6-experiments --test golden
+//! ```
+
+use lumen6_experiments::{cdn, mawi_exp, CdnLab, DetectMode, MawiLab};
+use lumen6_mawi::MawiConfig;
+use lumen6_scanners::FleetConfig;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// The committed golden file format: the experiment output plus enough
+/// metadata to regenerate it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Golden {
+    /// Experiment name (`table1`, `fig2`, `fig5`).
+    experiment: String,
+    /// World seed the lab was built with.
+    seed: u64,
+    /// Human description of the fixture configuration.
+    config: String,
+    /// The full rendered experiment output.
+    output: String,
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// Compares `got` against the committed golden, printing a line diff on
+/// mismatch. With `GOLDEN_BLESS=1`, rewrites the golden instead.
+fn check_golden(experiment: &str, seed: u64, config: &str, output: &str) {
+    let path = golden_dir().join(format!("{experiment}.json"));
+    let got = Golden {
+        experiment: experiment.to_string(),
+        seed,
+        config: config.to_string(),
+        output: output.to_string(),
+    };
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        let json = serde_json::to_string_pretty(&got).expect("golden serializes");
+        std::fs::write(&path, json + "\n").expect("write golden");
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun with GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let want: Golden = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("corrupt golden {}: {e:?}", path.display()));
+    if got == want {
+        return;
+    }
+    // A reviewable diff: metadata first, then the first diverging lines.
+    let mut msg = format!("golden mismatch for {experiment} ({})\n", path.display());
+    if (got.seed, got.config.as_str()) != (want.seed, want.config.as_str()) {
+        msg += &format!(
+            "fixture drift: golden was seed {} / {:?}, test ran seed {} / {:?}\n",
+            want.seed, want.config, got.seed, got.config
+        );
+    }
+    let got_lines: Vec<&str> = got.output.lines().collect();
+    let want_lines: Vec<&str> = want.output.lines().collect();
+    let n = got_lines.len().max(want_lines.len());
+    let mut shown = 0;
+    for i in 0..n {
+        let g = got_lines.get(i).copied().unwrap_or("<missing>");
+        let w = want_lines.get(i).copied().unwrap_or("<missing>");
+        if g != w {
+            msg += &format!("line {}:\n  expected: {w}\n  got:      {g}\n", i + 1);
+            shown += 1;
+            if shown >= 10 {
+                msg += "...(further differences elided)\n";
+                break;
+            }
+        }
+    }
+    msg += "re-bless with GOLDEN_BLESS=1 if the change is intentional";
+    panic!("{msg}");
+}
+
+const SEED: u64 = 42;
+const CDN_CONFIG: &str = "FleetConfig::small, end_day 21, sequential backend";
+const MAWI_CONFIG: &str = "MawiConfig::small, end_day 14, sequential backend";
+
+fn cdn_lab() -> CdnLab {
+    CdnLab::build_with(
+        FleetConfig {
+            seed: SEED,
+            end_day: 21,
+            ..FleetConfig::small()
+        },
+        DetectMode::Sequential,
+    )
+}
+
+fn mawi_lab() -> MawiLab {
+    MawiLab::build_with(
+        MawiConfig {
+            seed: SEED,
+            end_day: 14,
+            ..MawiConfig::small()
+        },
+        None,
+        DetectMode::Sequential,
+    )
+}
+
+#[test]
+fn table1_matches_golden() {
+    let lab = cdn_lab();
+    check_golden("table1", SEED, CDN_CONFIG, &cdn::table1_totals(&lab));
+}
+
+#[test]
+fn fig2_matches_golden() {
+    let lab = cdn_lab();
+    check_golden("fig2", SEED, CDN_CONFIG, &cdn::fig2_weekly_sources(&lab));
+}
+
+#[test]
+fn fig5_matches_golden() {
+    let lab = mawi_lab();
+    check_golden(
+        "fig5",
+        SEED,
+        MAWI_CONFIG,
+        &mawi_exp::fig5_daily_sources(&lab),
+    );
+}
+
+/// The golden fixture is backend-independent: the sharded pipeline renders
+/// byte-identical artifacts, so the goldens also pin cross-backend
+/// equivalence at the experiment level.
+#[test]
+fn table1_is_backend_independent() {
+    let seq = cdn::table1_totals(&cdn_lab());
+    let sharded = cdn::table1_totals(&CdnLab::build_with(
+        FleetConfig {
+            seed: SEED,
+            end_day: 21,
+            ..FleetConfig::small()
+        },
+        DetectMode::default(),
+    ));
+    assert_eq!(seq, sharded);
+}

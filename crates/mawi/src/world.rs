@@ -48,10 +48,13 @@ impl Default for MawiConfig {
             seed: 42,
             start_day: 0,
             end_day: 439,
+            // The WIDE downstream allocations (2001:200::/32,
+            // 2001:df0::/32, 2403:8080::/32), constructed from raw bits so
+            // the default is panic-free by construction.
             downstream: vec![
-                "2001:200::/32".parse().expect("static"),
-                "2001:df0::/32".parse().expect("static"),
-                "2403:8080::/32".parse().expect("static"),
+                Ipv6Prefix::new(0x2001_0200 << 96, 32),
+                Ipv6Prefix::new(0x2001_0df0 << 96, 32),
+                Ipv6Prefix::new(0x2403_8080 << 96, 32),
             ],
             background_flows_per_day: 40,
             icmpv6_scanners: 5,
@@ -121,9 +124,10 @@ impl MawiWorld {
         let mut hitlist: Vec<u128> = Vec::with_capacity(config.hitlist_size);
         for i in 0..config.hitlist_size {
             let p = config.downstream[i % config.downstream.len()];
-            let sub = p
-                .nth_subnet(64, rng.gen_range(0..1u128 << 16))
-                .expect("downstream at most /64");
+            // Downstream prefixes are at most /64, so the subnet always
+            // exists; fall back to the prefix itself rather than panic if a
+            // user config ever violates that.
+            let sub = p.nth_subnet(64, rng.gen_range(0..1u128 << 16)).unwrap_or(p);
             hitlist.push(lumen6_addr::gen::low_weight_iid(
                 &mut rng,
                 (sub.bits() >> 64) as u64,
@@ -332,9 +336,7 @@ impl MawiWorld {
                 let p = self.config.downstream[rng.gen_range(0..self.config.downstream.len())];
                 let t0 = rng.gen_range(ws..we - 1);
                 for k in 0..n {
-                    let sub = p
-                        .nth_subnet(64, rng.gen_range(0..1u128 << 16))
-                        .expect("downstream at most /64");
+                    let sub = p.nth_subnet(64, rng.gen_range(0..1u128 << 16)).unwrap_or(p);
                     let dst =
                         lumen6_addr::gen::low_weight_iid(&mut rng, (sub.bits() >> 64) as u64, 6);
                     out.push(PacketRecord {
@@ -359,6 +361,17 @@ mod tests {
     use super::*;
     use crate::split_days;
     use lumen6_detect::{AggLevel, MawiDetector};
+
+    #[test]
+    fn default_downstream_matches_textual_prefixes() {
+        // The defaults are built from raw bits (panic-free); pin them to
+        // the textual WIDE allocations they stand for.
+        let want: Vec<Ipv6Prefix> = ["2001:200::/32", "2001:df0::/32", "2403:8080::/32"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(MawiConfig::default().downstream, want);
+    }
 
     #[test]
     fn builds_with_and_without_fleet() {

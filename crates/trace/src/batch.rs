@@ -1,0 +1,191 @@
+//! Reusable struct-of-arrays record batches for the columnar ingest path.
+//!
+//! [`decode_chunks`](crate::codec::decode_chunks) materializes a fresh
+//! `Vec<PacketRecord>` per chunk; at telescope ingest rates that is one
+//! 56-byte-per-record allocation churned per chunk, and the array-of-structs
+//! layout wastes cache on stages that touch only a column or two (the
+//! detector's grouping pass reads sources; the reorder buffer reads
+//! timestamps). A [`RecordBatch`] holds the same records as seven parallel
+//! column vectors and is designed to be **reused**: `clear()` keeps the
+//! capacity, so a steady-state decode loop allocates nothing.
+//!
+//! The columns are kept private behind push/get accessors to preserve the
+//! equal-length invariant; read-only column slices are exposed for stages
+//! that genuinely want columnar access.
+
+use crate::record::{PacketRecord, Transport};
+
+/// A struct-of-arrays batch of packet records (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordBatch {
+    ts_ms: Vec<u64>,
+    src: Vec<u128>,
+    dst: Vec<u128>,
+    proto: Vec<Transport>,
+    sport: Vec<u16>,
+    dport: Vec<u16>,
+    len: Vec<u16>,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RecordBatch::default()
+    }
+
+    /// An empty batch with every column pre-sized for `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        RecordBatch {
+            ts_ms: Vec::with_capacity(n),
+            src: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
+            proto: Vec::with_capacity(n),
+            sport: Vec::with_capacity(n),
+            dport: Vec::with_capacity(n),
+            len: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.ts_ms.len()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ts_ms.is_empty()
+    }
+
+    /// Drops all records but keeps the column capacity (the reuse point).
+    pub fn clear(&mut self) {
+        self.ts_ms.clear();
+        self.src.clear();
+        self.dst.clear();
+        self.proto.clear();
+        self.sport.clear();
+        self.dport.clear();
+        self.len.clear();
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, r: PacketRecord) {
+        self.ts_ms.push(r.ts_ms);
+        self.src.push(r.src);
+        self.dst.push(r.dst);
+        self.proto.push(r.proto);
+        self.sport.push(r.sport);
+        self.dport.push(r.dport);
+        self.len.push(r.len);
+    }
+
+    /// Reassembles record `i`. Columns are `Copy`, so this is a gather of
+    /// seven loads, not an allocation. Panics if `i >= len()`, like slice
+    /// indexing.
+    #[inline]
+    pub fn get(&self, i: usize) -> PacketRecord {
+        PacketRecord {
+            ts_ms: self.ts_ms[i],
+            src: self.src[i],
+            dst: self.dst[i],
+            proto: self.proto[i],
+            sport: self.sport[i],
+            dport: self.dport[i],
+            len: self.len[i],
+        }
+    }
+
+    /// Iterates the records in order (reassembled on the fly).
+    pub fn iter(&self) -> impl Iterator<Item = PacketRecord> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The timestamp column.
+    pub fn ts_ms(&self) -> &[u64] {
+        &self.ts_ms
+    }
+
+    /// The source-address column.
+    pub fn src(&self) -> &[u128] {
+        &self.src
+    }
+
+    /// The destination-address column.
+    pub fn dst(&self) -> &[u128] {
+        &self.dst
+    }
+}
+
+impl FromIterator<PacketRecord> for RecordBatch {
+    fn from_iter<I: IntoIterator<Item = PacketRecord>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut b = RecordBatch::with_capacity(iter.size_hint().0);
+        for r in iter {
+            b.push(r);
+        }
+        b
+    }
+}
+
+impl Extend<PacketRecord> for RecordBatch {
+    fn extend<I: IntoIterator<Item = PacketRecord>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> PacketRecord {
+        PacketRecord::tcp(
+            i,
+            0x2001 + u128::from(i),
+            0xdd00 + u128::from(i),
+            4000,
+            22,
+            60,
+        )
+    }
+
+    #[test]
+    fn push_get_roundtrips() {
+        let mut b = RecordBatch::new();
+        for i in 0..10 {
+            b.push(rec(i));
+        }
+        assert_eq!(b.len(), 10);
+        for i in 0..10 {
+            assert_eq!(b.get(i as usize), rec(i));
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = RecordBatch::with_capacity(64);
+        for i in 0..64 {
+            b.push(rec(i));
+        }
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.ts_ms.capacity() >= 64);
+    }
+
+    #[test]
+    fn iter_and_from_iterator_match() {
+        let recs: Vec<PacketRecord> = (0..20).map(rec).collect();
+        let b: RecordBatch = recs.iter().copied().collect();
+        let back: Vec<PacketRecord> = b.iter().collect();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn columns_expose_soa_view() {
+        let mut b = RecordBatch::new();
+        b.extend((0..5).map(rec));
+        assert_eq!(b.ts_ms(), &[0, 1, 2, 3, 4]);
+        assert_eq!(b.src()[3], 0x2001 + 3);
+        assert_eq!(b.dst()[4], 0xdd00 + 4);
+    }
+}

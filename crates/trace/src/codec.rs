@@ -20,6 +20,7 @@
 //! simple: a 439-day scaled trace (a few million records) encodes in tens of
 //! MB and reads back at memory bandwidth.
 
+use crate::batch::RecordBatch;
 use crate::record::{PacketRecord, Transport};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lumen6_obs::MetricsRegistry;
@@ -514,20 +515,33 @@ impl<R: Read> StreamingTraceReader<R> {
     }
 
     /// Ensures a whole record's worth of bytes is buffered unless the source
-    /// is exhausted, sliding the unconsumed tail to the front first.
+    /// is exhausted, sliding the unconsumed tail to the front first. Reads
+    /// land directly in the reused window buffer — no intermediate stack
+    /// array, no per-refill allocation.
     fn refill(&mut self) -> Result<(), CodecError> {
-        self.buf.drain(..self.pos);
+        let tail = self.buf.len() - self.pos;
+        self.buf.copy_within(self.pos.., 0);
+        self.buf.truncate(tail);
         self.pos = 0;
         self.stats.refills += 1;
-        let mut chunk = [0u8; STREAM_BUF_LEN];
         while !self.eof && self.buf.len() < MAX_RECORD_LEN {
-            let n = self.src.read(&mut chunk)?;
+            let old = self.buf.len();
+            self.buf.resize(old + STREAM_BUF_LEN, 0);
+            let n = match self.src.read(&mut self.buf[old..]) {
+                Ok(n) => n,
+                Err(e) => {
+                    // Keep `position()` consistent: drop the zeroed tail
+                    // before surfacing the error.
+                    self.buf.truncate(old);
+                    return Err(e.into());
+                }
+            };
+            self.buf.truncate(old + n);
             if n == 0 {
                 self.eof = true;
             } else {
                 self.stats.bytes += n as u64;
                 self.fed += n as u64;
-                self.buf.extend_from_slice(&chunk[..n]);
             }
         }
         Ok(())
@@ -660,6 +674,47 @@ impl<R: Read> TraceChunks<R> {
     /// Records skipped by the underlying reader in permissive mode.
     pub fn skipped(&self) -> u64 {
         self.inner.skipped()
+    }
+
+    /// Zero-copy variant of the chunk iterator: decodes the next chunk of
+    /// at most `chunk_len` records into `out` (cleared first), reusing its
+    /// column capacity so a steady-state decode loop allocates nothing.
+    ///
+    /// Returns `None` at clean end of stream, `Some(Ok(()))` when `out`
+    /// holds at least one record, and `Some(Err(_))` for a decode error —
+    /// with the same error placement as the allocating iterator: records
+    /// decoded before the error are yielded first as a final partial batch,
+    /// then the error, then the stream fuses.
+    pub fn next_batch(&mut self, out: &mut RecordBatch) -> Option<Result<(), CodecError>> {
+        out.clear();
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        while out.len() < self.chunk_len {
+            match self.inner.next() {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => {
+                    if out.is_empty() {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    self.pending_err = Some(e);
+                    return Some(Ok(()));
+                }
+                None => {
+                    self.done = true;
+                    if out.is_empty() {
+                        return None;
+                    }
+                    return Some(Ok(()));
+                }
+            }
+        }
+        Some(Ok(()))
     }
 }
 
@@ -1031,6 +1086,139 @@ mod tests {
         }
         assert_eq!((oks, errs), (3, 1));
         assert_eq!(r.skipped(), 0);
+    }
+
+    #[test]
+    fn next_batch_matches_iterator_and_reuses_capacity() {
+        let recs: Vec<PacketRecord> = (0..1_000u64)
+            .map(|i| PacketRecord::udp(i, i as u128, 9, 1, 53, 80))
+            .collect();
+        let bytes = encode(&recs).unwrap();
+        let mut chunks = decode_chunks(&bytes[..], 300).unwrap();
+        let mut batch = RecordBatch::new();
+        let mut all: Vec<PacketRecord> = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(item) = chunks.next_batch(&mut batch) {
+            item.unwrap();
+            sizes.push(batch.len());
+            all.extend(batch.iter());
+        }
+        assert_eq!(sizes, vec![300, 300, 300, 100]);
+        assert_eq!(all, recs);
+        // The stream is fused: further calls keep returning None and leave
+        // the reused batch cleared.
+        assert!(chunks.next_batch(&mut batch).is_none());
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn next_batch_error_after_partial_batch() {
+        let bytes = encode(&sample()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut chunks = decode_chunks(cut, 100).unwrap();
+        let mut batch = RecordBatch::new();
+        assert!(chunks.next_batch(&mut batch).unwrap().is_ok());
+        assert_eq!(batch.len(), 3, "records before the cut arrive first");
+        assert!(matches!(
+            chunks.next_batch(&mut batch),
+            Some(Err(CodecError::Truncated))
+        ));
+        assert!(chunks.next_batch(&mut batch).is_none(), "fused after error");
+    }
+
+    #[test]
+    fn next_batch_permissive_skips_field_overflow() {
+        let (bytes, expected) = bytes_with_bad_dport();
+        let mut chunks = decode_chunks(&bytes[..], 4).unwrap().permissive(true);
+        let mut batch = RecordBatch::new();
+        let mut all: Vec<PacketRecord> = Vec::new();
+        while let Some(item) = chunks.next_batch(&mut batch) {
+            item.unwrap();
+            all.extend(batch.iter());
+        }
+        assert_eq!(all, expected);
+        assert_eq!(chunks.skipped(), 1);
+    }
+
+    #[test]
+    fn truncation_at_every_cut_is_a_typed_error_never_a_panic() {
+        let bytes = encode(&sample()).unwrap();
+        for cut in 0..bytes.len() {
+            let head = &bytes[..cut];
+            match decode_chunks(head, 2) {
+                Ok(mut chunks) => {
+                    let mut batch = RecordBatch::new();
+                    while let Some(item) = chunks.next_batch(&mut batch) {
+                        if let Err(e) = item {
+                            assert!(
+                                matches!(e, CodecError::Truncated | CodecError::VarintOverflow),
+                                "cut={cut}: unexpected {e}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                Err(e) => assert!(
+                    matches!(e, CodecError::Truncated),
+                    "cut={cut}: header error should be Truncated, got {e}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_typed_errors_never_panics() {
+        let recs: Vec<PacketRecord> = (0..20u64)
+            .map(|i| PacketRecord::tcp(i * 50, 3, 0xb0 + i as u128, 1, 443, 60))
+            .collect();
+        let clean = encode(&recs).unwrap();
+        // Flip every bit of every byte in turn; each corrupted stream must
+        // decode to records and/or typed errors — never panic, never loop.
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                match decode_chunks(&bad[..], 7) {
+                    Ok(mut chunks) => {
+                        let mut batch = RecordBatch::new();
+                        let mut steps = 0;
+                        while let Some(item) = chunks.next_batch(&mut batch) {
+                            steps += 1;
+                            assert!(steps <= recs.len() + 2, "byte={byte} bit={bit}: runaway");
+                            if item.is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    Err(e) => assert!(
+                        matches!(e, CodecError::BadMagic(_) | CodecError::BadVersion(_)),
+                        "byte={byte} bit={bit}: header flip should be magic/version, got {e}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_input_increments_quarantine_counters() {
+        let reg = MetricsRegistry::global();
+        let before_trunc = reg.counter("trace.codec.errors.truncated").get();
+        let before_skip = reg.counter("trace.codec.skipped.field_overflow").get();
+
+        let bytes = encode(&sample()).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        let _ = StreamingTraceReader::new(cut).unwrap().count();
+
+        let (bad, _) = bytes_with_bad_dport();
+        let _ = StreamingTraceReader::new(&bad[..])
+            .unwrap()
+            .permissive(true)
+            .count();
+
+        // Tests share the global registry, so assert monotone growth
+        // rather than exact deltas.
+        assert!(reg.counter("trace.codec.errors.truncated").get() > before_trunc);
+        assert!(reg.counter("trace.codec.skipped.field_overflow").get() > before_skip);
     }
 
     #[test]

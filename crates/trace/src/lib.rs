@@ -12,11 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod pcap;
 pub mod record;
 pub mod time;
 
+pub use batch::RecordBatch;
 pub use codec::{
     decode_chunks, CodecError, StreamingTraceReader, TraceChunks, TracePosition, TraceReader,
     TraceWriter,

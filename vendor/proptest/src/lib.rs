@@ -7,8 +7,18 @@
 //! generated from a fixed deterministic seed (no persistence files needed)
 //! and failing cases are reported without shrinking.
 
-/// Number of random cases each property runs.
+/// Default number of random cases each property runs.
 pub const NUM_CASES: u32 = 256;
+
+/// Case count for this process: [`NUM_CASES`] unless the `PROPTEST_CASES`
+/// environment variable overrides it (as in real proptest), letting CI's
+/// deep-test job run more cases than the default developer loop.
+pub fn num_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(NUM_CASES)
+}
 
 pub mod test_runner {
     //! The deterministic case generator.
@@ -101,7 +111,7 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
-/// Defines property tests: each function runs [`NUM_CASES`] times over
+/// Defines property tests: each function runs [`num_cases()`] times over
 /// freshly generated inputs.
 #[macro_export]
 macro_rules! proptest {
@@ -110,7 +120,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut rng = $crate::test_runner::TestRng::default_seed();
-                for case in 0..$crate::NUM_CASES {
+                let cases = $crate::num_cases();
+                for case in 0..cases {
                     let result: ::std::result::Result<(), ::std::string::String> = {
                         let ($($pat,)+) = (
                             $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
@@ -124,7 +135,7 @@ macro_rules! proptest {
                     if let ::std::result::Result::Err(msg) = result {
                         panic!(
                             "property {} failed at case {}/{}:\n{}",
-                            stringify!($name), case, $crate::NUM_CASES, msg
+                            stringify!($name), case, cases, msg
                         );
                     }
                 }

@@ -221,13 +221,17 @@ impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
     }
 }
 
-impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+// Set and map impls are generic over the hasher so user code can swap in
+// deterministic hashers (e.g. an FxHash BuildHasher) without losing serde.
+impl<T: Serialize + Eq + Hash, S: std::hash::BuildHasher> Serialize for HashSet<T, S> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
 
-impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+impl<T: Deserialize + Eq + Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for HashSet<T, S>
+{
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
@@ -273,7 +277,7 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
-impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         Value::Array(
             self.iter()
@@ -283,7 +287,9 @@ impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
     }
 }
 
-impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
     fn from_value(v: &Value) -> Result<Self, DeError> {
         pairs(v)?
             .map(|kv| kv.and_then(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?))))
