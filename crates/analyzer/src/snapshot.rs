@@ -7,6 +7,14 @@
 //! reachable from `DetectorSnapshot`, fingerprints it, and compares
 //! against the committed fingerprint file. A mismatch while the stored
 //! `snapshot_version` equals the current one is a build failure.
+//!
+//! The run-summary JSON report (`SessionReport`, the `--report-out`
+//! surface downstream tooling parses) is fingerprinted through the same
+//! closure: it is a second reachability root, so renaming a `ScanEvent`
+//! field or re-typing a report counter trips L004 exactly like checkpoint
+//! drift does. The root is optional — a scan tree without a
+//! `SessionReport` definition (reduced fixtures) fingerprints only the
+//! checkpoint closure.
 
 use crate::ctx::FileCtx;
 use crate::Finding;
@@ -148,9 +156,14 @@ pub fn compute(ctxs: &[FileCtx]) -> Result<SnapshotFingerprint, String> {
     if !all.contains_key("DetectorSnapshot") {
         return Err("DetectorSnapshot definition not found in scanned files".into());
     }
-    // BFS over referenced identifiers that are themselves Serialize types.
+    // BFS over referenced identifiers that are themselves Serialize types,
+    // from both persisted-format roots: the checkpoint payload and the
+    // run-summary JSON report.
     let mut reach: BTreeSet<String> = BTreeSet::new();
     let mut queue = vec!["DetectorSnapshot".to_string()];
+    if all.contains_key("SessionReport") {
+        queue.push("SessionReport".to_string());
+    }
     while let Some(name) = queue.pop() {
         if !reach.insert(name.clone()) {
             continue;

@@ -288,7 +288,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"batch\": {BATCH},\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sequential_per_record\": {{\"seconds\": {per_record_s:.6}, \"records_per_s\": {:.0}, \"batched_speedup\": {:.3}}},\n  \"session\": {{\"seconds\": {session_s:.6}, \"records_per_s\": {:.0}, \"overhead_vs_sequential\": {:.4}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sequential is the batched columnar path the pipeline runs; sharded speedup is bounded by host_cores — on a single-core host expect parity with sequential, not gains\"\n}}\n",
+        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"batch\": {BATCH},\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sequential_per_record\": {{\"seconds\": {per_record_s:.6}, \"records_per_s\": {:.0}, \"batched_speedup\": {:.3}}},\n  \"session\": {{\"seconds\": {session_s:.6}, \"records_per_s\": {:.0}, \"overhead_vs_sequential\": {:.4}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sequential is the batched columnar path the pipeline runs; sharded routes columnar sub-batches (kernel route_column + column scatter) to shard workers; speedup is bounded by host_cores — on a single-core host expect parity with sequential, not gains\"\n}}\n",
         bytes.len(),
         records as f64 / sequential_s,
         records as f64 / per_record_s,

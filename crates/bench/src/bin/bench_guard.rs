@@ -13,7 +13,12 @@
 //! - streaming chunked decode is slower than materialize-then-detect by
 //!   more than the parity tolerance (default 10%, override with
 //!   `BENCH_GUARD_STREAM_TOLERANCE`) — both sides feed the same batched
-//!   detector, so the comparison isolates decode strategy.
+//!   detector, so the comparison isolates decode strategy, or
+//! - the batch-routed sharded pipeline at 4 shards fails to reach the
+//!   required speedup over sequential (default 1.5x, override with
+//!   `BENCH_GUARD_SHARDED_SPEEDUP`). This gate only runs on multi-core
+//!   hosts: on a single core the sharded pipeline is sequential work plus
+//!   routing overhead, so the gate is skipped with an explicit log line.
 //!
 //! Run with `cargo run --release -p lumen6-bench --bin bench_guard`; a debug
 //! build measures debug-build throughput, which is meaningless against a
@@ -21,6 +26,7 @@
 
 use lumen6_bench::CdnFixture;
 use lumen6_detect::multi::MultiLevelDetector;
+use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan};
 use lumen6_detect::{AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig};
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use lumen6_trace::{PacketRecord, RecordBatch};
@@ -91,6 +97,8 @@ fn main() {
     let tolerance = env_f64("BENCH_GUARD_TOLERANCE", 0.10);
     let max_overhead = env_f64("BENCH_GUARD_SESSION_OVERHEAD", 0.05);
     let stream_tolerance = env_f64("BENCH_GUARD_STREAM_TOLERANCE", 0.10);
+    let min_sharded_speedup = env_f64("BENCH_GUARD_SHARDED_SPEEDUP", 1.5);
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let fx = CdnFixture::new();
     let records = fx.filtered.len() as f64;
@@ -133,6 +141,17 @@ fn main() {
             det.observe_batch(&batch);
         }
         std::hint::black_box(det.finish());
+    });
+
+    let sharded_s = (host_cores > 1).then(|| {
+        median_secs(|| {
+            std::hint::black_box(detect_multi_sharded(
+                &fx.filtered,
+                &LEVELS,
+                ScanDetectorConfig::default(),
+                ShardPlan::with_shards(4),
+            ));
+        })
     });
 
     let current_rps = records / sequential_s;
@@ -181,6 +200,27 @@ fn main() {
             stream_tolerance * 100.0
         );
         failed = true;
+    }
+    match sharded_s {
+        None => println!(
+            "bench_guard: sharded gate SKIPPED (host_cores={host_cores}): a single core \
+             cannot show multi-core speedup — sharding is sequential work plus routing there"
+        ),
+        Some(s) => {
+            let speedup = sequential_s / s;
+            println!(
+                "bench_guard: sharded 4-shard {:.0} rec/s, speedup {speedup:.2}x \
+                 (required {min_sharded_speedup:.2}x, host_cores={host_cores})",
+                records / s
+            );
+            if speedup < min_sharded_speedup {
+                eprintln!(
+                    "bench_guard: FAIL — sharded speedup {speedup:.2}x below required \
+                     {min_sharded_speedup:.2}x at 4 shards"
+                );
+                failed = true;
+            }
+        }
     }
     if failed {
         std::process::exit(1);

@@ -79,6 +79,21 @@ fn metrics_out_accounts_for_every_record() {
     // The codec saw every record too.
     assert_eq!(snap.counter_sum("trace.codec.records_decoded", ""), records);
 
+    // Columnar routing telemetry: every shipped sub-batch lands in the
+    // batch-rows histogram and its row counts account for every record...
+    let batch_rows = snap
+        .histograms
+        .get("detect.shard.batch_rows")
+        .expect("batch_rows histogram in snapshot");
+    assert!(batch_rows.count > 0);
+    // ...and the routing-skew gauge is published in permille (>= 1000 by
+    // definition of max/mean).
+    let imbalance = *snap
+        .gauges
+        .get("detect.shard.imbalance")
+        .expect("imbalance gauge in snapshot");
+    assert!(imbalance >= 1000, "imbalance {imbalance}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

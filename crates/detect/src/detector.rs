@@ -106,15 +106,22 @@ impl SourceRun {
 /// detector state between batches.
 #[derive(Debug, Default)]
 struct BatchScratch {
-    /// Source → position in `groups` for the batch being processed.
-    index: FxHashMap<Ipv6Prefix, u32>,
+    /// Masked (aggregated) source bits per row, one
+    /// [`kernels::aggregate_column`](crate::kernels::aggregate_column) pass
+    /// per batch.
+    keys: Vec<u128>,
+    /// Masked source → position in `groups` for the batch being processed.
+    index: FxHashMap<u128, u32>,
     /// Per-source record indices (into the batch), in arrival order.
-    groups: Vec<(Ipv6Prefix, Vec<u32>)>,
+    groups: Vec<(u128, Vec<u32>)>,
     /// Recycled index vectors.
     pool: Vec<Vec<u32>>,
     /// Closed events tagged with the batch index of the closing record, so
     /// emission order can be restored to exact arrival order.
     closed: Vec<(u32, ScanEvent)>,
+    /// Columnar staging for the record-slice entry point
+    /// ([`ScanDetector::observe_records`]), reused across calls.
+    rows: RecordBatch,
 }
 
 /// Memory-footprint snapshot of a running detector (what an operator
@@ -289,63 +296,52 @@ impl ScanDetector {
     ///
     /// The batch is grouped by aggregated source prefix first, so the
     /// per-source run state is looked up in the runs map once per
-    /// (source, batch) instead of once per packet; a last-source memo makes
-    /// the grouping itself O(1) per record for bursty scan traffic.
+    /// (source, batch) instead of once per packet. The grouping key is the
+    /// masked source column produced by one
+    /// [`kernels::aggregate_column`](crate::kernels::aggregate_column) pass
+    /// — a single AND per row — and a last-source memo makes the grouping
+    /// itself O(1) per record for bursty scan traffic.
     pub fn observe_batch(&mut self, batch: &RecordBatch) -> Vec<ScanEvent> {
-        self.observe_batch_with(batch.len(), |i| batch.get(i))
-    }
-
-    /// [`observe_batch`](Self::observe_batch) over a plain record slice
-    /// (the sharded pipeline's worker channels carry `Vec<PacketRecord>`).
-    pub fn observe_records(&mut self, records: &[PacketRecord]) -> Vec<ScanEvent> {
-        self.observe_batch_with(records.len(), |i| records[i])
-    }
-
-    /// Records ingested through the batched path and how many hit the
-    /// last-source memo, for the obs hit-rate counters.
-    pub fn batch_stats(&self) -> (u64, u64) {
-        (self.batch_records, self.memo_hits)
-    }
-
-    fn observe_batch_with(
-        &mut self,
-        n: usize,
-        rec: impl Fn(usize) -> PacketRecord,
-    ) -> Vec<ScanEvent> {
+        let n = batch.len();
         let (spill, precision) = self
             .config
             .sketch
             .map_or((usize::MAX, 12), |s| (s.spill_threshold, s.precision));
         let keep = self.config.keep_dsts;
         let timeout = self.config.timeout_ms;
+        let agg = self.config.agg;
         let mut scratch = std::mem::take(&mut self.scratch);
         let BatchScratch {
+            keys,
             index,
             groups,
             pool,
             closed,
+            rows: _,
         } = &mut scratch;
 
-        // Phase 1: group record indices by aggregated source, preserving
-        // arrival order within each group. Consecutive same-source records
-        // (the dominant pattern under scan traffic) skip the map entirely.
-        let mut last: Option<(Ipv6Prefix, u32)> = None;
+        // Phase 1: mask the source column down to the aggregation level in
+        // one columnar pass, then group record indices by masked source,
+        // preserving arrival order within each group. Consecutive
+        // same-source records (the dominant pattern under scan traffic)
+        // skip the map entirely.
+        crate::kernels::aggregate_column(batch.src(), agg, keys);
+        let mut last: Option<(u128, u32)> = None;
         let mut memo_hits = 0u64;
-        for i in 0..n {
-            let source = self.config.agg.source_of(rec(i).src);
+        for (i, &key) in keys.iter().enumerate() {
             let gi = match last {
-                Some((s, g)) if s == source => {
+                Some((k, g)) if k == key => {
                     memo_hits += 1;
                     g
                 }
-                _ => *index.entry(source).or_insert_with(|| {
+                _ => *index.entry(key).or_insert_with(|| {
                     let g = groups.len() as u32;
-                    groups.push((source, pool.pop().unwrap_or_default()));
+                    groups.push((key, pool.pop().unwrap_or_default()));
                     g
                 }),
             };
             groups[gi as usize].1.push(i as u32);
-            last = Some((source, gi));
+            last = Some((key, gi));
         }
 
         // Phase 2: one runs-map lookup per (source, batch), then replay the
@@ -353,23 +349,25 @@ impl ScanDetector {
         // only on that source's subsequence, so processing groups out of
         // arrival order cannot change any run or counter.
         let mut opened = 0u64;
-        for (source, idxs) in groups.iter_mut() {
-            let run = match self.runs.entry(*source) {
+        for (key, idxs) in groups.iter_mut() {
+            // The key bits are already masked, so this re-mask is identity.
+            let source = Ipv6Prefix::new(*key, agg.len());
+            let run = match self.runs.entry(source) {
                 std::collections::hash_map::Entry::Occupied(occ) => occ.into_mut(),
                 std::collections::hash_map::Entry::Vacant(vac) => {
                     opened += 1;
-                    let first = rec(idxs[0] as usize);
-                    vac.insert(SourceRun::new(first.ts_ms, keep))
+                    let first_ts = batch.ts_ms()[idxs[0] as usize];
+                    vac.insert(SourceRun::new(first_ts, keep))
                 }
             };
             for &i in idxs.iter() {
-                let r = rec(i as usize);
-                debug_assert_eq!(*source, self.config.agg.source_of(r.src));
+                let r = batch.get(i as usize);
+                debug_assert_eq!(source, agg.source_of(r.src));
                 let gap = r.ts_ms.saturating_sub(run.last_ms);
                 if gap > timeout {
                     let old = std::mem::replace(run, SourceRun::new(r.ts_ms, keep));
                     opened += 1;
-                    if let Some(e) = Self::emit(&self.config, *source, old) {
+                    if let Some(e) = Self::emit(&self.config, source, old) {
                         closed.push((i, e));
                     }
                 }
@@ -400,6 +398,26 @@ impl ScanDetector {
         self.batch_records += n as u64;
         self.memo_hits += memo_hits;
         out
+    }
+
+    /// [`observe_batch`](Self::observe_batch) over a plain record slice:
+    /// stages the rows into a reused columnar scratch batch, then runs the
+    /// same grouped path. Off the hot paths — the sharded pipeline ships
+    /// columnar sub-batches directly — but kept for slice-shaped callers
+    /// and tests.
+    pub fn observe_records(&mut self, records: &[PacketRecord]) -> Vec<ScanEvent> {
+        let mut rows = std::mem::take(&mut self.scratch.rows);
+        rows.clear();
+        rows.extend(records.iter().copied());
+        let out = self.observe_batch(&rows);
+        self.scratch.rows = rows;
+        out
+    }
+
+    /// Records ingested through the batched path and how many hit the
+    /// last-source memo, for the obs hit-rate counters.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (self.batch_records, self.memo_hits)
     }
 
     /// Closes and returns qualifying runs idle since before

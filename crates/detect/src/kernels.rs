@@ -1,0 +1,168 @@
+//! Shared column kernels for the batched detection paths.
+//!
+//! Both hot ingest paths — the sequential grouped batch path
+//! ([`ScanDetector::observe_batch`](crate::ScanDetector::observe_batch)) and
+//! the sharded router
+//! ([`ShardedDetector::observe_batch`](crate::ShardedDetector::observe_batch))
+//! — start from the same question about the `src` column of a
+//! [`RecordBatch`](lumen6_trace::RecordBatch): *which aggregated source does
+//! each row belong to?* This module hoists the u128 prefix-mask and routing
+//! math into plain column-in/column-out kernels so the answer is computed in
+//! one tight pass per batch (a single AND against a precomputed mask, or one
+//! memoized hash per source change) instead of being re-derived row by row
+//! behind a `PacketRecord` gather.
+//!
+//! The kernels write into caller-owned scratch vectors that are cleared and
+//! refilled, never reallocated in steady state — the same reuse discipline
+//! as [`RecordBatch`](lumen6_trace::RecordBatch) itself.
+
+use crate::aggregate::AggLevel;
+
+/// The network mask for a prefix length: the top `len` bits set.
+/// Semantics match `Ipv6Prefix::new` (len 0 masks everything away, lengths
+/// above 128 clamp to a full /128 mask).
+#[inline]
+#[must_use]
+pub fn level_mask(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else if len >= 128 {
+        u128::MAX
+    } else {
+        !(u128::MAX >> len)
+    }
+}
+
+/// Masks a source column down to `level` in one vectorizable pass:
+/// `out[i] = src[i] & mask(level)`. The result bits equal
+/// `level.source_of(src[i]).bits()` for every row. `out` is cleared first
+/// and reused across batches.
+pub fn aggregate_column(src: &[u128], level: AggLevel, out: &mut Vec<u128>) {
+    let m = level_mask(level.len());
+    out.clear();
+    out.extend(src.iter().map(|&s| s & m));
+}
+
+/// Seed-free 64-bit mixer (SplitMix64 finalizer). Shard routing must be
+/// deterministic across runs, so no `RandomState`.
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The shard owning `src` when routing on `coarsest` across `shards`
+/// workers. Shared by the live router, the column kernel below, and
+/// snapshot restore, so a checkpoint re-partitions exactly as the stream
+/// routes.
+#[inline]
+#[must_use]
+pub fn route(coarsest: AggLevel, shards: usize, src: u128) -> usize {
+    let bits = src & level_mask(coarsest.len());
+    let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(coarsest.len()));
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Computes the owning shard for every row of a source column:
+/// `out[i] = route(coarsest, shards, src[i])`. A last-source memo skips the
+/// mask-and-hash for consecutive same-source rows — the dominant shape of
+/// bursty scan traffic — making the pass one compare per row in the best
+/// case. `out` is cleared first and reused across batches.
+pub fn route_column(src: &[u128], coarsest: AggLevel, shards: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(src.len());
+    let mut last: Option<(u128, u32)> = None;
+    for &s in src {
+        let sh = match last {
+            Some((p, sh)) if p == s => sh,
+            _ => {
+                let sh = route(coarsest, shards, s) as u32;
+                last = Some((s, sh));
+                sh
+            }
+        };
+        out.push(sh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen6_addr::Ipv6Prefix;
+
+    #[test]
+    fn level_mask_matches_prefix_new() {
+        let addr: u128 = 0x2001_0db8_1234_5678_9abc_def0_1122_3344;
+        for len in [0u8, 1, 32, 48, 64, 96, 127, 128] {
+            assert_eq!(
+                addr & level_mask(len),
+                Ipv6Prefix::new(addr, len).bits(),
+                "/{len}"
+            );
+        }
+        assert_eq!(level_mask(200), u128::MAX);
+    }
+
+    #[test]
+    fn aggregate_column_matches_source_of() {
+        let srcs: Vec<u128> = (0..64u128)
+            .map(|i| (0x2001_0db8_0000_0000u128 + i) << 64 | (i * 7))
+            .collect();
+        let mut out = Vec::new();
+        for lvl in [AggLevel::L128, AggLevel::L64, AggLevel::L48, AggLevel::L32] {
+            aggregate_column(&srcs, lvl, &mut out);
+            assert_eq!(out.len(), srcs.len());
+            for (i, &s) in srcs.iter().enumerate() {
+                assert_eq!(out[i], lvl.source_of(s).bits(), "{lvl} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregating_a_masked_column_narrows() {
+        // Coarsening an already-masked column equals masking the raw one:
+        // the kernels compose, so multi-level passes can narrow columns.
+        let srcs: Vec<u128> = (0..32u128).map(|i| i << 60 | 0xabc).collect();
+        let (mut l64, mut l48a, mut l48b) = (Vec::new(), Vec::new(), Vec::new());
+        aggregate_column(&srcs, AggLevel::L64, &mut l64);
+        aggregate_column(&l64, AggLevel::L48, &mut l48a);
+        aggregate_column(&srcs, AggLevel::L48, &mut l48b);
+        assert_eq!(l48a, l48b);
+    }
+
+    #[test]
+    fn route_column_matches_scalar_route() {
+        let srcs: Vec<u128> = (0..500u128)
+            .map(|i| ((i % 13) << 64) | (i * 0x9e37))
+            .collect();
+        let mut out = Vec::new();
+        for shards in [1usize, 2, 4, 7] {
+            route_column(&srcs, AggLevel::L48, shards, &mut out);
+            assert_eq!(out.len(), srcs.len());
+            for (i, &s) in srcs.iter().enumerate() {
+                assert_eq!(out[i] as usize, route(AggLevel::L48, shards, s));
+                assert!((out[i] as usize) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_level_consistent() {
+        // Sources equal at the coarsest level route identically regardless
+        // of finer bits — the invariant that lets one shard own all levels'
+        // state for a source.
+        let base: u128 = 0x2001_0db8_0001_0000 << 64;
+        for host in 0..1_000u128 {
+            assert_eq!(
+                route(AggLevel::L48, 7, base | host),
+                route(AggLevel::L48, 7, base),
+            );
+            assert_eq!(
+                route(AggLevel::L48, 7, base | (host << 64)),
+                route(AggLevel::L48, 7, base),
+            );
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod event;
 pub mod fingerprint;
 pub mod fxhash;
 pub mod ids;
+pub mod kernels;
 pub mod mawi;
 pub mod multi;
 pub mod parallel;

@@ -11,6 +11,19 @@
 //! channel per shard), so each per-source run accumulates exactly as it
 //! would sequentially.
 //!
+//! The unit of work shipped to a shard is a columnar
+//! [`RecordBatch`] sub-batch, not a rowified `Vec<PacketRecord>`: the
+//! router computes the routing key over the `src` column in one pass
+//! ([`kernels::route_column`](crate::kernels::route_column)), scatters rows
+//! column-to-column into per-shard staging batches
+//! ([`RecordBatch::push_from`]), and each worker feeds the sub-batch
+//! straight into its backend's grouped
+//! [`observe_batch`](MultiLevelDetector::observe_batch) — so the columnar
+//! decode layout survives end to end and the per-shard FxHash run state
+//! stays hot. Drained sub-batches are returned through a recycle channel
+//! and reissued as staging buffers, so the steady-state router allocates
+//! nothing.
+//!
 //! The merge is deterministic: per level, `(start_ms, source)` is unique —
 //! one source's runs have distinct start times and distinct sources are
 //! distinct keys — so sorting the concatenated shard outputs by that key is
@@ -38,22 +51,24 @@
 use crate::aggregate::AggLevel;
 use crate::detector::ScanDetectorConfig;
 use crate::event::{ScanEvent, ScanReport};
+use crate::kernels::{route, route_column};
 use crate::multi::MultiLevelDetector;
 use crate::snapshot::{LevelState, SnapshotError};
-use lumen6_obs::MetricsRegistry;
+use lumen6_obs::{Gauge, Histogram, MetricsRegistry};
 use lumen6_trace::{PacketRecord, RecordBatch};
 use std::collections::BTreeMap;
-use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Control-plane message to a shard worker. Besides packet batches, the
+/// Control-plane message to a shard worker. Besides packet sub-batches, the
 /// router can ask workers to garbage-collect idle runs or to report their
 /// serializable state mid-stream (for checkpointing) without tearing the
 /// pipeline down.
 enum ShardMsg {
-    /// A batch of packets to observe, in stream order.
-    Batch(Vec<PacketRecord>),
+    /// A columnar sub-batch of packets to observe, in stream order. The
+    /// worker returns the emptied batch through the recycle channel.
+    Batch(RecordBatch),
     /// Close runs idle since before `now - timeout` (see
     /// [`MultiLevelDetector::flush_idle`]).
     FlushIdle(u64),
@@ -66,7 +81,7 @@ enum ShardMsg {
 pub struct ShardPlan {
     /// Number of worker shards. Clamped to at least 1.
     pub shards: usize,
-    /// Packets per batch handed to a shard channel. Batching amortizes
+    /// Packets per sub-batch handed to a shard channel. Batching amortizes
     /// channel synchronization; the value does not affect results.
     pub batch: usize,
     /// Batches allowed in flight per shard before the router blocks.
@@ -95,29 +110,10 @@ impl ShardPlan {
     }
 }
 
-/// Seed-free 64-bit mixer (SplitMix64 finalizer). Shard routing must be
-/// deterministic across runs, so no `RandomState`.
-#[inline]
-fn mix64(mut x: u64) -> u64 {
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// The shard owning `src` when routing on `coarsest` across `shards`
-/// workers. Shared by live routing and snapshot restore so a checkpoint
-/// re-partitions identically to how the stream routes.
-#[inline]
-fn route(coarsest: AggLevel, shards: usize, src: u128) -> usize {
-    let p = coarsest.source_of(src);
-    let bits = p.bits();
-    let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(p.len()));
-    (h % shards as u64) as usize
-}
-
 /// Sharded multi-level detector with the same push interface as
 /// [`MultiLevelDetector`]: feed time-ordered packets via
-/// [`observe`](Self::observe), then [`finish`](Self::finish).
+/// [`observe`](Self::observe) or columnar batches via
+/// [`observe_batch`](Self::observe_batch), then [`finish`](Self::finish).
 ///
 /// Worker threads are spawned on construction and joined by `finish`;
 /// dropping without finishing shuts the workers down and discards results.
@@ -125,16 +121,34 @@ fn route(coarsest: AggLevel, shards: usize, src: u128) -> usize {
 pub struct ShardedDetector {
     senders: Vec<SyncSender<ShardMsg>>,
     workers: Vec<JoinHandle<BTreeMap<AggLevel, Vec<ScanEvent>>>>,
-    buffers: Vec<Vec<PacketRecord>>,
+    /// Per-shard columnar staging buffers; swapped against a spare (never
+    /// reallocated) when full.
+    buffers: Vec<RecordBatch>,
+    /// Free list of empty sub-batches. Workers return drained batches
+    /// through `recycle`; the router refills this list from it before ever
+    /// allocating a fresh batch.
+    spares: Vec<RecordBatch>,
+    recycle: Receiver<RecordBatch>,
+    /// Scratch for the columnar routing kernel, reused across batches.
+    routes: Vec<u32>,
+    /// Per-shard row-index scratch for the column-wise scatter, reused
+    /// across batches.
+    shard_idxs: Vec<Vec<u32>>,
     levels: Vec<AggLevel>,
     coarsest: AggLevel,
     batch: usize,
     observed: u64,
     // Telemetry accumulated locally (plain integers on the hot path) and
-    // flushed to the global registry once, in `finish`.
+    // flushed to the global registry at flush windows or in `finish`.
     routed: Vec<u64>,
+    window_routed: Vec<u64>,
     batches_sent: u64,
     stalls: u64,
+    /// Rows per sub-batch actually shipped (`detect.shard.batch_rows`).
+    batch_rows: Histogram,
+    /// Max/mean routed per shard over the last flush window, in permille
+    /// (`detect.shard.imbalance`; 1000 = perfectly balanced).
+    imbalance: Gauge,
 }
 
 impl ShardedDetector {
@@ -211,12 +225,15 @@ impl ShardedDetector {
         let shards = plan.shards.max(1);
         debug_assert_eq!(initial.len(), shards);
         let coarsest = levels.iter().copied().min().unwrap_or(AggLevel::L128);
+        let batch = plan.batch.max(1);
+        let (recycle_tx, recycle) = channel::<RecordBatch>();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for init in initial {
             let (tx, rx) = sync_channel::<ShardMsg>(plan.depth.max(1));
             let levels = levels.to_vec();
             let base = base.clone();
+            let recycle_tx = recycle_tx.clone();
             workers.push(std::thread::spawn(move || {
                 let started = Instant::now();
                 let mut det = match init {
@@ -225,10 +242,16 @@ impl ShardedDetector {
                 };
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        // The grouped batch path: one run-state lookup per
-                        // (source, batch) inside the worker instead of one
-                        // per packet.
-                        ShardMsg::Batch(batch) => det.observe_records(&batch),
+                        // The columnar batch path: the sub-batch feeds the
+                        // backend's grouped observe_batch directly, then
+                        // goes back to the router for reuse (send fails
+                        // only after the router is gone — nothing to
+                        // recycle to, so the batch is simply dropped).
+                        ShardMsg::Batch(mut batch) => {
+                            det.observe_batch(&batch);
+                            batch.clear();
+                            let _ = recycle_tx.send(batch);
+                        }
                         ShardMsg::FlushIdle(now_ms) => det.flush_idle(now_ms),
                         ShardMsg::Snapshot(reply) => {
                             let _ = reply.send(det.state());
@@ -247,17 +270,27 @@ impl ShardedDetector {
             }));
             senders.push(tx);
         }
+        let reg = MetricsRegistry::global();
         ShardedDetector {
             senders,
             workers,
-            buffers: vec![Vec::with_capacity(plan.batch.max(1)); shards],
+            buffers: (0..shards)
+                .map(|_| RecordBatch::with_capacity(batch))
+                .collect(),
+            spares: Vec::new(),
+            recycle,
+            routes: Vec::new(),
+            shard_idxs: vec![Vec::new(); shards],
             levels: levels.to_vec(),
             coarsest,
-            batch: plan.batch.max(1),
+            batch,
             observed,
             routed: vec![0; shards],
+            window_routed: vec![0; shards],
             batches_sent: 0,
             stalls: 0,
+            batch_rows: reg.histogram("detect.shard.batch_rows"),
+            imbalance: reg.gauge("detect.shard.imbalance"),
         }
     }
 
@@ -289,38 +322,60 @@ impl ShardedDetector {
         self.observed += 1;
         let shard = self.shard_of(r.src);
         self.routed[shard] += 1;
+        self.window_routed[shard] += 1;
         self.buffers[shard].push(*r);
         if self.buffers[shard].len() >= self.batch {
-            let full = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
-            self.send_batch(shard, full);
+            self.flush_shard(shard);
         }
     }
 
-    /// Routes a columnar batch to the owning shards. A last-shard memo
-    /// skips the routing hash for consecutive same-source packets, the
-    /// common shape of bursty scan traffic. Results are identical to
-    /// calling [`observe`](Self::observe) per record.
+    /// Routes a columnar batch to the owning shards: one
+    /// [`route_column`] pass over the `src` column (memoized for
+    /// consecutive same-source rows), a per-shard row-index build, then a
+    /// column-wise gather into the per-shard staging batches
+    /// ([`RecordBatch::extend_from_indices`]) — writes stay contiguous per
+    /// column and no `PacketRecord` is materialized on the way. When the
+    /// whole batch routes to one shard (run-clustered traffic), the
+    /// scatter degenerates to seven contiguous column copies. Results are
+    /// identical to calling [`observe`](Self::observe) per record; staged
+    /// sub-batches may briefly exceed `ShardPlan::batch` by up to one
+    /// input batch before they flush.
     pub fn observe_batch(&mut self, batch: &RecordBatch) {
-        let srcs = batch.src();
-        let mut last: Option<(u128, usize)> = None;
-        for (i, &src) in srcs.iter().enumerate() {
-            let shard = match last {
-                Some((s, sh)) if s == src => sh,
-                _ => {
-                    let sh = self.shard_of(src);
-                    last = Some((src, sh));
-                    sh
-                }
-            };
-            self.observed += 1;
-            self.routed[shard] += 1;
-            self.buffers[shard].push(batch.get(i));
+        let mut routes = std::mem::take(&mut self.routes);
+        route_column(batch.src(), self.coarsest, self.senders.len(), &mut routes);
+        let mut idxs = std::mem::take(&mut self.shard_idxs);
+        let uniform = match routes.first() {
+            Some(&f) if routes.iter().all(|&s| s == f) => Some(f as usize),
+            _ => None,
+        };
+        if let Some(shard) = uniform {
+            self.routed[shard] += batch.len() as u64;
+            self.window_routed[shard] += batch.len() as u64;
+            self.buffers[shard].extend_from_batch(batch);
             if self.buffers[shard].len() >= self.batch {
-                let full =
-                    std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
-                self.send_batch(shard, full);
+                self.flush_shard(shard);
+            }
+        } else {
+            for (i, &shard) in routes.iter().enumerate() {
+                idxs[shard as usize].push(i as u32);
+            }
+            for (shard, rows) in idxs.iter_mut().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                let n = rows.len() as u64;
+                self.routed[shard] += n;
+                self.window_routed[shard] += n;
+                self.buffers[shard].extend_from_indices(batch, rows);
+                rows.clear();
+                if self.buffers[shard].len() >= self.batch {
+                    self.flush_shard(shard);
+                }
             }
         }
+        self.observed += batch.len() as u64;
+        self.routes = routes;
+        self.shard_idxs = idxs;
     }
 
     /// A shard's channel can only close while the pipeline is live if its
@@ -337,9 +392,32 @@ impl ShardedDetector {
         panic!("shard {shard} channel closed but its worker exited cleanly");
     }
 
-    /// Sends one batch to a shard, counting a stall when the bounded
+    /// An empty sub-batch to stage into: refills the free list from the
+    /// workers' recycle channel first, and only allocates when the pipeline
+    /// has fewer batches in circulation than it needs (start-up, or every
+    /// shard's depth fully in flight).
+    fn take_spare(&mut self) -> RecordBatch {
+        while let Ok(b) = self.recycle.try_recv() {
+            debug_assert!(b.is_empty(), "workers recycle cleared batches");
+            self.spares.push(b);
+        }
+        self.spares
+            .pop()
+            .unwrap_or_else(|| RecordBatch::with_capacity(self.batch))
+    }
+
+    /// Ships shard `shard`'s staged sub-batch, swapping in a recycled spare
+    /// so staging never reallocates.
+    fn flush_shard(&mut self, shard: usize) {
+        let spare = self.take_spare();
+        let full = std::mem::replace(&mut self.buffers[shard], spare);
+        self.batch_rows.record(full.len() as u64);
+        self.send_batch(shard, full);
+    }
+
+    /// Sends one sub-batch to a shard, counting a stall when the bounded
     /// channel is full and the router has to block on the worker.
-    fn send_batch(&mut self, shard: usize, batch: Vec<PacketRecord>) {
+    fn send_batch(&mut self, shard: usize, batch: RecordBatch) {
         self.batches_sent += 1;
         match self.senders[shard].try_send(ShardMsg::Batch(batch)) {
             Ok(()) => {}
@@ -353,19 +431,35 @@ impl ShardedDetector {
         }
     }
 
-    /// Flushes buffered batches so every worker has seen the stream up to
-    /// the current position. Must precede any control message whose effect
-    /// depends on stream position (flush-idle, snapshot).
+    /// Flushes buffered sub-batches so every worker has seen the stream up
+    /// to the current position. Must precede any control message whose
+    /// effect depends on stream position (flush-idle, snapshot). Ends a
+    /// flush window: publishes the routing-skew gauge for the window just
+    /// closed.
     fn drain_buffers(&mut self) {
-        let flushes: Vec<(usize, Vec<PacketRecord>)> = self
-            .buffers
-            .iter_mut()
-            .enumerate()
-            .filter(|(_, buf)| !buf.is_empty())
-            .map(|(shard, buf)| (shard, std::mem::take(buf)))
-            .collect();
-        for (shard, buf) in flushes {
-            self.send_batch(shard, buf);
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                self.flush_shard(shard);
+            }
+        }
+        self.publish_imbalance();
+    }
+
+    /// Publishes `detect.shard.imbalance` — max/mean packets routed per
+    /// shard over the window since the last publish, in permille (1000 =
+    /// perfectly balanced) — and starts a new window. Windows with no
+    /// traffic leave the gauge untouched.
+    fn publish_imbalance(&mut self) {
+        let total: u64 = self.window_routed.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let max = self.window_routed.iter().copied().fold(0, u64::max);
+        let mean = total as f64 / self.window_routed.len() as f64;
+        self.imbalance
+            .set((max as f64 / mean * 1000.0).round() as i64);
+        for w in &mut self.window_routed {
+            *w = 0;
         }
     }
 
@@ -424,8 +518,8 @@ impl ShardedDetector {
         out
     }
 
-    /// Ends the stream: flushes buffered batches, joins the workers, and
-    /// merges per-shard events into per-level reports sorted by
+    /// Ends the stream: flushes buffered sub-batches, joins the workers,
+    /// and merges per-shard events into per-level reports sorted by
     /// `(start_ms, source)`.
     pub fn finish(mut self) -> BTreeMap<AggLevel, ScanReport> {
         self.drain_buffers();
@@ -469,6 +563,12 @@ impl ShardedDetector {
 }
 
 /// Runs sharded multi-level detection over a complete time-sorted slice.
+/// Row-major input is routed per record — one fused transpose straight
+/// into the per-shard columnar staging buffers, with no intermediate
+/// batch. (Already-columnar input, e.g. decoded `RecordBatch` chunks,
+/// should go through [`ShardedDetector::observe_batch`] instead, whose
+/// vectorized route-and-scatter is the only copy on that path.) Workers
+/// consume columnar sub-batches either way.
 ///
 /// Produces output identical to
 /// [`detect_multi`](crate::multi::detect_multi) for any shard count.
@@ -487,7 +587,8 @@ pub fn detect_multi_sharded(
 
 /// Runs sharded detection over a packet stream without materializing it —
 /// pair with [`lumen6_trace::codec::decode_chunks`] to keep peak memory
-/// independent of trace size.
+/// independent of trace size. Row-major input routes per record straight
+/// into the columnar staging buffers (see [`detect_multi_sharded`]).
 pub fn detect_multi_sharded_stream(
     records: impl IntoIterator<Item = PacketRecord>,
     levels: &[AggLevel],
@@ -627,6 +728,79 @@ mod tests {
     }
 
     #[test]
+    fn row_and_batch_ingest_mix_matches_sequential() {
+        // Interleaving per-record observe with columnar observe_batch must
+        // land every row in the same staging buffers in stream order.
+        let recs = workload();
+        let seq = detect_multi(
+            &recs,
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+        );
+        let mut det = ShardedDetector::new(
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan {
+                shards: 3,
+                batch: 50,
+                depth: 2,
+            },
+        );
+        let mut staged = RecordBatch::new();
+        for (i, part) in recs.chunks(37).enumerate() {
+            if i % 2 == 0 {
+                for r in part {
+                    det.observe(r);
+                }
+            } else {
+                staged.clear();
+                staged.extend(part.iter().copied());
+                det.observe_batch(&staged);
+            }
+        }
+        assert_eq!(det.observed(), recs.len() as u64);
+        assert_eq!(det.finish(), seq);
+    }
+
+    #[test]
+    fn staging_buffers_are_recycled_not_reallocated() {
+        // After the pipeline warms up, every shipped sub-batch comes back
+        // through the recycle channel: the router should hold at most
+        // shards * (depth + 1) + spares batches in circulation, and the
+        // spares list should actually be fed (proving reuse, not fresh
+        // allocation per flush).
+        let recs = workload();
+        let mut det = ShardedDetector::new(
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan {
+                shards: 2,
+                batch: 16,
+                depth: 2,
+            },
+        );
+        let mut staged = RecordBatch::new();
+        for part in recs.chunks(64) {
+            staged.clear();
+            staged.extend(part.iter().copied());
+            det.observe_batch(&staged);
+        }
+        assert!(det.batches_sent > 10, "sent {}", det.batches_sent);
+        // state() is a rendezvous: workers have consumed (and recycled)
+        // every sub-batch queued before it returns. The next take_spare
+        // must therefore find returned batches on the free list instead of
+        // allocating.
+        det.state();
+        let recycled = det.take_spare();
+        assert!(recycled.is_empty());
+        assert!(
+            !det.spares.is_empty(),
+            "recycle channel returned no batches to the free list"
+        );
+        det.finish();
+    }
+
+    #[test]
     fn empty_stream() {
         let out = detect_multi_sharded(
             &[],
@@ -685,5 +859,26 @@ mod tests {
             assert_eq!(det.shard_of(base | (host << 64)), first);
         }
         det.finish();
+    }
+
+    #[test]
+    fn imbalance_gauge_is_published_in_permille() {
+        use lumen6_obs::MetricsRegistry;
+        let recs = workload();
+        let mut det = ShardedDetector::new(
+            &AggLevel::PAPER_LEVELS,
+            ScanDetectorConfig::default(),
+            ShardPlan::with_shards(4),
+        );
+        let mut staged = RecordBatch::new();
+        staged.extend(recs.iter().copied());
+        det.observe_batch(&staged);
+        det.finish();
+        let g = MetricsRegistry::global()
+            .gauge("detect.shard.imbalance")
+            .get();
+        // max/mean >= 1 by definition; a wildly skewed 4-shard split of
+        // this workload would read 4000.
+        assert!((1000..=4000).contains(&g), "imbalance {g}");
     }
 }

@@ -41,6 +41,57 @@ fn cfg(min_dsts: u64, timeout_ms: u64) -> ScanDetectorConfig {
     }
 }
 
+/// Interleaves records one-per-source while preserving each source's own
+/// order — consecutive rows almost always route to *different* shards,
+/// defeating the columnar router's last-source memo and maximally
+/// fragmenting the per-shard staging buffers.
+fn round_robin_by_source(recs: &[PacketRecord]) -> Vec<PacketRecord> {
+    let mut groups: Vec<(u128, std::collections::VecDeque<PacketRecord>)> = Vec::new();
+    for r in recs {
+        match groups.iter_mut().find(|(s, _)| *s == r.src) {
+            Some((_, g)) => g.push_back(*r),
+            None => groups.push((r.src, std::iter::once(*r).collect())),
+        }
+    }
+    let mut out = Vec::with_capacity(recs.len());
+    while out.len() < recs.len() {
+        for (_, g) in &mut groups {
+            if let Some(r) = g.pop_front() {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// The three adversarial arrival orders the batch-routed sharded
+/// differential tests sweep. Each preserves every source's internal time
+/// order (what detection state depends on) while stressing a different
+/// router behavior.
+fn apply_ordering(recs: &[PacketRecord], ordering: usize) -> Vec<PacketRecord> {
+    match ordering {
+        // Every row shares one source: all sub-batches land on one shard
+        // and the other shards only ever see flush/finish control messages.
+        0 => recs
+            .iter()
+            .map(|r| PacketRecord {
+                src: recs[0].src,
+                ..*r
+            })
+            .collect(),
+        // Round-robin across sources: worst case for the routing memo.
+        1 => round_robin_by_source(recs),
+        // Stable-sorted by source: the stream arrives source-clustered, so
+        // each flush window routes long runs to a single shard (worst-case
+        // imbalance within a window).
+        _ => {
+            let mut v = recs.to_vec();
+            v.sort_by_key(|r| r.src);
+            v
+        }
+    }
+}
+
 proptest! {
     /// With min_dsts = 1, every packet belongs to exactly one event.
     #[test]
@@ -379,5 +430,196 @@ proptest! {
         let reports = det.finish();
         let got = &reports[&AggLevel::L64];
         prop_assert_eq!(&got.events, &sorted_report.events);
+    }
+}
+
+// The grid tests below sweep 12 shard×batch combinations (and a
+// three-session checkpoint round-trip) *inside* each case, so each case
+// covers far more executions than a single property run suggests.
+proptest! {
+    /// The batch-routed columnar sharded pipeline is differentially equal
+    /// to the sequential multi-level detector — same mid-stream state, same
+    /// final state, same reports — over the full shards {1,2,4,8} × batch
+    /// {1,7,8192} grid under all three adversarial arrival orders.
+    #[test]
+    fn batch_routed_sharded_grid_matches_sequential(
+        recs in arb_workload(),
+        ordering in 0usize..3,
+    ) {
+        use lumen6_detect::{DetectorBuilder, ShardPlan};
+        use lumen6_trace::RecordBatch;
+
+        let recs = apply_ordering(&recs, ordering);
+        let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
+        let base = cfg(3, 20_000);
+        let half = recs.len() / 2;
+
+        let mut seq = DetectorBuilder::new(base.clone())
+            .levels(&levels)
+            .sequential()
+            .build();
+        let mut staged = RecordBatch::with_capacity(recs.len());
+        staged.extend(recs[..half].iter().copied());
+        seq.observe_batch(&staged);
+        let seq_mid = seq.state();
+        staged.clear();
+        staged.extend(recs[half..].iter().copied());
+        seq.observe_batch(&staged);
+        let seq_end = seq.state();
+        let seq_report = seq.finish();
+
+        for shards in [1usize, 2, 4, 8] {
+            for batch in [1usize, 7, 8192] {
+                let plan = ShardPlan { shards, batch, depth: 2 };
+                let mut par = DetectorBuilder::new(base.clone())
+                    .levels(&levels)
+                    .sharded(plan)
+                    .build();
+                let mut b = RecordBatch::with_capacity(batch.min(recs.len()));
+                for part in recs[..half].chunks(batch) {
+                    b.clear();
+                    b.extend(part.iter().copied());
+                    par.observe_batch(&b);
+                }
+                let par_mid = par.state();
+                prop_assert_eq!(
+                    &par_mid, &seq_mid,
+                    "mid-stream state diverged: shards={} batch={} ordering={}",
+                    shards, batch, ordering
+                );
+                for part in recs[half..].chunks(batch) {
+                    b.clear();
+                    b.extend(part.iter().copied());
+                    par.observe_batch(&b);
+                }
+                let par_end = par.state();
+                prop_assert_eq!(
+                    &par_end, &seq_end,
+                    "final state diverged: shards={} batch={} ordering={}",
+                    shards, batch, ordering
+                );
+                let par_report = par.finish();
+                prop_assert_eq!(
+                    &par_report, &seq_report,
+                    "report diverged: shards={} batch={} ordering={}",
+                    shards, batch, ordering
+                );
+            }
+        }
+    }
+
+    /// A checkpoint written by a sharded session is byte-identical to one
+    /// written by a sequential session at the same stream position — under
+    /// any shard count, sub-batch size, and adversarial arrival order —
+    /// and resuming the sharded session reproduces the uninterrupted
+    /// sequential report exactly.
+    #[test]
+    fn sharded_checkpoint_bytes_match_sequential(
+        recs in arb_workload(),
+        shards in 1usize..9,
+        batch_ix in 0usize..3,
+        ordering in 0usize..3,
+        every in 10u64..120,
+    ) {
+        use lumen6_detect::{
+            CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
+            ShardPlan,
+        };
+        use lumen6_trace::TraceWriter;
+        use std::io::Write as _;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let id = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "lumen6-shck-prop-{}-{id}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = [1usize, 7, 8192][batch_ix];
+        // The trace codec delta-encodes timestamps, so a session's input is
+        // necessarily time-sorted: keep the adversarial *source* arrival
+        // order but reassign the workload's own timestamps in sorted order.
+        let mut recs = apply_ordering(&recs, ordering);
+        let mut ts: Vec<u64> = recs.iter().map(|r| r.ts_ms).collect();
+        ts.sort_unstable();
+        for (r, t) in recs.iter_mut().zip(ts) {
+            r.ts_ms = t;
+        }
+        let trace = dir.join("t.l6tr");
+        let mut w = TraceWriter::new(std::io::BufWriter::new(
+            std::fs::File::create(&trace).unwrap(),
+        ))
+        .unwrap();
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.finish().unwrap().flush().unwrap();
+
+        let levels = [AggLevel::L128, AggLevel::L64];
+        let seq_builder = DetectorBuilder::new(cfg(5, 20_000)).levels(&levels);
+        let plan = ShardPlan { shards, batch, depth: 2 };
+        let par_builder = seq_builder.clone().sharded(plan);
+
+        // Uninterrupted sequential reference.
+        let reference = match Session::new(
+            seq_builder.clone(),
+            SessionConfig { batch: 1, ..Default::default() },
+        )
+        .run(&trace)
+        .unwrap()
+        {
+            SessionOutcome::Finished(rep) => rep,
+            SessionOutcome::Stopped { .. } => unreachable!("no checkpoint policy"),
+        };
+
+        let mut checkpoints = Vec::new();
+        let mut reports = Vec::new();
+        for (builder, b) in [(&seq_builder, 1usize), (&par_builder, batch)] {
+            let ck = dir.join(format!("ck-{b}-{}", checkpoints.len()));
+            let stop_cfg = SessionConfig {
+                checkpoint: Some(CheckpointPolicy {
+                    path: ck.clone(),
+                    every_records: every,
+                    stop_after: Some(1),
+                }),
+                batch: b,
+                ..Default::default()
+            };
+            let report = match Session::new(builder.clone(), stop_cfg).run(&trace).unwrap() {
+                SessionOutcome::Stopped { .. } => {
+                    checkpoints.push(std::fs::read(&ck).unwrap());
+                    let resume_cfg = SessionConfig {
+                        checkpoint: Some(CheckpointPolicy {
+                            path: ck,
+                            every_records: every,
+                            stop_after: None,
+                        }),
+                        batch: b,
+                        ..Default::default()
+                    };
+                    match Session::new(builder.clone(), resume_cfg).run(&trace).unwrap() {
+                        SessionOutcome::Finished(rep) => rep,
+                        SessionOutcome::Stopped { .. } => unreachable!("no stop_after"),
+                    }
+                }
+                // Stream shorter than one checkpoint interval.
+                SessionOutcome::Finished(rep) => rep,
+            };
+            reports.push(report);
+        }
+        if checkpoints.len() == 2 {
+            prop_assert_eq!(
+                &checkpoints[0],
+                &checkpoints[1],
+                "sharded checkpoint bytes differ from sequential \
+                 (shards={} batch={} ordering={})",
+                shards, batch, ordering
+            );
+        }
+        prop_assert_eq!(&reports[0].reports, &reference.reports);
+        prop_assert_eq!(&reports[1].reports, &reference.reports);
+        prop_assert_eq!(reports[1].records, reference.records);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

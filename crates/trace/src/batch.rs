@@ -78,6 +78,39 @@ impl RecordBatch {
         self.len.push(r.len);
     }
 
+    /// Appends every record of `other` — seven contiguous column copies,
+    /// the fast path of the sharded router when an entire input batch
+    /// routes to one shard (run-clustered traffic).
+    pub fn extend_from_batch(&mut self, other: &RecordBatch) {
+        self.ts_ms.extend_from_slice(&other.ts_ms);
+        self.src.extend_from_slice(&other.src);
+        self.dst.extend_from_slice(&other.dst);
+        self.proto.extend_from_slice(&other.proto);
+        self.sport.extend_from_slice(&other.sport);
+        self.dport.extend_from_slice(&other.dport);
+        self.len.extend_from_slice(&other.len);
+    }
+
+    /// Appends the rows of `other` selected by `idxs`, one column at a
+    /// time — the scatter primitive of the sharded router, which partitions
+    /// one decoded batch into per-shard sub-batches. Gathering per column
+    /// keeps every write contiguous (and no `PacketRecord` is materialized
+    /// in between). Panics if any index is `>= other.len()`, like slice
+    /// indexing.
+    pub fn extend_from_indices(&mut self, other: &RecordBatch, idxs: &[u32]) {
+        self.ts_ms
+            .extend(idxs.iter().map(|&i| other.ts_ms[i as usize]));
+        self.src.extend(idxs.iter().map(|&i| other.src[i as usize]));
+        self.dst.extend(idxs.iter().map(|&i| other.dst[i as usize]));
+        self.proto
+            .extend(idxs.iter().map(|&i| other.proto[i as usize]));
+        self.sport
+            .extend(idxs.iter().map(|&i| other.sport[i as usize]));
+        self.dport
+            .extend(idxs.iter().map(|&i| other.dport[i as usize]));
+        self.len.extend(idxs.iter().map(|&i| other.len[i as usize]));
+    }
+
     /// Reassembles record `i`. Columns are `Copy`, so this is a gather of
     /// seven loads, not an allocation. Panics if `i >= len()`, like slice
     /// indexing.
@@ -178,6 +211,37 @@ mod tests {
         let b: RecordBatch = recs.iter().copied().collect();
         let back: Vec<PacketRecord> = b.iter().collect();
         assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn extend_from_indices_scatters_whole_rows() {
+        let recs: Vec<PacketRecord> = (0..12).map(rec).collect();
+        let b: RecordBatch = recs.iter().copied().collect();
+        let evens: Vec<u32> = (0..b.len() as u32).step_by(2).collect();
+        let odds: Vec<u32> = (1..b.len() as u32).step_by(2).collect();
+        let mut even = RecordBatch::new();
+        let mut odd = RecordBatch::new();
+        even.extend_from_indices(&b, &evens);
+        odd.extend_from_indices(&b, &odds);
+        assert_eq!(even.len() + odd.len(), b.len());
+        for (k, &i) in evens.iter().enumerate() {
+            assert_eq!(even.get(k), recs[i as usize]);
+        }
+        for (k, &i) in odds.iter().enumerate() {
+            assert_eq!(odd.get(k), recs[i as usize]);
+        }
+    }
+
+    #[test]
+    fn extend_from_batch_appends_all_rows() {
+        let a: RecordBatch = (0..5).map(rec).collect();
+        let b: RecordBatch = (5..9).map(rec).collect();
+        let mut out = RecordBatch::new();
+        out.extend_from_batch(&a);
+        out.extend_from_batch(&b);
+        let back: Vec<PacketRecord> = out.iter().collect();
+        let want: Vec<PacketRecord> = (0..9).map(rec).collect();
+        assert_eq!(back, want);
     }
 
     #[test]
