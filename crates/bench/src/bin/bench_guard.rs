@@ -18,7 +18,14 @@
 //!   required speedup over sequential (default 1.5x, override with
 //!   `BENCH_GUARD_SHARDED_SPEEDUP`). This gate only runs on multi-core
 //!   hosts: on a single core the sharded pipeline is sequential work plus
-//!   routing overhead, so the gate is skipped with an explicit log line.
+//!   routing overhead, so the gate is skipped with an explicit log line, or
+//! - the fused generator→detector pipeline (`FleetSource` feeding a
+//!   detection `Session` with no resident trace) falls below the required
+//!   end-to-end throughput (default 10k rec/s — deliberately relaxed so a
+//!   loaded single-core CI host passes; override with
+//!   `BENCH_GUARD_FUSED_MIN_RPS`). Fused throughput includes generation,
+//!   so it is gated on an absolute floor rather than compared against the
+//!   detect-only baseline.
 //!
 //! Run with `cargo run --release -p lumen6-bench --bin bench_guard`; a debug
 //! build measures debug-build throughput, which is meaningless against a
@@ -27,7 +34,11 @@
 use lumen6_bench::CdnFixture;
 use lumen6_detect::multi::MultiLevelDetector;
 use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan};
-use lumen6_detect::{AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig};
+use lumen6_detect::{
+    AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig,
+    SessionOutcome,
+};
+use lumen6_scanners::FleetSource;
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use lumen6_trace::{PacketRecord, RecordBatch};
 use serde::value::Value;
@@ -98,6 +109,7 @@ fn main() {
     let max_overhead = env_f64("BENCH_GUARD_SESSION_OVERHEAD", 0.05);
     let stream_tolerance = env_f64("BENCH_GUARD_STREAM_TOLERANCE", 0.10);
     let min_sharded_speedup = env_f64("BENCH_GUARD_SHARDED_SPEEDUP", 1.5);
+    let fused_min_rps = env_f64("BENCH_GUARD_FUSED_MIN_RPS", 10_000.0);
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let fx = CdnFixture::new();
@@ -143,6 +155,21 @@ fn main() {
         std::hint::black_box(det.finish());
     });
 
+    let mut fused_records = 0u64;
+    let fused_s = median_secs(|| {
+        let mut src = FleetSource::new(fx.world.clone());
+        let det = DetectorBuilder::new(ScanDetectorConfig::default())
+            .levels(&LEVELS)
+            .sequential();
+        let outcome = Session::new(det, SessionConfig::default())
+            .run_source(&mut src)
+            .expect("fused session runs");
+        match outcome {
+            SessionOutcome::Finished(rep) => fused_records = rep.records,
+            SessionOutcome::Stopped { .. } => unreachable!("no checkpoint stop configured"),
+        }
+    });
+
     let sharded_s = (host_cores > 1).then(|| {
         median_secs(|| {
             std::hint::black_box(detect_multi_sharded(
@@ -175,6 +202,12 @@ fn main() {
         stream_tolerance * 100.0
     );
 
+    let fused_rps = fused_records as f64 / fused_s;
+    println!(
+        "bench_guard: fused pipeline {fused_rps:.0} rec/s end-to-end \
+         ({fused_records} records, floor {fused_min_rps:.0})"
+    );
+
     let mut failed = false;
     if current_rps < baseline_rps * (1.0 - tolerance) {
         eprintln!(
@@ -198,6 +231,13 @@ fn main() {
              (allowed {:.1}%)",
             stream_ratio * 100.0,
             stream_tolerance * 100.0
+        );
+        failed = true;
+    }
+    if fused_rps < fused_min_rps {
+        eprintln!(
+            "bench_guard: FAIL — fused pipeline {fused_rps:.0} rec/s below the \
+             {fused_min_rps:.0} rec/s floor"
         );
         failed = true;
     }

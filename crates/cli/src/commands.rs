@@ -31,6 +31,7 @@ lumen6 — IPv6 scan detection toolkit
 
 USAGE:
   lumen6 generate <cdn|mawi> --out FILE [--days N] [--seed N] [--small]
+                [--intensity F]
   lumen6 generate custom --fleet ACTORS.json --out FILE [--seed N]
   lumen6 info --trace FILE
   lumen6 detect --trace FILE [--agg 128|64|48|32] [--min-dsts N]
@@ -38,6 +39,10 @@ USAGE:
                 [--threads N] [--sequential] [--metrics-out FILE.json]
                 [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
                 [--watermark-secs N] [--strict] [--batch N]
+                [--sketch-precision P]
+  lumen6 detect --fused [--days N] [--seed N] [--small] [--intensity F]
+                (synthesize the CDN fleet stream in-process instead of
+                 reading --trace; same detection flags apply)
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -71,6 +76,8 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "stop-after",
             "watermark-secs",
             "batch",
+            "intensity",
+            "sketch-precision",
         ],
     )?;
     let cmd = args
@@ -107,6 +114,28 @@ fn agg_of(args: &Args) -> Result<AggLevel, CliError> {
     Ok(AggLevel::new(args.get_parsed::<u8>("agg", 64)?))
 }
 
+/// Builds the fleet configuration shared by `generate cdn` and
+/// `detect --fused`: `--small`, `--seed`, `--days`, and `--intensity`
+/// (a multiplier on every actor's per-session packet budget; 1.0 is the
+/// calibrated default, 100.0 approaches the paper's packet volumes).
+fn fleet_config(args: &Args, seed: u64, days: Option<u64>) -> Result<FleetConfig, CliError> {
+    let mut cfg = if args.has("small") {
+        FleetConfig::small()
+    } else {
+        FleetConfig::default()
+    };
+    cfg.seed = seed;
+    cfg.end_day = days.unwrap_or(cfg.end_day);
+    cfg.intensity = args.get_parsed::<f64>("intensity", cfg.intensity)?;
+    if !cfg.intensity.is_finite() || cfg.intensity <= 0.0 {
+        return Err(CliError::Usage(format!(
+            "--intensity must be a positive finite number, got {}",
+            cfg.intensity
+        )));
+    }
+    Ok(cfg)
+}
+
 /// `generate <cdn|mawi>`: build a synthetic vantage trace file.
 fn generate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let kind = args
@@ -122,13 +151,7 @@ fn generate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError>
 
     let records = match kind {
         "cdn" => {
-            let mut cfg = if args.has("small") {
-                FleetConfig::small()
-            } else {
-                FleetConfig::default()
-            };
-            cfg.seed = seed;
-            cfg.end_day = days;
+            let cfg = fleet_config(args, seed, Some(days))?;
             World::build(cfg).cdn_trace()
         }
         "mawi" => {
@@ -241,25 +264,40 @@ fn session_config(args: &Args) -> Result<SessionConfig, CliError> {
     })
 }
 
-/// `detect`: the paper's large-scale scan detection over a trace file.
+/// `detect`: the paper's large-scale scan detection over a trace file —
+/// or, with `--fused`, over the fleet generators directly (no trace file
+/// at any point; the paper-scale path).
 ///
 /// All backends dispatch through one [`DetectorBuilder`] code path: the
 /// sharded parallel pipeline by default (`--threads N` to pin the shard
 /// count), the single-threaded reference detector with `--sequential`.
-/// Without `--prefilter` the trace is streamed from disk through a
-/// fault-tolerant [`Session`] in bounded memory — checkpoint/resume with
-/// `--checkpoint FILE`, out-of-order tolerance with `--watermark-secs N`,
-/// and quarantine-and-skip of corrupt records unless `--strict`.
+/// Without `--prefilter` the input is streamed through a fault-tolerant
+/// [`Session`] in bounded memory — checkpoint/resume with
+/// `--checkpoint FILE` (fused runs resume by deterministic regeneration),
+/// out-of-order tolerance with `--watermark-secs N`, and
+/// quarantine-and-skip of corrupt records unless `--strict`.
 /// Prefiltering needs the whole trace resident and is incompatible with
-/// the session flags.
+/// the session flags and with `--fused`.
 fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     // Delta against the process-global registry so the emitted snapshot
     // covers exactly this command run (tests share one process).
     let metrics_baseline = lumen6_obs::MetricsRegistry::global().snapshot();
+    // `--sketch-precision P` switches distinct-destination counting from
+    // exact sets to spill-to-HyperLogLog at precision P (memory per spilled
+    // source: 2^P registers; error ≈ 1.04/sqrt(2^P)). Out-of-range values
+    // are clamped to the supported 4..=16 at construction.
+    let sketch = match args.get("sketch-precision") {
+        Some(_) => Some(lumen6_detect::SketchConfig {
+            spill_threshold: 4_096,
+            precision: args.get_parsed::<u8>("sketch-precision", 0)?,
+        }),
+        None => None,
+    };
     let config = ScanDetectorConfig {
         agg: agg_of(args)?,
         min_dsts: args.get_parsed("min-dsts", 100)?,
         timeout_ms: args.get_parsed::<u64>("timeout-secs", 3_600)? * 1000,
+        sketch,
         ..Default::default()
     };
     let agg = config.agg;
@@ -276,6 +314,13 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             return Err(CliError::Usage(
                 "--checkpoint/--watermark-secs are incompatible with --prefilter \
                  (prefiltering needs the whole trace resident)"
+                    .into(),
+            ));
+        }
+        if args.has("fused") {
+            return Err(CliError::Usage(
+                "--fused is incompatible with --prefilter (prefiltering needs the \
+                 whole trace resident; the fused source never materializes it)"
                     .into(),
             ));
         }
@@ -300,13 +345,34 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
         det.finish().remove(&agg).expect("requested level present")
     } else {
-        // Stream the trace straight off disk through the fault-tolerant
-        // session so peak memory does not scale with trace size.
-        let path = args
-            .get("trace")
-            .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+        // Stream through the fault-tolerant session so peak memory does not
+        // scale with trace size: off disk with --trace, or synthesized
+        // in-process from the fleet generators with --fused (the
+        // generator→detector pipeline never touches a trace file).
         let announce = session.checkpoint.is_some();
-        match Session::new(builder, session).run(Path::new(path))? {
+        let outcome = if args.has("fused") {
+            if args.get("trace").is_some() {
+                return Err(CliError::Usage(
+                    "--fused synthesizes its own input; drop --trace".into(),
+                ));
+            }
+            let cfg = fleet_config(
+                args,
+                args.get_parsed::<u64>("seed", 42)?,
+                match args.get("days") {
+                    Some(_) => Some(args.get_parsed::<u64>("days", 0)?),
+                    None => None,
+                },
+            )?;
+            let mut src = lumen6_scanners::FleetSource::new(World::build(cfg));
+            Session::new(builder, session).run_source(&mut src)?
+        } else {
+            let path = args
+                .get("trace")
+                .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+            Session::new(builder, session).run(Path::new(path))?
+        };
+        match outcome {
             SessionOutcome::Stopped {
                 checkpoints_written,
                 records_done,
@@ -906,5 +972,156 @@ mod tests {
     fn missing_file_is_io_error() {
         let (_, res) = run_cli(&["info", "--trace", "/nonexistent/x.l6tr"]);
         assert!(matches!(res, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn fused_detect_matches_trace_file_detect() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-fused-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        let params = ["--days", "6", "--seed", "13", "--small"];
+        let mut gen = vec!["generate", "cdn", "--out", p];
+        gen.extend(params);
+        run_cli(&gen).1.unwrap();
+
+        let (via_file, res) = run_cli(&["detect", "--trace", p, "--min-dsts", "50"]);
+        res.unwrap();
+        let mut fused = vec!["detect", "--fused", "--min-dsts", "50"];
+        fused.extend(params);
+        let (via_fused, res) = run_cli(&fused);
+        res.unwrap();
+        assert_eq!(via_fused, via_file, "fused output differs from trace file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fused_detect_checkpoint_stop_and_resume() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-fusedck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("state.l6ck");
+        let base = |extra: &[&'static str]| {
+            let mut v = vec![
+                "detect",
+                "--fused",
+                "--small",
+                "--days",
+                "6",
+                "--min-dsts",
+                "50",
+                "--checkpoint",
+                ck.to_str().unwrap(),
+                "--checkpoint-every",
+                "2000",
+            ];
+            v.extend(extra);
+            v
+        };
+        let (_, res) = run_cli(&base(&["--stop-after", "1"]));
+        let Err(CliError::Stopped {
+            checkpoints_written,
+            records_done,
+        }) = res
+        else {
+            panic!("expected Stopped, got {res:?}");
+        };
+        assert_eq!(checkpoints_written, 1);
+        assert_eq!(records_done, 2000);
+        // Resume to completion; output matches an uninterrupted run with
+        // the same checkpoint cadence (fresh checkpoint path).
+        let (resumed, res) = run_cli(&base(&[]));
+        res.unwrap();
+        std::fs::remove_file(&ck).unwrap();
+        let (clean, res) = run_cli(&base(&[]));
+        res.unwrap();
+        assert_eq!(resumed, clean, "resumed fused run differs from clean run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_intensity_scales_volume() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-intens-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let count = |intensity: &str| {
+            let path = dir.join(format!("t{intensity}.l6tr"));
+            let (out, res) = run_cli(&[
+                "generate",
+                "cdn",
+                "--out",
+                path.to_str().unwrap(),
+                "--days",
+                "4",
+                "--small",
+                "--intensity",
+                intensity,
+            ]);
+            res.unwrap();
+            out.split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        let base = count("1.0");
+        let double = count("2.0");
+        let half = count("0.5");
+        assert!(
+            double > base && base > half,
+            "intensity did not scale volume: 0.5x={half} 1x={base} 2x={double}"
+        );
+        let (_, res) = run_cli(&[
+            "generate",
+            "cdn",
+            "--out",
+            dir.join("bad.l6tr").to_str().unwrap(),
+            "--intensity",
+            "-3",
+        ]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sketch_precision_flag_bounds_memory_not_results_shape() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-sketch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.l6tr");
+        let p = path.to_str().unwrap();
+        run_cli(&[
+            "generate", "cdn", "--out", p, "--days", "6", "--seed", "5", "--small",
+        ])
+        .1
+        .unwrap();
+        // High precision: sketched counts are near-exact, so the summary
+        // (scans/sources) matches the exact-set run on this workload.
+        let (exact, res) = run_cli(&["detect", "--trace", p, "--min-dsts", "50"]);
+        res.unwrap();
+        let (sketched, res) = run_cli(&[
+            "detect",
+            "--trace",
+            p,
+            "--min-dsts",
+            "50",
+            "--sketch-precision",
+            "16",
+        ]);
+        res.unwrap();
+        assert_eq!(
+            sketched.lines().next().unwrap(),
+            exact.lines().next().unwrap(),
+            "precision-16 sketch changed the scans/sources summary"
+        );
+        // Out-of-range precision is clamped, not an error.
+        let (_, res) = run_cli(&[
+            "detect",
+            "--trace",
+            p,
+            "--min-dsts",
+            "50",
+            "--sketch-precision",
+            "99",
+        ]);
+        res.unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

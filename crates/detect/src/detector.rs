@@ -72,6 +72,44 @@ impl ScanDetectorConfig {
         self.keep_dsts = true;
         self
     }
+
+    /// The `(spill_threshold, precision)` pair threaded into every per-run
+    /// [`DistinctCounter::insert`] — the single authority for the sketch
+    /// fallback, replacing the two hard-coded `(usize::MAX, 12)` sites the
+    /// observe paths used to carry separately.
+    ///
+    /// With `sketch: None` the detector is exact: the `usize::MAX` spill
+    /// threshold means no counter ever spills, so the accompanying
+    /// precision (the default 12) exists only to give the hot path a
+    /// concrete value and never builds a sketch. With `sketch: Some(..)`
+    /// both values come from the config, precision clamped to the supported
+    /// `4..=16`.
+    ///
+    /// Precision trades estimate error for memory: a sketch holds
+    /// `2^precision` one-byte registers with ≈`1.04/sqrt(2^precision)`
+    /// relative error — 12 → 4 KiB at ≈1.6%, 14 → 16 KiB at ≈0.8%,
+    /// 16 → 64 KiB at ≈0.4%. At paper-scale intensities (~100x more
+    /// distinct sources) the 1.6% default visibly skews Table 1 source
+    /// counts, so high-intensity sketched runs should raise it
+    /// (`--sketch-precision` on the CLI).
+    pub fn sketch_params(&self) -> (usize, u8) {
+        self.sketch
+            .map_or((usize::MAX, crate::sketch::DEFAULT_PRECISION), |s| {
+                let s = s.clamped();
+                (s.spill_threshold, s.precision)
+            })
+    }
+
+    /// Normalizes the configuration: clamps any sketch precision into the
+    /// supported range. Applied when a detector is constructed or restored
+    /// from a snapshot, so out-of-range values from hand-edited configs or
+    /// foreign checkpoints never linger in live state (where they would
+    /// poison [`HyperLogLog::merge`](crate::HyperLogLog::merge) later).
+    #[must_use]
+    fn normalized(mut self) -> Self {
+        self.sketch = self.sketch.map(SketchConfig::clamped);
+        self
+    }
 }
 
 /// Per-source accumulation state for one activity run.
@@ -176,7 +214,7 @@ impl ScanDetector {
     /// Creates a detector with the given configuration.
     pub fn new(config: ScanDetectorConfig) -> Self {
         ScanDetector {
-            config,
+            config: config.normalized(),
             runs: FxHashMap::default(),
             observed: 0,
             runs_opened: 0,
@@ -251,10 +289,7 @@ impl ScanDetector {
     ) -> Option<ScanEvent> {
         debug_assert_eq!(source, self.config.agg.source_of(r.src));
         self.observed += 1;
-        let (spill, precision) = self
-            .config
-            .sketch
-            .map_or((usize::MAX, 12), |s| (s.spill_threshold, s.precision));
+        let (spill, precision) = self.config.sketch_params();
 
         let mut closed = None;
         let run = match self.runs.entry(source) {
@@ -303,10 +338,7 @@ impl ScanDetector {
     /// itself O(1) per record for bursty scan traffic.
     pub fn observe_batch(&mut self, batch: &RecordBatch) -> Vec<ScanEvent> {
         let n = batch.len();
-        let (spill, precision) = self
-            .config
-            .sketch
-            .map_or((usize::MAX, 12), |s| (s.spill_threshold, s.precision));
+        let (spill, precision) = self.config.sketch_params();
         let keep = self.config.keep_dsts;
         let timeout = self.config.timeout_ms;
         let agg = self.config.agg;
@@ -547,7 +579,7 @@ impl ScanDetector {
             })
             .collect();
         ScanDetector {
-            config: state.config.clone(),
+            config: state.config.clone().normalized(),
             runs,
             observed: state.observed,
             runs_opened: state.runs_opened,
@@ -885,5 +917,37 @@ mod tests {
         let report = detect(&[], ScanDetectorConfig::default());
         assert_eq!(report.scans(), 0);
         assert_eq!(report.packets(), 0);
+    }
+
+    #[test]
+    fn construction_and_restore_clamp_sketch_precision() {
+        use crate::sketch::{DEFAULT_PRECISION, MAX_PRECISION};
+        let cfg = ScanDetectorConfig {
+            sketch: Some(SketchConfig {
+                spill_threshold: 64,
+                precision: 99,
+            }),
+            ..Default::default()
+        };
+        let det = ScanDetector::new(cfg);
+        assert_eq!(
+            det.config().sketch.map(|s| s.precision),
+            Some(MAX_PRECISION)
+        );
+        // Simulate a foreign snapshot carrying an unclamped precision: the
+        // restore boundary must normalize it too, so a restored detector
+        // can always merge sketches with a freshly built one.
+        let mut state = det.state();
+        state.config.sketch = Some(SketchConfig {
+            spill_threshold: 64,
+            precision: 99,
+        });
+        let back = ScanDetector::from_state(&state);
+        assert_eq!(back.config().sketch_params(), (64, MAX_PRECISION));
+        // And the exact (no-sketch) default never spills.
+        assert_eq!(
+            ScanDetectorConfig::default().sketch_params(),
+            (usize::MAX, DEFAULT_PRECISION)
+        );
     }
 }

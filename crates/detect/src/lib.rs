@@ -66,7 +66,7 @@ pub use ids::{Ids, IdsAction, IdsConfig};
 pub use mawi::{MawiConfig, MawiDetector, MawiScan};
 pub use parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 pub use portclass::{classify_ports, PortClass};
-pub use prefilter::{ArtifactFilter, FilterReport};
+pub use prefilter::{ArtifactFilter, ArtifactFilterConfig, FilterReport};
 pub use session::{
     Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session, SessionConfig,
     SessionError, SessionOutcome, SessionReport, DEFAULT_SESSION_BATCH,
@@ -89,4 +89,5 @@ pub mod prelude {
     };
     pub use crate::sketch::SketchConfig;
     pub use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
+    pub use lumen6_trace::{FileStreamSource, MaterializedSource, Source};
 }

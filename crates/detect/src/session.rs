@@ -36,14 +36,15 @@ use crate::multi::MultiLevelDetector;
 use crate::parallel::{ShardPlan, ShardedDetector};
 use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
 use lumen6_obs::MetricsRegistry;
-use lumen6_trace::codec::StreamingTraceReader;
-use lumen6_trace::{CodecError, PacketRecord, RecordBatch, TracePosition};
+use lumen6_trace::{
+    CodecError, FileStreamSource, PacketRecord, RecordBatch, Source, TracePosition,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufReader, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 // ---------------------------------------------------------------------------
@@ -680,7 +681,14 @@ impl From<io::Error> for SessionError {
 
 impl From<CodecError> for SessionError {
     fn from(e: CodecError) -> Self {
-        SessionError::Codec(e)
+        // Unwrap I/O failures (file missing, permission, disk) to the Io
+        // variant so callers classify them as filesystem problems, exactly
+        // as when the session opened files itself; only genuine decode
+        // failures surface as Codec.
+        match e {
+            CodecError::Io(io) => SessionError::Io(io),
+            other => SessionError::Codec(other),
+        }
     }
 }
 
@@ -703,7 +711,28 @@ impl Session {
 
     /// Runs the session over `trace` (an L6TR file). If the checkpoint
     /// file exists, the run resumes from it; otherwise it starts fresh.
+    ///
+    /// Equivalent to [`run_source`](Self::run_source) over a
+    /// [`FileStreamSource`] (permissive unless [`SessionConfig::strict`]).
     pub fn run(self, trace: &Path) -> Result<SessionOutcome, SessionError> {
+        let permissive = !self.config.strict;
+        let mut src = FileStreamSource::open(trace)?.permissive(permissive);
+        self.run_source(&mut src)
+    }
+
+    /// Runs the session over any [`Source`] — a trace file, an in-memory
+    /// record vector, or a fused generator that synthesizes records on the
+    /// fly. If the checkpoint file exists, the run resumes from it: the
+    /// source is [`Source::resume`]d at the checkpointed position (which
+    /// must have been produced by the same kind of source over the same
+    /// underlying data).
+    ///
+    /// The ingest loop pulls records in batches of at most
+    /// [`SessionConfig::batch`], capped so no pull ever crosses a
+    /// checkpoint boundary — checkpoints are therefore taken at exactly
+    /// the same record counts and stream positions as per-record ingest,
+    /// and stay byte-identical to it.
+    pub fn run_source(self, src: &mut dyn Source) -> Result<SessionOutcome, SessionError> {
         let reg = MetricsRegistry::global();
         let resume = match &self.config.checkpoint {
             Some(p) if p.path.exists() => Some(Checkpoint::load(&p.path)?),
@@ -731,16 +760,10 @@ impl Session {
                     0,
                 ),
             };
-        if resume.is_some() {
+        if let Some(ck) = &resume {
+            src.resume(ck.position)?;
             reg.counter("detect.session.resumes").add(1);
         }
-
-        let file = BufReader::new(File::open(trace)?);
-        let mut reader = match &resume {
-            Some(ck) => StreamingTraceReader::resume(file, ck.position)?,
-            None => StreamingTraceReader::new(file)?,
-        }
-        .permissive(!self.config.strict);
 
         // Released records are staged into a reusable columnar batch and
         // flushed to the detector's grouped batch path. Staging never
@@ -759,26 +782,56 @@ impl Session {
             }
         };
 
+        let every = self
+            .config
+            .checkpoint
+            .as_ref()
+            .map_or(0, |p| p.every_records);
+        let source_records = reg.counter("source.records");
+        let fill_us = reg.histogram("detect.session.source_fill_us");
+        let mut incoming = RecordBatch::with_capacity(batch_cap);
         let mut ready: Vec<PacketRecord> = Vec::new();
-        while let Some(item) = reader.next() {
-            let rec = item?;
-            records_done += 1;
-            reorder.push(rec, &mut ready);
-            for r in ready.drain(..) {
-                if self.config.flush_idle_every_ms > 0
-                    && r.ts_ms >= last_flush + self.config.flush_idle_every_ms
-                {
-                    // Flush at the watermark horizon: every future detector
-                    // input is ≥ `r.ts_ms - watermark`, so closures here
-                    // match what end-of-stream finish would emit.
-                    flush_staged(&mut det, &mut staged);
-                    det.flush_idle(r.ts_ms.saturating_sub(reorder.watermark_ms()));
-                    last_flush = r.ts_ms;
-                    reg.counter("detect.session.idle_flushes").add(1);
-                }
-                staged.push(r);
-                if staged.len() >= batch_cap {
-                    flush_staged(&mut det, &mut staged);
+        loop {
+            // Never pull past the next checkpoint boundary: `position()`
+            // right after the fill is then exactly the post-boundary-record
+            // position a per-record loop would checkpoint at.
+            let want = if every > 0 {
+                let until = every - (records_done % every);
+                batch_cap.min(usize::try_from(until).unwrap_or(usize::MAX))
+            } else {
+                batch_cap
+            };
+            let n = {
+                let t = lumen6_obs::StageTimer::new(fill_us.clone());
+                let n = src.fill(&mut incoming, want)?;
+                t.stop();
+                n
+            };
+            if n == 0 {
+                break;
+            }
+            source_records.add(n as u64);
+            for i in 0..n {
+                let rec = incoming.get(i);
+                records_done += 1;
+                reorder.push(rec, &mut ready);
+                for r in ready.drain(..) {
+                    if self.config.flush_idle_every_ms > 0
+                        && r.ts_ms >= last_flush + self.config.flush_idle_every_ms
+                    {
+                        // Flush at the watermark horizon: every future
+                        // detector input is ≥ `r.ts_ms - watermark`, so
+                        // closures here match what end-of-stream finish
+                        // would emit.
+                        flush_staged(&mut det, &mut staged);
+                        det.flush_idle(r.ts_ms.saturating_sub(reorder.watermark_ms()));
+                        last_flush = r.ts_ms;
+                        reg.counter("detect.session.idle_flushes").add(1);
+                    }
+                    staged.push(r);
+                    if staged.len() >= batch_cap {
+                        flush_staged(&mut det, &mut staged);
+                    }
                 }
             }
 
@@ -787,9 +840,9 @@ impl Session {
                     flush_staged(&mut det, &mut staged);
                     ckpts += 1;
                     let ck = Checkpoint {
-                        position: reader.position(),
+                        position: src.position(),
                         records_done,
-                        decode_skipped: skipped_before + reader.skipped(),
+                        decode_skipped: skipped_before + src.skipped(),
                         detector: det.snapshot(),
                         reorder: reorder.state(),
                         checkpoints_written: ckpts,
@@ -812,7 +865,7 @@ impl Session {
         staged.extend(ready.drain(..));
         flush_staged(&mut det, &mut staged);
         let late = reorder.late_dropped();
-        let skipped = skipped_before + reader.skipped();
+        let skipped = skipped_before + src.skipped();
         reg.counter("detect.session.late_dropped").add(late);
         let reports = det.finish();
         Ok(SessionOutcome::Finished(SessionReport {

@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// Serialization is backward compatible: deserialization accepts both the
 /// new named-field object and the legacy two-element `[spill_threshold,
 /// precision]` array that older JSON configs contain. Serialization always
-/// emits the named form.
+/// emits the named form. Both decode arms clamp `precision` into the
+/// supported `4..=16` range (see [`SketchConfig::clamped`]), so no
+/// out-of-range precision survives deserialization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct SketchConfig {
     /// Exact-set size beyond which a per-source counter spills to a sketch.
@@ -32,13 +34,38 @@ pub struct SketchConfig {
     pub precision: u8,
 }
 
+/// Smallest supported HyperLogLog precision (16 registers).
+pub const MIN_PRECISION: u8 = 4;
+/// Largest supported HyperLogLog precision (64 KiB of registers).
+pub const MAX_PRECISION: u8 = 16;
+/// Default HyperLogLog precision: 4 KiB per sketch, ≈1.6% relative error.
+pub const DEFAULT_PRECISION: u8 = 12;
+
 impl SketchConfig {
     /// A sketch configuration with the default precision of 12
     /// (4 KiB per sketch, ≈1.6% relative error).
     pub fn spill_at(spill_threshold: usize) -> Self {
         SketchConfig {
             spill_threshold,
-            precision: 12,
+            precision: DEFAULT_PRECISION,
+        }
+    }
+
+    /// The same configuration with `precision` clamped to the supported
+    /// `4..=16` range.
+    ///
+    /// [`HyperLogLog::new`] clamps too, but only at sketch *construction* —
+    /// a config carrying an out-of-range precision (hand-edited JSON, a
+    /// corrupted checkpoint) used to survive as-is until a freshly built
+    /// clamped sketch failed to [`merge`](HyperLogLog::merge) with one
+    /// restored unclamped, mid-run. Every deserialization and
+    /// snapshot-restore boundary now normalizes through this helper so an
+    /// in-memory `SketchConfig` is always in range.
+    #[must_use]
+    pub fn clamped(self) -> Self {
+        SketchConfig {
+            spill_threshold: self.spill_threshold,
+            precision: self.precision.clamp(MIN_PRECISION, MAX_PRECISION),
         }
     }
 }
@@ -59,7 +86,8 @@ impl Deserialize for SketchConfig {
             Value::Array(items) if items.len() == 2 => Ok(SketchConfig {
                 spill_threshold: usize::from_value(&items[0])?,
                 precision: u8::from_value(&items[1])?,
-            }),
+            }
+            .clamped()),
             Value::Object(_) => {
                 let get = |name: &str| {
                     v.get(name)
@@ -68,7 +96,8 @@ impl Deserialize for SketchConfig {
                 Ok(SketchConfig {
                     spill_threshold: usize::from_value(get("spill_threshold")?)?,
                     precision: u8::from_value(get("precision")?)?,
-                })
+                }
+                .clamped())
             }
             other => Err(DeError::expected(
                 "SketchConfig object or [spill, precision]",
@@ -277,6 +306,38 @@ mod tests {
         assert!(serde_json::from_str::<SketchConfig>("[256]").is_err());
         assert!(serde_json::from_str::<SketchConfig>("\"nope\"").is_err());
         assert!(serde_json::from_str::<SketchConfig>("{\"spill_threshold\": 4}").is_err());
+    }
+
+    #[test]
+    fn sketch_config_clamps_out_of_range_precision_on_deserialize() {
+        // Named form, precision far above the supported range: the decoded
+        // config must already be clamped, not carry 99 until a mid-run
+        // sketch merge explodes.
+        let high: SketchConfig =
+            serde_json::from_str("{\"spill_threshold\": 256, \"precision\": 99}").unwrap();
+        assert_eq!(high.precision, MAX_PRECISION);
+        let low: SketchConfig =
+            serde_json::from_str("{\"spill_threshold\": 256, \"precision\": 0}").unwrap();
+        assert_eq!(low.precision, MIN_PRECISION);
+        // Legacy tuple form clamps identically.
+        let legacy: SketchConfig = serde_json::from_str("[256, 99]").unwrap();
+        assert_eq!(legacy.precision, MAX_PRECISION);
+        // Round trip: serializing the clamped config and reading it back is
+        // a fixed point.
+        let json = serde_json::to_string(&high).unwrap();
+        let back: SketchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, high);
+    }
+
+    #[test]
+    fn clamped_is_identity_in_range() {
+        for p in MIN_PRECISION..=MAX_PRECISION {
+            let cfg = SketchConfig {
+                spill_threshold: 64,
+                precision: p,
+            };
+            assert_eq!(cfg.clamped(), cfg);
+        }
     }
 
     #[test]

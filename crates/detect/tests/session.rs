@@ -645,6 +645,98 @@ fn double_interruption_still_matches() {
     assert_eq!(session_report_json(&rep), session_report_json(&expect));
 }
 
+// ---------------------------------------------------------------------------
+// Sessions over generic sources
+// ---------------------------------------------------------------------------
+
+/// The same session run through three different sources — the trace file,
+/// a `FileStreamSource` built explicitly, and an in-memory
+/// `MaterializedSource` — must produce byte-identical reports.
+#[test]
+fn run_source_matches_run_for_every_source_kind() {
+    let dir = TempDir::new("source-kinds");
+    let trace = dir.path("t.l6tr");
+    let recs = workload();
+    write_trace(&trace, &recs);
+    for (name, builder) in builders() {
+        let via_path = Session::new(builder.clone(), SessionConfig::default())
+            .run(&trace)
+            .unwrap();
+        let SessionOutcome::Finished(via_path) = via_path else {
+            panic!("{name}: path run must finish");
+        };
+
+        let mut file_src = FileStreamSource::open(&trace).unwrap().permissive(true);
+        let via_file = Session::new(builder.clone(), SessionConfig::default())
+            .run_source(&mut file_src)
+            .unwrap();
+        let SessionOutcome::Finished(via_file) = via_file else {
+            panic!("{name}: file-source run must finish");
+        };
+
+        let mut mat_src = MaterializedSource::new(recs.clone());
+        let via_mem = Session::new(builder.clone(), SessionConfig::default())
+            .run_source(&mut mat_src)
+            .unwrap();
+        let SessionOutcome::Finished(via_mem) = via_mem else {
+            panic!("{name}: materialized run must finish");
+        };
+
+        let expect = session_report_json(&via_path);
+        assert_eq!(session_report_json(&via_file), expect, "{name}: file src");
+        assert_eq!(session_report_json(&via_mem), expect, "{name}: mem src");
+    }
+}
+
+/// Kill-resume through `run_source` with record-index positions: stopping a
+/// materialized-source session at every checkpoint and resuming must match
+/// the uninterrupted run byte for byte — the same guarantee the file-offset
+/// path has always had.
+#[test]
+fn kill_resume_over_materialized_source_is_byte_identical() {
+    let dir = TempDir::new("source-kill-resume");
+    let recs = workload();
+    let every = 100u64;
+    let total_ckpts = recs.len() as u64 / every;
+    let builder = DetectorBuilder::new(base_config()).sequential();
+    let config = |path: PathBuf, stop_after: Option<u64>| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: every,
+            stop_after,
+        }),
+        ..Default::default()
+    };
+
+    let mut reference_src = MaterializedSource::new(recs.clone());
+    let reference = Session::new(builder.clone(), config(dir.path("ref.l6ck"), None))
+        .run_source(&mut reference_src)
+        .unwrap();
+    let SessionOutcome::Finished(expect) = reference else {
+        panic!("reference must finish");
+    };
+    let expect = session_report_json(&expect);
+
+    for stop_at in 1..=total_ckpts {
+        let ck = dir.path(&format!("stop{stop_at}.l6ck"));
+        let mut first = MaterializedSource::new(recs.clone());
+        let outcome = Session::new(builder.clone(), config(ck.clone(), Some(stop_at)))
+            .run_source(&mut first)
+            .unwrap();
+        assert!(matches!(outcome, SessionOutcome::Stopped { .. }));
+        // Resume with a brand-new source instance, as a restarted process
+        // would.
+        let mut second = MaterializedSource::new(recs.clone());
+        let resumed = Session::new(builder.clone(), config(ck, None))
+            .run_source(&mut second)
+            .unwrap();
+        let SessionOutcome::Finished(rep) = resumed else {
+            panic!("stop {stop_at}: resume must finish");
+        };
+        assert_eq!(session_report_json(&rep), expect, "stop after {stop_at}");
+    }
+}
+
 #[test]
 fn session_flush_idle_cadence_is_report_neutral() {
     let dir = TempDir::new("flush-cadence");

@@ -15,11 +15,11 @@ pub mod ext;
 pub mod mawi_exp;
 
 use lumen6_detect::{
-    AggLevel, ArtifactFilter, DetectorBuilder, FilterReport, ScanDetectorConfig, ScanReport,
-    Session, SessionConfig, SessionError, SessionOutcome,
+    AggLevel, ArtifactFilter, ArtifactFilterConfig, DetectorBuilder, FilterReport,
+    ScanDetectorConfig, ScanReport, Session, SessionConfig, SessionError, SessionOutcome,
 };
 use lumen6_mawi::{MawiConfig, MawiWorld};
-use lumen6_scanners::{FleetConfig, World};
+use lumen6_scanners::{scale_intensity, FleetConfig, World};
 use lumen6_trace::PacketRecord;
 use std::collections::BTreeMap;
 
@@ -112,7 +112,22 @@ impl CdnLab {
     pub fn build_with(config: FleetConfig, mode: DetectMode) -> CdnLab {
         let world = World::build(config);
         let trace = world.cdn_trace();
-        let (filtered, filter_report) = ArtifactFilter::default().filter(&trace);
+        // The A.1 duplicate threshold is a *volume-relative* cutoff ("the
+        // same (dst, port) more than 5 times per day"), unlike the
+        // detector's structural thresholds (distinct destinations, idle
+        // timeout), which intensity leaves untouched. Scaling it with the
+        // configured intensity keeps the filter's removal decisions
+        // bit-identical at integer intensities: every per-(source, dst,
+        // port) daily count is exactly `intensity` times its 1x value, so
+        // `count > 5 * intensity` holds iff the 1x count exceeded 5.
+        let prefilter = ArtifactFilter::new(ArtifactFilterConfig {
+            dup_threshold: scale_intensity(
+                ArtifactFilterConfig::default().dup_threshold,
+                world.config().intensity,
+            ),
+            ..Default::default()
+        });
+        let (filtered, filter_report) = prefilter.filter(&trace);
         let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48, AggLevel::L32];
         let mut reports = mode.run(
             &filtered,

@@ -13,10 +13,12 @@
 //! GOLDEN_BLESS=1 cargo test -p lumen6-experiments --test golden
 //! ```
 
+use lumen6_detect::AggLevel;
 use lumen6_experiments::{cdn, mawi_exp, CdnLab, DetectMode, MawiLab};
 use lumen6_mawi::MawiConfig;
 use lumen6_scanners::FleetConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// The committed golden file format: the experiment output plus enough
@@ -140,6 +142,84 @@ fn fig5_matches_golden() {
         MAWI_CONFIG,
         &mawi_exp::fig5_daily_sources(&lab),
     );
+}
+
+fn cdn_lab_at_intensity(intensity: f64) -> CdnLab {
+    CdnLab::build_with(
+        FleetConfig {
+            seed: SEED,
+            end_day: 21,
+            intensity,
+            ..FleetConfig::small()
+        },
+        DetectMode::Sequential,
+    )
+}
+
+/// The intensity-invariant "shape" of the paper's headline artifacts:
+/// Table 1 with the packets column dropped (packet totals scale with
+/// intensity by construction) plus the full Fig. 2 rendering, which only
+/// counts sources and therefore must not move at all.
+fn intensity_shape(lab: &CdnLab) -> String {
+    let mut out = String::from("## Table 1 shape (packets column elided)\n");
+    for lvl in [AggLevel::L128, AggLevel::L64, AggLevel::L48] {
+        let r = &lab.reports[&lvl];
+        let ases = lab.world.registry.distinct_origin_ases(
+            r.source_set().iter().map(lumen6_addr::Ipv6Prefix::bits),
+            true,
+        );
+        writeln!(
+            out,
+            "{lvl}: scans={} sources={} ases={ases}",
+            r.scans(),
+            r.sources()
+        )
+        .unwrap();
+    }
+    out.push('\n');
+    out + &cdn::fig2_weekly_sources(lab)
+}
+
+/// `--intensity` scales packet *volume* without distorting the detected
+/// structure: scans, sources, source ASes, and the Fig. 2 weekly source
+/// series are byte-identical across 1x and 10x (and 100x when
+/// `GOLDEN_INTENSITY_100X` is set — the deep-CI tier runs it; it is too
+/// slow for the default suite). The 1x shape is additionally pinned as a
+/// golden so drift is reviewable.
+#[test]
+fn intensity_scales_volume_not_shape() {
+    let base = cdn_lab_at_intensity(1.0);
+    let shape = intensity_shape(&base);
+    check_golden(
+        "shape_intensity",
+        SEED,
+        "FleetConfig::small, end_day 21, sequential backend, intensity sweep {1, 10, 100}x",
+        &shape,
+    );
+
+    let lab10 = cdn_lab_at_intensity(10.0);
+    assert_eq!(
+        intensity_shape(&lab10),
+        shape,
+        "10x intensity distorted the Table 1 / Fig. 2 shape"
+    );
+    // Volume must genuinely scale: ~10x the packets per detected scan.
+    let (p1, p10) = (
+        base.reports[&AggLevel::L64].packets(),
+        lab10.reports[&AggLevel::L64].packets(),
+    );
+    assert!(
+        p10 > 5 * p1,
+        "10x intensity should multiply packet volume: {p1} -> {p10}"
+    );
+
+    if std::env::var_os("GOLDEN_INTENSITY_100X").is_some() {
+        assert_eq!(
+            intensity_shape(&cdn_lab_at_intensity(100.0)),
+            shape,
+            "100x intensity distorted the Table 1 / Fig. 2 shape"
+        );
+    }
 }
 
 /// The golden fixture is backend-independent: the sharded pipeline renders

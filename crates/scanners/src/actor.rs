@@ -1,6 +1,7 @@
 //! The scanner actor: samplers plus a temporal schedule, generating a
 //! packet stream.
 
+use crate::fleet::{emission_due, scale_intensity};
 use crate::samplers::{PortSampler, SourceSampler, TargetSampler};
 use lumen6_trace::{PacketRecord, DAY_MS, HOUR_MS};
 use rand::rngs::SmallRng;
@@ -122,11 +123,37 @@ pub struct ScannerActor {
 }
 
 impl ScannerActor {
-    /// Generates this actor's complete packet stream, time-sorted.
+    /// Generates this actor's complete packet stream, time-sorted, at the
+    /// calibrated (1×) volume.
     ///
     /// Determinism: the stream is a pure function of the actor definition
     /// and `seed`.
     pub fn generate(&self, seed: u64) -> Vec<PacketRecord> {
+        self.generate_scaled(seed, 1.0)
+    }
+
+    /// Generates the packet stream with emitted volume scaled by
+    /// `intensity`, over an *intensity-invariant probe footprint*.
+    ///
+    /// The probe sequence — targets, source addresses, ports, timestamps —
+    /// is drawn at the schedule's calibrated base rate regardless of
+    /// `intensity` (the RNG consumes the identical draw sequence at every
+    /// intensity). Each drawn probe is then emitted a whole number of
+    /// times, distributed evenly (Bresenham) so a session's total is
+    /// exactly [`scale_intensity`]`(session.packets, intensity)`. Repeats
+    /// share their probe's timestamp.
+    ///
+    /// This is what makes `intensity` a pure *volume* knob: distinct
+    /// sources, distinct destinations, ports, and the inter-probe gap
+    /// structure — everything threshold- and eventization-relevant in the
+    /// detection pipeline — are identical at 1×, 10×, and 100×, while
+    /// packet counts scale exactly. (Scaling the draw count instead would
+    /// push deliberately sub-threshold actors over the 100-destination
+    /// bar and let variable-source actors express more addresses,
+    /// distorting Table 1 / Fig. 2 shapes.) At intensity 1.0 the output
+    /// is bit-identical to the pre-scaling generator. Fractional
+    /// intensities emit an evenly-spaced subset of the base footprint.
+    pub fn generate_scaled(&self, seed: u64, intensity: f64) -> Vec<PacketRecord> {
         // Mix the actor's name into the seed: actors of the same AS (e.g.
         // the per-/128 mini-actors of a cloud) must have independent
         // streams, or they would scan the same days and probe the same
@@ -140,20 +167,22 @@ impl ScannerActor {
         let mut out = Vec::new();
         let mut targets_buf = Vec::with_capacity(2);
         for s in &sessions {
+            let scaled = scale_intensity(s.packets, intensity);
+            let mut drawn = 0u64;
             let mut emitted = 0u64;
-            while emitted < s.packets {
+            while drawn < s.packets {
                 targets_buf.clear();
                 self.targets.sample(&mut rng, &mut targets_buf);
                 // Offset within the session; follow-up (nearby) probes get
                 // strictly later timestamps than their seed probe.
                 let base = s.start_ms + rng.gen_range(0..s.duration_ms);
                 for (k, &dst) in targets_buf.iter().enumerate() {
-                    if emitted >= s.packets {
+                    if drawn >= s.packets {
                         break;
                     }
                     let ts = base + (k as u64) * rng.gen_range(50u64..2_000);
                     let (proto, dport) = self.ports.sample(&mut rng, ts);
-                    out.push(PacketRecord {
+                    let rec = PacketRecord {
                         ts_ms: ts,
                         src: self.sources.sample(&mut rng, ts),
                         dst,
@@ -165,8 +194,16 @@ impl ScannerActor {
                         },
                         dport,
                         len: self.probe_len,
-                    });
-                    emitted += 1;
+                    };
+                    drawn += 1;
+                    // Cumulative emission due after `drawn` of `s.packets`
+                    // base probes: rounds so the session total is exactly
+                    // `scaled`, spreading repeats (or drops) evenly.
+                    let due = emission_due(scaled, s.packets, drawn);
+                    for _ in emitted..due {
+                        out.push(rec);
+                    }
+                    emitted = due;
                 }
             }
         }
@@ -210,6 +247,30 @@ mod tests {
         assert_eq!(a, b);
         let c = actor().generate(10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn intensity_scales_volume_over_an_invariant_footprint() {
+        let a = actor();
+        let base = a.generate(3);
+        // Integral upscale: every base probe repeated exactly 10×, at its
+        // own timestamp — deduplicating adjacent repeats recovers the base
+        // stream bit-for-bit.
+        let up = a.generate_scaled(3, 10.0);
+        assert_eq!(up.len(), base.len() * 10);
+        let mut dedup = up.clone();
+        dedup.dedup();
+        assert_eq!(dedup, base);
+        // Fractional downscale: an evenly-spaced subset of the base
+        // footprint — no source or destination outside the 1× sets.
+        let down = a.generate_scaled(3, 0.4);
+        assert_eq!(down.len(), (base.len() * 2) / 5);
+        let dsts: std::collections::HashSet<u128> = base.iter().map(|r| r.dst).collect();
+        let srcs: std::collections::HashSet<u128> = base.iter().map(|r| r.src).collect();
+        assert!(down.iter().all(|r| dsts.contains(&r.dst)));
+        assert!(down.iter().all(|r| srcs.contains(&r.src)));
+        // And 1.0 is the identity.
+        assert_eq!(a.generate_scaled(3, 1.0), base);
     }
 
     #[test]

@@ -102,6 +102,86 @@ impl FleetConfig {
     }
 }
 
+/// Scales `base` by `factor` with *exact* integer arithmetic: the result is
+/// `round(base × factor)` where `factor` is taken at its exact rational
+/// value as an IEEE-754 double (mantissa × 2^exponent), the product is
+/// formed in 128 bits, and rounding is explicit (half away from zero).
+///
+/// The previous implementation went through `(base as f64 * factor).round()
+/// as u64`, which is lossy twice over: above 2^53 the `u64 → f64` conversion
+/// silently drops low bits (a paper-scale packet budget scaled at intensity
+/// 1.0 would not round-trip), and the `.max(1)` floor it carried inflated
+/// totals at fractional intensities by promoting every zero-packet session
+/// to one packet. This version is exact for every `base` at intensity 1.0
+/// (identity), monotone in both arguments, and saturates at `u64::MAX`
+/// instead of wrapping. Non-finite or non-positive factors scale to 0.
+pub fn scale_intensity(base: u64, factor: f64) -> u64 {
+    if base == 0 || !factor.is_finite() || factor <= 0.0 {
+        return 0;
+    }
+    // Decompose the (positive, finite) double: value = mantissa × 2^exp.
+    let bits = factor.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (mantissa, exp) = if raw_exp == 0 {
+        (frac, -1074i64) // subnormal
+    } else {
+        (frac | (1u64 << 52), raw_exp - 1075)
+    };
+    let prod = u128::from(base) * u128::from(mantissa); // ≤ 2^117, exact
+    if exp >= 0 {
+        // Integral scale factor: shift up, saturating.
+        if exp >= 128 || prod.leading_zeros() < exp as u32 {
+            return u64::MAX;
+        }
+        u64::try_from(prod << exp).unwrap_or(u64::MAX)
+    } else {
+        let shift = -exp as u32;
+        if shift >= 128 {
+            return 0;
+        }
+        // Round half away from zero: add 2^(shift-1) before truncating.
+        let half = 1u128 << (shift - 1);
+        u64::try_from(prod.saturating_add(half) >> shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// Cumulative emission due after the first `drawn` of `base` probes when a
+/// stream scales to `scaled` total packets: the Bresenham repeat schedule
+/// shared by [`ScannerActor::generate_scaled`], the fixed-stream scaling in
+/// [`World::cdn_trace`], and the fused [`crate::FleetSource`]. Monotone in
+/// `drawn`, exactly `scaled` at `drawn == base`, and the identity when
+/// `scaled == base`. Callers guarantee `base > 0`.
+pub(crate) fn emission_due(scaled: u64, base: u64, drawn: u64) -> u64 {
+    ((u128::from(scaled) * u128::from(drawn)) / u128::from(base)) as u64
+}
+
+/// Scales a materialized stream by per-record repetition: record `i` is
+/// emitted `due(i+1) - due(i)` times in place, so the output length is
+/// exactly `scale_intensity(len, intensity)`, order and timestamps are
+/// preserved, and repeats are adjacent (as a stable time-sort would leave
+/// them).
+fn repeat_stream(stream: Vec<PacketRecord>, intensity: f64) -> Vec<PacketRecord> {
+    let base = stream.len() as u64;
+    if base == 0 {
+        return stream;
+    }
+    let scaled = scale_intensity(base, intensity);
+    if scaled == base {
+        return stream;
+    }
+    let mut out = Vec::with_capacity(usize::try_from(scaled).unwrap_or(0));
+    let mut emitted = 0u64;
+    for (i, r) in stream.iter().enumerate() {
+        let due = emission_due(scaled, base, i as u64 + 1);
+        for _ in emitted..due {
+            out.push(*r);
+        }
+        emitted = due;
+    }
+    out
+}
+
 /// Ground truth for one Table 2 row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroundTruth {
@@ -198,7 +278,7 @@ impl World {
             .fleet
             .actors
             .par_iter()
-            .map(|actor| actor.generate(self.config.seed))
+            .map(|actor| actor.generate_scaled(self.config.seed, self.config.intensity))
             .collect();
         // Per-strategy emission telemetry, aggregated once per build (not
         // per packet): `scanners.fleet.packets_emitted.<strategy>` counts
@@ -214,19 +294,31 @@ impl World {
                     .add(n);
             }
         }
-        streams.push(artifacts::generate(
-            &self.deployment,
-            &self.config.artifacts,
-            self.config.start_day,
-            self.config.end_day,
-            self.config.seed,
+        // Artifacts and noise scale with intensity by per-record repetition
+        // too: the A.1 duplicate prefilter compares packet *counts* against
+        // its threshold, so background streams must scale in lockstep with
+        // the scanners (and with a threshold scaled the same way) for its
+        // removal decisions — and hence the detected shape — to be
+        // intensity-invariant.
+        streams.push(repeat_stream(
+            artifacts::generate(
+                &self.deployment,
+                &self.config.artifacts,
+                self.config.start_day,
+                self.config.end_day,
+                self.config.seed,
+            ),
+            self.config.intensity,
         ));
-        streams.push(noise::generate(
-            &self.deployment.all_addrs(),
-            self.config.noise_sources_per_day,
-            self.config.start_day,
-            self.config.end_day,
-            self.config.seed,
+        streams.push(repeat_stream(
+            noise::generate(
+                &self.deployment.all_addrs(),
+                self.config.noise_sources_per_day,
+                self.config.start_day,
+                self.config.end_day,
+                self.config.seed,
+            ),
+            self.config.intensity,
         ));
         {
             let reg = lumen6_obs::MetricsRegistry::global();
@@ -258,8 +350,11 @@ impl Fleet {
         .build()
     }
 
-    /// Total scheduled packets across all actors (ground-truth budget).
-    pub fn scheduled_packets(&self) -> u64 {
+    /// Total scheduled packets across all actors at the given intensity
+    /// (ground-truth budget). Schedules carry the calibrated 1× budgets;
+    /// intensity is applied per session at generation time, so it is a
+    /// parameter here rather than baked into the schedules.
+    pub fn scheduled_packets(&self, intensity: f64) -> u64 {
         // Approximation: sessions × packets, not expanded; used for sanity
         // checks and reporting only.
         self.actors
@@ -267,7 +362,7 @@ impl Fleet {
             .map(|a| {
                 let days = a.schedule.end_day - a.schedule.start_day;
                 let sessions = (days as f64 / 7.0 * a.schedule.sessions_per_week).round() as u64;
-                sessions * a.schedule.packets_per_session
+                sessions * scale_intensity(a.schedule.packets_per_session, intensity)
             })
             .sum()
     }
@@ -406,10 +501,6 @@ impl Builder<'_> {
         439.0 / 7.0
     }
 
-    fn pkts(&self, base: u64) -> u64 {
-        ((base as f64 * self.config.intensity).round() as u64).max(1)
-    }
-
     fn asn(rank: usize) -> u32 {
         64_600 + rank as u32
     }
@@ -478,11 +569,7 @@ impl Builder<'_> {
                 )),
                 after: Box::new(PortSampler::Set(Transport::Tcp, vec![22, 3389, 8080, 8443])),
             },
-            schedule: Schedule::continuous(
-                self.config.start_day,
-                self.config.end_day,
-                self.pkts(1500),
-            ),
+            schedule: Schedule::continuous(self.config.start_day, self.config.end_day, 1500),
             probe_len: 60,
         });
     }
@@ -503,7 +590,7 @@ impl Builder<'_> {
                 end_day: self.config.end_day,
                 sessions_per_week: 7.0,
                 session_hours: 24.0,
-                packets_per_session: self.pkts(1300),
+                packets_per_session: 1300,
                 pin_start_ms_in_day: None,
             },
             probe_len: 64,
@@ -539,7 +626,7 @@ impl Builder<'_> {
                 // each, ~115 probes per turn.
                 sessions_per_week: 2.0,
                 session_hours: 0.34,
-                packets_per_session: self.pkts(1400),
+                packets_per_session: 1400,
                 pin_start_ms_in_day: None,
             },
             probe_len: 60,
@@ -617,7 +704,7 @@ impl Builder<'_> {
                     // Bursty episodes: a 150-destination sweep takes minutes,
                     // not hours (§3.1: /128 scans are dominated by short ones).
                     session_hours: burst_hours,
-                    packets_per_session: self.pkts((pkts_per_session as f64 * jitter) as u64),
+                    packets_per_session: (pkts_per_session as f64 * jitter) as u64,
                     pin_start_ms_in_day: None,
                 },
                 probe_len: 60,
@@ -660,7 +747,7 @@ impl Builder<'_> {
                     end_day: self.config.end_day,
                     sessions_per_week: 1.2,
                     session_hours: 6.0,
-                    packets_per_session: self.pkts(150 * mult),
+                    packets_per_session: 150 * mult,
                     pin_start_ms_in_day: None,
                 },
                 probe_len: 60,
@@ -710,7 +797,7 @@ impl Builder<'_> {
                         // ~4 qualifying sessions per /128 over its active window.
                         sessions_per_week: 4.0 / active_weeks,
                         session_hours: 2.0,
-                        packets_per_session: self.pkts(150),
+                        packets_per_session: 150,
                         pin_start_ms_in_day: None,
                     },
                     probe_len: 60,
@@ -775,7 +862,7 @@ impl Builder<'_> {
                     end_day: self.config.end_day,
                     sessions_per_week,
                     session_hours: 4.0,
-                    packets_per_session: self.pkts(pkts),
+                    packets_per_session: pkts,
                     pin_start_ms_in_day: None,
                 },
                 probe_len: 60,
@@ -891,7 +978,7 @@ impl Builder<'_> {
                 // One session over the (possibly pinned single-day) window.
                 sessions_per_week: (1.0 / weeks).min(7.0),
                 session_hours: 1.5,
-                packets_per_session: self.pkts(pkts),
+                packets_per_session: pkts,
                 pin_start_ms_in_day: pin_ms,
             },
             probe_len: 60,
@@ -1054,6 +1141,70 @@ mod tests {
         {
             assert_eq!(a.schedule.start_day, nov1);
         }
+    }
+
+    #[test]
+    fn scale_intensity_is_exact_integer_arithmetic() {
+        // Identity at 1.0 — including above 2^53, where the old f64
+        // round-trip silently lost the low bits.
+        assert_eq!(scale_intensity(1500, 1.0), 1500);
+        let big = (1u64 << 53) + 1;
+        assert_eq!(scale_intensity(big, 1.0), big);
+        assert_eq!(
+            ((big as f64 * 1.0).round() as u64),
+            big - 1,
+            "the f64 path this replaces really was lossy"
+        );
+        // Fractional downscale (the paper's 1:1250): no .max(1) floor, so
+        // sub-packet sessions scale to zero instead of inflating totals.
+        let down = 1.0 / 1250.0;
+        assert_eq!(scale_intensity(1500, down), 1); // 1.2 -> 1
+        assert_eq!(scale_intensity(1250, down), 1); // 1.0 -> 1
+        assert_eq!(scale_intensity(150, down), 0); // 0.12 -> 0 (was 1)
+        assert_eq!(scale_intensity(624, down), 0); // 0.4992 -> 0
+        assert_eq!(scale_intensity(625, down), 1); // 0.5 rounds away from zero
+                                                   // Integral upscale is exact multiplication.
+        assert_eq!(scale_intensity(1500, 1250.0), 1_875_000);
+        assert_eq!(scale_intensity(big, 4.0), big * 4);
+        // Saturation and degenerate factors.
+        assert_eq!(scale_intensity(u64::MAX, 2.0), u64::MAX);
+        assert_eq!(scale_intensity(1, f64::MAX), u64::MAX);
+        assert_eq!(scale_intensity(1500, 0.0), 0);
+        assert_eq!(scale_intensity(1500, -1.0), 0);
+        assert_eq!(scale_intensity(1500, f64::NAN), 0);
+        assert_eq!(scale_intensity(0, 5.0), 0);
+    }
+
+    #[test]
+    fn fleet_budget_pinned_at_reference_intensities() {
+        // Schedules carry the calibrated 1x budgets; intensity scales the
+        // budget at generation time (per session, exact integer
+        // arithmetic). The schedules themselves are intensity-independent.
+        let world = World::build(FleetConfig::small());
+        let base = world.fleet.scheduled_packets(1.0);
+        // Intensity 1250.0 is an exactly representable integer scale, so the
+        // per-session budget scales exactly 1250x — no f64 drift.
+        assert_eq!(world.fleet.scheduled_packets(1250.0), base * 1250);
+        // At 1:1250 most mini-actor sessions round to zero packets; the old
+        // .max(1) floor would have produced >= one packet per actor
+        // (= actors.len() at minimum), inflating the downscaled total.
+        let tiny = world.fleet.scheduled_packets(1.0 / 1250.0);
+        let actors = world.fleet.actors.len() as u64;
+        assert!(tiny < actors, "floor removed: {tiny} < {actors} actors");
+        // Emission honors the scaled budget exactly: AS#1 is continuous at
+        // 1500 packets/session, so record counts pin per-session scaling
+        // through `generate_scaled` itself.
+        let as1 = world
+            .fleet
+            .actors
+            .iter()
+            .find(|a| a.name == "as1-datacenter-cn")
+            .expect("fleet has AS#1");
+        let sessions = as1.generate(7).len() as u64 / 1500;
+        assert!(sessions > 0);
+        assert_eq!(as1.generate_scaled(7, 3.0).len() as u64, sessions * 4500);
+        // scale_intensity(1500, 1/1250) = 1.2 -> 1 packet per session.
+        assert_eq!(as1.generate_scaled(7, 1.0 / 1250.0).len() as u64, sessions);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod batch;
 pub mod codec;
 pub mod pcap;
 pub mod record;
+pub mod source;
 pub mod time;
 
 pub use batch::RecordBatch;
@@ -24,6 +25,7 @@ pub use codec::{
     TraceWriter,
 };
 pub use record::{PacketRecord, Transport};
+pub use source::{FileStreamSource, MaterializedSource, Source};
 pub use time::{SimTime, DAY_MS, HOUR_MS, MINUTE_MS, WEEK_MS};
 
 /// Sorts records by timestamp (stable), the canonical trace order.

@@ -1,0 +1,384 @@
+//! The [`Source`] abstraction: anything that can feed time-ordered
+//! [`PacketRecord`]s to the detection pipeline in batches.
+//!
+//! Historically the ingest loop was hard-wired to an `L6TR` trace file,
+//! which forces every workload through a materialize-then-scan cycle: the
+//! fleet simulator must write the whole trace to disk (or RAM) before the
+//! first packet reaches a detector. At paper scale — 2.14 B packets — that
+//! trace is ~100 GB and the materialization dominates the run. `Source`
+//! decouples the pipeline from the file: a session pulls batches from *any*
+//! source, and each source defines its own resumable position space so
+//! checkpoint/resume keeps working.
+//!
+//! Three implementations exist:
+//!
+//! - [`MaterializedSource`] — an in-memory, already-sorted record vector
+//!   (what the simulators and tests produce). Positions are record indices.
+//! - [`FileStreamSource`] — a bounded-memory streaming decoder over an
+//!   `L6TR` file (wrapping [`StreamingTraceReader`]). Positions are byte
+//!   offsets, exactly as session checkpoints always recorded them, so
+//!   pre-existing checkpoints resume unchanged.
+//! - `FleetSource` (in `lumen6-scanners`, which depends on this crate) —
+//!   synthesizes batches directly from the fleet actors in timestamp order,
+//!   never materializing a trace. Positions are record indices.
+//!
+//! The [`TracePosition`] type is reused as the position for all sources;
+//! its `offset` field is *source-defined* (bytes for the file stream,
+//! record index for the others). A position is only meaningful to the kind
+//! of source that produced it — the same contract a byte offset always had.
+
+use crate::batch::RecordBatch;
+use crate::codec::{CodecError, StreamingTraceReader, TracePosition};
+use crate::record::PacketRecord;
+use std::fs::File;
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+/// A resumable, batch-oriented producer of time-ordered packet records.
+///
+/// # Contract
+///
+/// - [`fill`](Source::fill) clears `out`, appends up to `max` records in
+///   non-decreasing timestamp order (continuing from the previous call),
+///   and returns how many it appended. Returning `0` means end of stream;
+///   callers must treat `max == 0` as unsupported (implementations may
+///   still produce one record).
+/// - [`position`](Source::position) identifies the boundary after the last
+///   record returned, in the source's own offset space; feeding it to
+///   [`resume`](Source::resume) on a source of the same kind over the same
+///   underlying data continues the stream exactly there.
+/// - Sources that can skip malformed records report the running total via
+///   [`skipped`](Source::skipped).
+pub trait Source: Send {
+    /// Clears `out` and appends up to `max` records; `Ok(0)` = end of
+    /// stream. Errors follow [`CodecError`] semantics: records decoded
+    /// before an error are delivered first (as a short batch), the error
+    /// surfaces on the next call, and the source fuses after it.
+    fn fill(&mut self, out: &mut RecordBatch, max: usize) -> Result<usize, CodecError>;
+
+    /// The resumable position after the most recently delivered record.
+    fn position(&self) -> TracePosition;
+
+    /// Repositions the stream at `at` (a value previously obtained from
+    /// [`position`](Source::position) on the same kind of source).
+    fn resume(&mut self, at: TracePosition) -> Result<(), CodecError>;
+
+    /// Malformed records skipped so far (permissive decoding); `0` for
+    /// sources that cannot produce malformed records.
+    fn skipped(&self) -> u64 {
+        0
+    }
+}
+
+/// A [`Source`] over an in-memory, time-sorted record vector. Positions are
+/// record indices.
+///
+/// ```
+/// use lumen6_trace::{MaterializedSource, PacketRecord, RecordBatch, Source};
+/// let recs: Vec<PacketRecord> =
+///     (0..10).map(|i| PacketRecord::tcp(i, 1, 2, 1000, 22, 60)).collect();
+/// let mut src = MaterializedSource::new(recs.clone());
+/// let mut batch = RecordBatch::new();
+/// assert_eq!(src.fill(&mut batch, 4).unwrap(), 4);
+/// let pos = src.position();
+/// assert_eq!(pos.offset, 4);
+/// src.resume(pos).unwrap();
+/// assert_eq!(src.fill(&mut batch, 100).unwrap(), 6);
+/// assert_eq!(src.fill(&mut batch, 100).unwrap(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaterializedSource {
+    records: Vec<PacketRecord>,
+    pos: usize,
+}
+
+impl MaterializedSource {
+    /// Wraps a time-sorted record vector.
+    pub fn new(records: Vec<PacketRecord>) -> Self {
+        MaterializedSource { records, pos: 0 }
+    }
+
+    /// Total records (consumed and not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl Source for MaterializedSource {
+    fn fill(&mut self, out: &mut RecordBatch, max: usize) -> Result<usize, CodecError> {
+        out.clear();
+        let n = max.min(self.records.len() - self.pos);
+        for r in &self.records[self.pos..self.pos + n] {
+            out.push(*r);
+        }
+        self.pos += n;
+        Ok(n)
+    }
+
+    fn position(&self) -> TracePosition {
+        TracePosition {
+            offset: self.pos as u64,
+            prev_ts: if self.pos > 0 {
+                self.records[self.pos - 1].ts_ms
+            } else {
+                0
+            },
+        }
+    }
+
+    fn resume(&mut self, at: TracePosition) -> Result<(), CodecError> {
+        let pos = usize::try_from(at.offset).unwrap_or(usize::MAX);
+        if pos > self.records.len() {
+            return Err(CodecError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "resume offset {pos} beyond materialized trace of {} records",
+                    self.records.len()
+                ),
+            )));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+/// A [`Source`] streaming an `L6TR` trace file in bounded memory. Positions
+/// are byte offsets — the same values session checkpoints have always
+/// stored, so existing checkpoints resume through this source unchanged.
+#[derive(Debug)]
+pub struct FileStreamSource {
+    path: PathBuf,
+    reader: StreamingTraceReader<BufReader<File>>,
+    permissive: bool,
+    pending_err: Option<CodecError>,
+    done: bool,
+}
+
+impl FileStreamSource {
+    /// Opens `path` and validates the `L6TR` header.
+    pub fn open(path: &Path) -> Result<Self, CodecError> {
+        let reader = StreamingTraceReader::new(BufReader::new(File::open(path)?))?;
+        Ok(FileStreamSource {
+            path: path.to_path_buf(),
+            reader,
+            permissive: false,
+            pending_err: None,
+            done: false,
+        })
+    }
+
+    /// Enables or disables permissive decoding (recoverable per-record
+    /// errors are skipped and counted instead of ending the stream).
+    pub fn permissive(mut self, yes: bool) -> Self {
+        self.permissive = yes;
+        self.reader = self.reader.permissive(yes);
+        self
+    }
+}
+
+impl Source for FileStreamSource {
+    fn fill(&mut self, out: &mut RecordBatch, max: usize) -> Result<usize, CodecError> {
+        out.clear();
+        if self.done {
+            return Ok(0);
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Err(e);
+        }
+        while out.len() < max {
+            match self.reader.next() {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => {
+                    if out.is_empty() {
+                        self.done = true;
+                        return Err(e);
+                    }
+                    self.pending_err = Some(e);
+                    break;
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        Ok(out.len())
+    }
+
+    fn position(&self) -> TracePosition {
+        self.reader.position()
+    }
+
+    fn resume(&mut self, at: TracePosition) -> Result<(), CodecError> {
+        let file = BufReader::new(File::open(&self.path)?);
+        self.reader = StreamingTraceReader::resume(file, at)?.permissive(self.permissive);
+        self.pending_err = None;
+        self.done = false;
+        Ok(())
+    }
+
+    fn skipped(&self) -> u64 {
+        self.reader.skipped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode;
+
+    fn recs(n: u64) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::tcp(i * 7, i as u128, (i * 3) as u128, 1, 22, 60))
+            .collect()
+    }
+
+    fn write_trace(records: &[PacketRecord]) -> tempdir::ScopedFile {
+        let bytes = encode(records).expect("encode");
+        tempdir::ScopedFile::with_bytes(&bytes)
+    }
+
+    /// Minimal scoped temp-file helper (no external tempfile dep).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+
+        pub struct ScopedFile {
+            path: PathBuf,
+        }
+
+        impl ScopedFile {
+            pub fn with_bytes(bytes: &[u8]) -> Self {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let path = std::env::temp_dir().join(format!(
+                    "lumen6-source-test-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::write(&path, bytes).expect("write temp trace");
+                ScopedFile { path }
+            }
+
+            pub fn path(&self) -> &Path {
+                &self.path
+            }
+        }
+
+        impl Drop for ScopedFile {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.path);
+            }
+        }
+    }
+
+    fn drain(src: &mut dyn Source, max: usize) -> Vec<PacketRecord> {
+        let mut out = Vec::new();
+        let mut batch = RecordBatch::new();
+        loop {
+            let n = src.fill(&mut batch, max).expect("fill");
+            if n == 0 {
+                break;
+            }
+            out.extend(batch.iter());
+        }
+        out
+    }
+
+    #[test]
+    fn materialized_source_yields_everything_in_batches() {
+        let want = recs(1000);
+        for max in [1, 7, 256, 5000] {
+            let mut src = MaterializedSource::new(want.clone());
+            assert_eq!(drain(&mut src, max), want, "max={max}");
+        }
+    }
+
+    #[test]
+    fn materialized_source_position_resume_roundtrip() {
+        let want = recs(100);
+        let mut src = MaterializedSource::new(want.clone());
+        let mut batch = RecordBatch::new();
+        assert_eq!(src.fill(&mut batch, 40).unwrap(), 40);
+        let pos = src.position();
+        assert_eq!(pos.offset, 40);
+        assert_eq!(pos.prev_ts, want[39].ts_ms);
+        // A fresh source resumed at that position yields exactly the tail.
+        let mut fresh = MaterializedSource::new(want.clone());
+        fresh.resume(pos).unwrap();
+        assert_eq!(drain(&mut fresh, 33), want[40..].to_vec());
+        // Beyond-end offsets are rejected, not a panic.
+        assert!(fresh
+            .resume(TracePosition {
+                offset: 101,
+                prev_ts: 0
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn file_stream_source_matches_materialized() {
+        let want = recs(2_000);
+        let f = write_trace(&want);
+        for max in [1, 64, 4096] {
+            let mut src = FileStreamSource::open(f.path()).expect("open");
+            assert_eq!(drain(&mut src, max), want, "max={max}");
+        }
+    }
+
+    #[test]
+    fn file_stream_source_resume_continues_exactly() {
+        let want = recs(1_500);
+        let f = write_trace(&want);
+        let mut src = FileStreamSource::open(f.path()).expect("open");
+        let mut batch = RecordBatch::new();
+        let mut head = Vec::new();
+        for _ in 0..3 {
+            src.fill(&mut batch, 250).unwrap();
+            head.extend(batch.iter());
+        }
+        let pos = src.position();
+        assert_eq!(
+            pos.prev_ts,
+            head.last().map_or(0, |r: &PacketRecord| r.ts_ms)
+        );
+        let mut fresh = FileStreamSource::open(f.path()).expect("open");
+        fresh.resume(pos).unwrap();
+        head.extend(drain(&mut fresh, 123));
+        assert_eq!(head, want);
+    }
+
+    #[test]
+    fn file_stream_source_surfaces_error_after_partial_batch_then_fuses() {
+        let want = recs(10);
+        let bytes = encode(&want).expect("encode");
+        let cut = &bytes[..bytes.len() - 3];
+        let f = tempdir::ScopedFile::with_bytes(cut);
+        let mut src = FileStreamSource::open(f.path()).expect("open");
+        let mut batch = RecordBatch::new();
+        // Everything before the cut arrives as (possibly short) batches...
+        let mut got = 0;
+        let err = loop {
+            match src.fill(&mut batch, 4) {
+                Ok(0) => panic!("stream must end in an error, not EOF"),
+                Ok(n) => got += n,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got, 9, "records before the truncation decode fine");
+        assert!(matches!(err, CodecError::Truncated));
+        // Fused after the error.
+        assert_eq!(src.fill(&mut batch, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn file_stream_source_missing_file_is_io() {
+        let err = FileStreamSource::open(Path::new("/nonexistent/lumen6-nope.l6tr")).unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+    }
+}
