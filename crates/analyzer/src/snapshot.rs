@@ -15,6 +15,12 @@
 //! drift does. The root is optional — a scan tree without a
 //! `SessionReport` definition (reduced fixtures) fingerprints only the
 //! checkpoint closure.
+//!
+//! The serve configuration schema (`RunConfig` / `ServeConfig`, the TOML
+//! surface operators write manifests against and the daemon re-reads on
+//! every restart) is a third pair of optional roots: a renamed or
+//! re-typed config field silently orphans deployed manifests the same way
+//! checkpoint drift orphans deployed checkpoints.
 
 use crate::ctx::FileCtx;
 use crate::Finding;
@@ -157,12 +163,17 @@ pub fn compute(ctxs: &[FileCtx]) -> Result<SnapshotFingerprint, String> {
         return Err("DetectorSnapshot definition not found in scanned files".into());
     }
     // BFS over referenced identifiers that are themselves Serialize types,
-    // from both persisted-format roots: the checkpoint payload and the
-    // run-summary JSON report.
+    // from every persisted-format root: the checkpoint payload, the
+    // run-summary JSON report, and the serve configuration schema.
     let mut reach: BTreeSet<String> = BTreeSet::new();
     let mut queue = vec!["DetectorSnapshot".to_string()];
     if all.contains_key("SessionReport") {
         queue.push("SessionReport".to_string());
+    }
+    for root in ["RunConfig", "ServeConfig"] {
+        if all.contains_key(root) {
+            queue.push(root.to_string());
+        }
     }
     while let Some(name) = queue.pop() {
         if !reach.insert(name.clone()) {

@@ -8,7 +8,7 @@ use lumen6_bench::{CdnFixture, MawiFixture};
 use lumen6_detect::multi::{detect_multi, MultiLevelDetector};
 use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan};
 use lumen6_detect::{
-    detector::detect, AggLevel, ArtifactFilter, DetectorBuilder, MawiConfig as FhConfig,
+    detector::detect, AggLevel, ArtifactFilter, Backend, DetectorBuilder, MawiConfig as FhConfig,
     MawiDetector, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig, SessionOutcome,
     SessionReport,
 };
@@ -190,10 +190,8 @@ fn streaming_vs_materialized(c: &mut Criterion) {
 /// Runs a sequential detection [`Session`] to completion over `src` and
 /// returns its report — the fused-pipeline unit of work.
 fn run_session(src: &mut dyn Source) -> SessionReport {
-    let det = DetectorBuilder::new(ScanDetectorConfig::default())
-        .levels(&LEVELS)
-        .sequential();
-    match Session::new(det, SessionConfig::default())
+    let det = DetectorBuilder::new(ScanDetectorConfig::default()).levels(&LEVELS);
+    match Session::new(det, Backend::Sequential, SessionConfig::default())
         .run_source(src)
         .expect("session runs")
     {
@@ -248,8 +246,7 @@ fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
 fn session_drive(fx: &CdnFixture) {
     let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
         .levels(&LEVELS)
-        .sequential()
-        .build();
+        .build(Backend::Sequential);
     let mut buf = ReorderBuffer::new(0);
     let mut ready = Vec::new();
     let mut staged = RecordBatch::with_capacity(BATCH);

@@ -25,7 +25,13 @@
 //!   loaded single-core CI host passes; override with
 //!   `BENCH_GUARD_FUSED_MIN_RPS`). Fused throughput includes generation,
 //!   so it is gated on an absolute floor rather than compared against the
-//!   detect-only baseline.
+//!   detect-only baseline, or
+//! - a single fused tenant hosted by the `lumen6 serve` daemon (one
+//!   worker, mid-run publication disabled) runs more than the allowed
+//!   overhead slower than the identical `RunConfig` driven raw through
+//!   `Session::run_source` (default 10%, override with
+//!   `BENCH_GUARD_SERVE_OVERHEAD`) — the scheduling, locking, and spool
+//!   bookkeeping a tenant pays for living inside the daemon.
 //!
 //! Run with `cargo run --release -p lumen6-bench --bin bench_guard`; a debug
 //! build measures debug-build throughput, which is meaningless against a
@@ -35,10 +41,11 @@ use lumen6_bench::CdnFixture;
 use lumen6_detect::multi::MultiLevelDetector;
 use lumen6_detect::parallel::{detect_multi_sharded, ShardPlan};
 use lumen6_detect::{
-    AggLevel, DetectorBuilder, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig,
+    AggLevel, Backend, DetectorBuilder, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig,
     SessionOutcome,
 };
 use lumen6_scanners::FleetSource;
+use lumen6_serve::{Daemon, RunConfig, ServeConfig, TenantSpec};
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use lumen6_trace::{PacketRecord, RecordBatch};
 use serde::value::Value;
@@ -120,8 +127,7 @@ fn main() {
     let session_s = median_secs(|| {
         let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
             .levels(&LEVELS)
-            .sequential()
-            .build();
+            .build(Backend::Sequential);
         let mut buf = ReorderBuffer::new(0);
         let mut ready = Vec::new();
         let mut staged = RecordBatch::with_capacity(BATCH);
@@ -158,10 +164,8 @@ fn main() {
     let mut fused_records = 0u64;
     let fused_s = median_secs(|| {
         let mut src = FleetSource::new(fx.world.clone());
-        let det = DetectorBuilder::new(ScanDetectorConfig::default())
-            .levels(&LEVELS)
-            .sequential();
-        let outcome = Session::new(det, SessionConfig::default())
+        let det = DetectorBuilder::new(ScanDetectorConfig::default()).levels(&LEVELS);
+        let outcome = Session::new(det, Backend::Sequential, SessionConfig::default())
             .run_source(&mut src)
             .expect("fused session runs");
         match outcome {
@@ -169,6 +173,68 @@ fn main() {
             SessionOutcome::Stopped { .. } => unreachable!("no checkpoint stop configured"),
         }
     });
+
+    // Serve gate: the same fused run, once raw and once as the daemon's
+    // only tenant. Both sides rebuild their world inside the timed region
+    // and share the checkpoint cadence; leftover state is wiped between
+    // runs so neither side can cheat by resuming finished work.
+    let serve_overhead_limit = env_f64("BENCH_GUARD_SERVE_OVERHEAD", 0.10);
+    let scratch = std::env::temp_dir().join(format!("lumen6-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("bench scratch dir");
+    let raw_ck = scratch.join("raw.l6ck");
+    // Long enough that the daemon's fixed per-run costs (thread setup,
+    // the final spool publication) amortize the way they do in a
+    // long-lived deployment; short runs measure mostly those constants.
+    let bench_run = |checkpoint: Option<String>| RunConfig {
+        fused: true,
+        small: true,
+        days: Some(90),
+        sequential: true,
+        checkpoint,
+        ..RunConfig::default()
+    };
+    let mut serve_records = 0u64;
+    let raw_s = median_secs(|| {
+        let _ = std::fs::remove_file(&raw_ck);
+        let run = bench_run(Some(raw_ck.to_string_lossy().into_owned()));
+        let mut src = run.make_source().expect("fleet source");
+        match run
+            .make_session()
+            .run_source(src.as_mut())
+            .expect("raw run")
+        {
+            SessionOutcome::Finished(rep) => {
+                // The daemon publishes its final report to the spool;
+                // `detect` likewise emits its report. Persist on the raw
+                // side too so the gate isolates *hosting* overhead, not
+                // report serialization.
+                let json = serde_json::to_string_pretty(&rep).expect("report serializes");
+                std::fs::write(scratch.join("raw-report.json"), json).expect("write raw report");
+                serve_records = rep.records;
+            }
+            SessionOutcome::Stopped { .. } => unreachable!("no stop_after configured"),
+        }
+    });
+    let spool = scratch.join("spool");
+    let serve_s = median_secs(|| {
+        let _ = std::fs::remove_dir_all(&spool);
+        let daemon = Daemon::new(ServeConfig {
+            spool: spool.to_string_lossy().into_owned(),
+            workers: 1,
+            steps_per_slice: 64,
+            publish_every_slices: u64::MAX,
+            stop_file: None,
+            tenants: vec![TenantSpec {
+                name: "bench".into(),
+                run: bench_run(None),
+            }],
+        })
+        .expect("daemon builds");
+        let summary = daemon.run().expect("daemon runs");
+        assert!(!summary.any_failed(), "bench tenant failed");
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
 
     let sharded_s = (host_cores > 1).then(|| {
         median_secs(|| {
@@ -207,6 +273,15 @@ fn main() {
         "bench_guard: fused pipeline {fused_rps:.0} rec/s end-to-end \
          ({fused_records} records, floor {fused_min_rps:.0})"
     );
+    let serve_overhead = serve_s / raw_s - 1.0;
+    println!(
+        "bench_guard: serve single-tenant {:.0} rec/s vs raw {:.0} rec/s, \
+         overhead {:+.1}% (limit {:.0}%)",
+        serve_records as f64 / serve_s,
+        serve_records as f64 / raw_s,
+        serve_overhead * 100.0,
+        serve_overhead_limit * 100.0
+    );
 
     let mut failed = false;
     if current_rps < baseline_rps * (1.0 - tolerance) {
@@ -238,6 +313,15 @@ fn main() {
         eprintln!(
             "bench_guard: FAIL — fused pipeline {fused_rps:.0} rec/s below the \
              {fused_min_rps:.0} rec/s floor"
+        );
+        failed = true;
+    }
+    if serve_overhead > serve_overhead_limit {
+        eprintln!(
+            "bench_guard: FAIL — serve daemon overhead {:.1}% over raw run_source \
+             exceeds {:.1}%",
+            serve_overhead * 100.0,
+            serve_overhead_limit * 100.0
         );
         failed = true;
     }

@@ -15,15 +15,15 @@
 use crate::{Args, CliError};
 use lumen6_detect::adaptive::{AdaptiveConfig, AdaptiveIds};
 use lumen6_detect::{
-    AggLevel, ArtifactFilter, CheckpointPolicy, DetectorBuilder, MawiConfig as FhConfig,
-    MawiDetector, ScanDetectorConfig, Session, SessionConfig, SessionOutcome, ShardPlan,
+    AggLevel, ArtifactFilter, DetectorBuilder, MawiConfig as FhConfig, MawiDetector,
+    ScanDetectorConfig, Session, SessionOutcome,
 };
 use lumen6_report::{duration_human, pkt_count, Table};
 use lumen6_scanners::{FleetConfig, World};
+use lumen6_serve::{Daemon, RunConfig, ServeConfig, ServeError};
 use lumen6_trace::{PacketRecord, TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
-use std::path::{Path, PathBuf};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -39,10 +39,17 @@ USAGE:
                 [--threads N] [--sequential] [--metrics-out FILE.json]
                 [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
                 [--watermark-secs N] [--strict] [--batch N]
-                [--sketch-precision P]
+                [--sketch-precision P] [--flush-idle-secs N]
   lumen6 detect --fused [--days N] [--seed N] [--small] [--intensity F]
                 (synthesize the CDN fleet stream in-process instead of
                  reading --trace; same detection flags apply)
+  lumen6 detect --tail FILE   (follow a growing trace until FILE.eof appears)
+  lumen6 detect --config RUN.toml [flags override the file's keys]
+  lumen6 serve  --config MANIFEST.toml [--spool DIR] [--workers N]
+                [--stop-file FILE]
+                (multi-tenant daemon: one checkpointed session per
+                 [tenants.<name>] table; touch the stop file — default
+                 <spool>/shutdown — for a graceful drain-and-exit)
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -78,6 +85,12 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "batch",
             "intensity",
             "sketch-precision",
+            "flush-idle-secs",
+            "config",
+            "tail",
+            "spool",
+            "workers",
+            "stop-file",
         ],
     )?;
     let cmd = args
@@ -89,6 +102,7 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
         "generate" => generate(&args, out),
         "info" => info(&args, out),
         "detect" => detect(&args, out),
+        "serve" => serve(&args, out),
         "mawi-detect" => mawi_detect(&args, out),
         "adaptive" => adaptive(&args, out),
         "fingerprint" => fingerprint_cmd(&args, out),
@@ -105,6 +119,10 @@ fn load_trace(args: &Args) -> Result<Vec<PacketRecord>, CliError> {
     let path = args
         .get("trace")
         .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
+    load_trace_file(path)
+}
+
+fn load_trace_file(path: &str) -> Result<Vec<PacketRecord>, CliError> {
     let reader = TraceReader::from_reader(BufReader::new(File::open(path)?))?;
     let records: Result<Vec<_>, _> = reader.collect();
     Ok(records?)
@@ -223,45 +241,66 @@ fn info<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Builds the shard plan from `--threads N` (0 or absent = one shard per
-/// hardware thread).
-fn shard_plan(args: &Args) -> Result<ShardPlan, CliError> {
-    let threads = args.get_parsed::<usize>("threads", 0)?;
-    Ok(if threads == 0 {
-        ShardPlan::default()
-    } else {
-        ShardPlan::with_shards(threads)
-    })
-}
-
-/// Reads the session-layer flags (`--checkpoint`, `--checkpoint-every`,
-/// `--stop-after`, `--watermark-secs`, `--strict`) into a [`SessionConfig`].
-fn session_config(args: &Args) -> Result<SessionConfig, CliError> {
-    let checkpoint = match args.get("checkpoint") {
-        Some(path) => Some(CheckpointPolicy {
-            path: PathBuf::from(path),
-            every_records: args.get_parsed::<u64>("checkpoint-every", 100_000)?,
-            stop_after: match args.get("stop-after") {
-                Some(_) => Some(args.get_parsed::<u64>("stop-after", 0)?),
-                None => None,
-            },
-        }),
-        None => {
-            if args.get("checkpoint-every").is_some() || args.get("stop-after").is_some() {
-                return Err(CliError::Usage(
-                    "--checkpoint-every/--stop-after need --checkpoint FILE".into(),
-                ));
-            }
-            None
+/// Resolves the full [`RunConfig`] of a `detect` invocation: the TOML file
+/// named by `--config` (if any) supplies the base, and every flag present
+/// on the command line overrides the corresponding key. The three source
+/// selectors (`--trace`/`--tail`/`--fused`) override as a group, so a flag
+/// cleanly retargets a config file that already names a source.
+fn run_config(args: &Args) -> Result<RunConfig, CliError> {
+    let mut run = match args.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            RunConfig::from_toml_str(&text)
+                .map_err(|e| CliError::Usage(format!("--config {path}: {e}")))?
         }
+        None => RunConfig::default(),
     };
-    Ok(SessionConfig {
-        watermark_ms: args.get_parsed::<u64>("watermark-secs", 0)? * 1000,
-        checkpoint,
-        flush_idle_every_ms: 0,
-        strict: args.has("strict"),
-        batch: args.get_parsed::<usize>("batch", lumen6_detect::DEFAULT_SESSION_BATCH)?,
-    })
+    let trace = args.get("trace");
+    let tail = args.get("tail");
+    let fused = args.has("fused");
+    if usize::from(trace.is_some()) + usize::from(tail.is_some()) + usize::from(fused) > 1 {
+        return Err(CliError::Usage(
+            "--trace, --tail, and --fused are mutually exclusive".into(),
+        ));
+    }
+    if trace.is_some() || tail.is_some() || fused {
+        run.trace = trace.map(str::to_string);
+        run.tail = tail.map(str::to_string);
+        run.fused = fused;
+    }
+    run.agg = args.get_parsed("agg", run.agg)?;
+    run.min_dsts = args.get_parsed("min-dsts", run.min_dsts)?;
+    run.timeout_secs = args.get_parsed("timeout-secs", run.timeout_secs)?;
+    if args.get("sketch-precision").is_some() {
+        run.sketch_precision = Some(args.get_parsed("sketch-precision", 0)?);
+    }
+    run.threads = args.get_parsed("threads", run.threads)?;
+    run.sequential = run.sequential || args.has("sequential");
+    run.watermark_secs = args.get_parsed("watermark-secs", run.watermark_secs)?;
+    run.batch = args.get_parsed("batch", run.batch)?;
+    run.strict = run.strict || args.has("strict");
+    if let Some(path) = args.get("checkpoint") {
+        run.checkpoint = Some(path.to_string());
+    }
+    run.checkpoint_every = args.get_parsed("checkpoint-every", run.checkpoint_every)?;
+    if args.get("stop-after").is_some() {
+        run.stop_after = Some(args.get_parsed("stop-after", 0)?);
+    }
+    run.flush_idle_secs = args.get_parsed("flush-idle-secs", run.flush_idle_secs)?;
+    if args.get("days").is_some() {
+        run.days = Some(args.get_parsed("days", 0)?);
+    }
+    run.seed = args.get_parsed("seed", run.seed)?;
+    run.small = run.small || args.has("small");
+    run.intensity = args.get_parsed("intensity", run.intensity)?;
+    if run.checkpoint.is_none()
+        && (args.get("checkpoint-every").is_some() || args.get("stop-after").is_some())
+    {
+        return Err(CliError::Usage(
+            "--checkpoint-every/--stop-after need --checkpoint FILE".into(),
+        ));
+    }
+    Ok(run)
 }
 
 /// `detect`: the paper's large-scale scan detection over a trace file —
@@ -282,31 +321,17 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     // Delta against the process-global registry so the emitted snapshot
     // covers exactly this command run (tests share one process).
     let metrics_baseline = lumen6_obs::MetricsRegistry::global().snapshot();
-    // `--sketch-precision P` switches distinct-destination counting from
-    // exact sets to spill-to-HyperLogLog at precision P (memory per spilled
-    // source: 2^P registers; error ≈ 1.04/sqrt(2^P)). Out-of-range values
-    // are clamped to the supported 4..=16 at construction.
-    let sketch = match args.get("sketch-precision") {
-        Some(_) => Some(lumen6_detect::SketchConfig {
-            spill_threshold: 4_096,
-            precision: args.get_parsed::<u8>("sketch-precision", 0)?,
-        }),
-        None => None,
-    };
-    let config = ScanDetectorConfig {
-        agg: agg_of(args)?,
-        min_dsts: args.get_parsed("min-dsts", 100)?,
-        timeout_ms: args.get_parsed::<u64>("timeout-secs", 3_600)? * 1000,
-        sketch,
-        ..Default::default()
-    };
+    // `--sketch-precision P` (or `sketch_precision` in the config file)
+    // switches distinct-destination counting from exact sets to
+    // spill-to-HyperLogLog at precision P (memory per spilled source: 2^P
+    // registers; error ≈ 1.04/sqrt(2^P)). Out-of-range values are clamped
+    // to the supported 4..=16 at construction.
+    let run = run_config(args)?;
+    let config = run.detector_config();
     let agg = config.agg;
-    let builder = if args.has("sequential") {
-        DetectorBuilder::new(config).sequential()
-    } else {
-        DetectorBuilder::new(config).sharded(shard_plan(args)?)
-    };
-    let session = session_config(args)?;
+    let builder = DetectorBuilder::new(config);
+    let backend = run.backend();
+    let session = run.session_config();
 
     let mut session_stats = None;
     let report = if args.has("prefilter") {
@@ -317,14 +342,17 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                     .into(),
             ));
         }
-        if args.has("fused") {
+        if run.fused || run.tail.is_some() {
             return Err(CliError::Usage(
-                "--fused is incompatible with --prefilter (prefiltering needs the \
-                 whole trace resident; the fused source never materializes it)"
+                "--fused/--tail are incompatible with --prefilter (prefiltering \
+                 needs the whole trace resident; those sources never materialize it)"
                     .into(),
             ));
         }
-        let records = load_trace(args)?;
+        let Some(path) = &run.trace else {
+            return Err(CliError::Usage("--trace FILE is required".into()));
+        };
+        let records = load_trace_file(path)?;
         let (kept, filter_report) = ArtifactFilter::default().filter(&records);
         writeln!(
             out,
@@ -336,7 +364,7 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         // Feed the resident records through the columnar batch path: same
         // results as per-record observe, one run-state lookup per
         // (source, batch).
-        let mut det = builder.build();
+        let mut det = builder.build(backend);
         let mut batch = lumen6_trace::RecordBatch::with_capacity(session.batch.max(1));
         for part in kept.chunks(session.batch.max(1)) {
             batch.clear();
@@ -346,32 +374,14 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         det.finish().remove(&agg).expect("requested level present")
     } else {
         // Stream through the fault-tolerant session so peak memory does not
-        // scale with trace size: off disk with --trace, or synthesized
-        // in-process from the fleet generators with --fused (the
-        // generator→detector pipeline never touches a trace file).
+        // scale with trace size: off disk with --trace, following a growing
+        // file with --tail, or synthesized in-process from the fleet
+        // generators with --fused (the generator→detector pipeline never
+        // touches a trace file).
         let announce = session.checkpoint.is_some();
-        let outcome = if args.has("fused") {
-            if args.get("trace").is_some() {
-                return Err(CliError::Usage(
-                    "--fused synthesizes its own input; drop --trace".into(),
-                ));
-            }
-            let cfg = fleet_config(
-                args,
-                args.get_parsed::<u64>("seed", 42)?,
-                match args.get("days") {
-                    Some(_) => Some(args.get_parsed::<u64>("days", 0)?),
-                    None => None,
-                },
-            )?;
-            let mut src = lumen6_scanners::FleetSource::new(World::build(cfg));
-            Session::new(builder, session).run_source(&mut src)?
-        } else {
-            let path = args
-                .get("trace")
-                .ok_or_else(|| CliError::Usage("--trace FILE is required".into()))?;
-            Session::new(builder, session).run(Path::new(path))?
-        };
+        run.validate().map_err(CliError::Usage)?;
+        let mut src = run.make_source()?;
+        let outcome = Session::new(builder, backend, session).run_source(src.as_mut())?;
         match outcome {
             SessionOutcome::Stopped {
                 checkpoints_written,
@@ -441,6 +451,78 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         ]);
     }
     writeln!(out, "{}", t.render())?;
+    Ok(())
+}
+
+/// Maps daemon errors onto the CLI error taxonomy (exit code 2 for all of
+/// them; tenant-level failures are reported via [`CliError::Serve`]).
+fn serve_err(e: ServeError) -> CliError {
+    match e {
+        ServeError::Io(e) => CliError::Io(e),
+        ServeError::Codec(e) => CliError::Codec(e),
+        ServeError::Session(e) => e.into(),
+        ServeError::Config(m) => CliError::Usage(m),
+    }
+}
+
+/// `serve`: the multi-tenant detection daemon. Loads a TOML manifest with
+/// one `[tenants.<name>]` table per tenant (each table is a [`RunConfig`],
+/// the same schema `detect --config` reads), lays out the spool, and runs
+/// every tenant concurrently with checkpoint-based crash recovery until
+/// all streams finish or the stop file appears. Exits nonzero if any
+/// tenant ends in the `failed` state.
+fn serve<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let path = args
+        .get("config")
+        .ok_or_else(|| CliError::Usage("serve needs --config MANIFEST.toml".into()))?;
+    let text = std::fs::read_to_string(path)?;
+    let mut cfg = ServeConfig::from_toml_str(&text)
+        .map_err(|e| CliError::Usage(format!("--config {path}: {e}")))?;
+    if let Some(spool) = args.get("spool") {
+        cfg.spool = spool.to_string();
+    }
+    cfg.workers = args.get_parsed("workers", cfg.workers)?;
+    if let Some(stop) = args.get("stop-file") {
+        cfg.stop_file = Some(stop.to_string());
+    }
+    let daemon = Daemon::new(cfg).map_err(serve_err)?;
+    writeln!(
+        out,
+        "serve: {} tenant(s), stop file {}",
+        daemon.tenant_count(),
+        daemon.stop_file().display()
+    )?;
+    out.flush()?;
+    let summary = daemon.run().map_err(serve_err)?;
+    let mut failed = 0usize;
+    for t in &summary.tenants {
+        let resumed = if t.resumed { ", resumed" } else { "" };
+        let error = t
+            .error
+            .as_ref()
+            .map(|e| format!(" — {e}"))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "tenant {}: {} ({} records, {} slices{resumed}){error}",
+            t.name, t.state, t.records, t.slices
+        )?;
+        if t.state == "failed" {
+            failed += 1;
+        }
+    }
+    writeln!(
+        out,
+        "serve: {}",
+        if summary.stopped {
+            "stopped by stop file; tenants checkpointed for resume"
+        } else {
+            "all tenants done"
+        }
+    )?;
+    if failed > 0 {
+        return Err(CliError::Serve(format!("{failed} tenant(s) failed")));
+    }
     Ok(())
 }
 
@@ -697,6 +779,83 @@ mod tests {
     fn detect_requires_trace() {
         let (_, res) = run_cli(&["detect"]);
         assert!(matches!(res, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn detect_config_file_matches_flags_and_flags_override() {
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-config-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.l6tr");
+        let p = trace.to_str().unwrap();
+        let (_, res) = run_cli(&[
+            "generate", "cdn", "--out", p, "--days", "3", "--seed", "3", "--small",
+        ]);
+        res.unwrap();
+
+        let (flags_out, res) = run_cli(&[
+            "detect",
+            "--trace",
+            p,
+            "--min-dsts",
+            "5",
+            "--sequential",
+            "--json",
+        ]);
+        res.unwrap();
+
+        // The same run expressed as a config file.
+        let cfg = dir.join("run.toml");
+        std::fs::write(
+            &cfg,
+            format!("trace = \"{p}\"\nmin_dsts = 5\nsequential = true\n"),
+        )
+        .unwrap();
+        let c = cfg.to_str().unwrap();
+        let (cfg_out, res) = run_cli(&["detect", "--config", c, "--json"]);
+        res.unwrap();
+        assert_eq!(cfg_out, flags_out, "config-file run differs from flag run");
+
+        // A flag overrides the file's key: min_dsts back down to 5 from an
+        // impossible threshold.
+        let strict_cfg = dir.join("strict.toml");
+        std::fs::write(
+            &strict_cfg,
+            format!("trace = \"{p}\"\nmin_dsts = 1000000000\nsequential = true\n"),
+        )
+        .unwrap();
+        let sc = strict_cfg.to_str().unwrap();
+        let (over_out, res) = run_cli(&["detect", "--config", sc, "--min-dsts", "5", "--json"]);
+        res.unwrap();
+        assert_eq!(over_out, flags_out, "flag did not override config key");
+
+        // Unknown keys are rejected with the offending name.
+        let bad_cfg = dir.join("bad.toml");
+        std::fs::write(&bad_cfg, "trace = \"x\"\nmin_dst = 5\n").unwrap();
+        let (_, res) = run_cli(&["detect", "--config", bad_cfg.to_str().unwrap()]);
+        let Err(CliError::Usage(msg)) = res else {
+            panic!("expected usage error, got {res:?}");
+        };
+        assert!(msg.contains("min_dst"), "{msg}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_requires_valid_manifest() {
+        let (_, res) = run_cli(&["serve"]);
+        assert!(matches!(res, Err(CliError::Usage(_))));
+
+        let dir = std::env::temp_dir().join(format!("lumen6-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("serve.toml");
+        // A tenant with no ingest source fails manifest validation.
+        std::fs::write(&manifest, "[tenants.empty]\nmin_dsts = 5\n").unwrap();
+        let (_, res) = run_cli(&["serve", "--config", manifest.to_str().unwrap()]);
+        let Err(CliError::Usage(msg)) = res else {
+            panic!("expected usage error, got {res:?}");
+        };
+        assert!(msg.contains("no ingest source"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

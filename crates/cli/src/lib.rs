@@ -20,6 +20,9 @@ pub enum CliError {
     Codec(lumen6_trace::CodecError),
     /// Detection-session failure (corrupt checkpoint, restore mismatch).
     Session(lumen6_detect::SessionError),
+    /// The serve daemon ran to completion, but at least one tenant ended
+    /// in the `failed` state; the daemon's exit must reflect that.
+    Serve(String),
     /// A `detect --checkpoint ... --stop-after N` run stopped deliberately
     /// after writing its checkpoint. Not a failure: the binary maps this to
     /// exit code 3 so resume tests can tell "stopped" from "crashed".
@@ -38,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Codec(e) => write!(f, "trace error: {e}"),
             CliError::Session(e) => write!(f, "{e}"),
+            CliError::Serve(m) => write!(f, "serve: {m}"),
             CliError::Stopped {
                 checkpoints_written,
                 records_done,

@@ -1,0 +1,260 @@
+//! End-to-end tests for `lumen6 serve`: a multi-tenant daemon killed with
+//! SIGKILL mid-ingest and restarted must publish final per-tenant reports
+//! byte-identical to an uninterrupted run, and a stop-file shutdown must
+//! drain every tenant to a checkpoint + report and exit 0. Runs the real
+//! binary so process death, the atomic spool writes, and the exit-code
+//! contract are all exercised end to end.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn lumen6(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lumen6"))
+        .args(args)
+        .output()
+        .expect("spawn lumen6")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "lumen6 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+fn wait_for<F: Fn() -> bool>(what: &str, cond: F) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+struct Env {
+    dir: PathBuf,
+}
+
+impl Env {
+    fn new(tag: &str) -> Env {
+        let dir =
+            std::env::temp_dir().join(format!("lumen6-serve-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Env { dir }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn gen_trace(&self, name: &str, days: u64, seed: u64) -> PathBuf {
+        let path = self.path(name);
+        stdout_of(&lumen6(&[
+            "generate",
+            "cdn",
+            "--out",
+            path.to_str().unwrap(),
+            "--days",
+            &days.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--small",
+        ]));
+        path
+    }
+}
+
+impl Drop for Env {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The four-tenant manifest both halves of the kill test share: two trace
+/// replays on different seeds, one fused synthetic stream, one tailed live
+/// feed. Everything checkpoints frequently so a kill always lands between
+/// grid points.
+fn manifest(spool: &Path, t1: &Path, t2: &Path, tail: &Path) -> String {
+    format!(
+        "spool = \"{spool}\"\n\
+         workers = 2\n\
+         publish_every_slices = 8\n\
+         \n\
+         [tenants.rep1]\n\
+         trace = \"{t1}\"\n\
+         min_dsts = 50\n\
+         sequential = true\n\
+         checkpoint_every = 2000\n\
+         \n\
+         [tenants.rep2]\n\
+         trace = \"{t2}\"\n\
+         min_dsts = 50\n\
+         sequential = true\n\
+         checkpoint_every = 2000\n\
+         \n\
+         [tenants.gen]\n\
+         fused = true\n\
+         small = true\n\
+         days = 2\n\
+         seed = 5\n\
+         sequential = true\n\
+         checkpoint_every = 500\n\
+         \n\
+         [tenants.live]\n\
+         tail = \"{tail}\"\n\
+         min_dsts = 50\n\
+         sequential = true\n\
+         checkpoint_every = 2000\n",
+        spool = spool.display(),
+        t1 = t1.display(),
+        t2 = t2.display(),
+        tail = tail.display(),
+    )
+}
+
+const TENANTS: [&str; 4] = ["rep1", "rep2", "gen", "live"];
+
+#[test]
+fn kill9_and_restart_reports_are_byte_identical() {
+    let env = Env::new("kill9");
+    let t1 = env.gen_trace("t1.l6tr", 4, 9);
+    let t2 = env.gen_trace("t2.l6tr", 4, 17);
+    let tail_src = env.gen_trace("tail-src.l6tr", 3, 23);
+
+    // Reference: same four tenants, tail EOF marker present from the
+    // start, run uninterrupted to completion.
+    let tail_a = env.path("tail-a.l6tr");
+    std::fs::copy(&tail_src, &tail_a).unwrap();
+    std::fs::write(env.path("tail-a.l6tr.eof"), b"").unwrap();
+    let spool_a = env.path("spool-a");
+    let ref_manifest = env.path("ref.toml");
+    std::fs::write(&ref_manifest, manifest(&spool_a, &t1, &t2, &tail_a)).unwrap();
+    let out = lumen6(&["serve", "--config", ref_manifest.to_str().unwrap()]);
+    let text = stdout_of(&out);
+    assert!(text.contains("all tenants done"), "{text}");
+    let reference: Vec<Vec<u8>> = TENANTS
+        .iter()
+        .map(|t| std::fs::read(spool_a.join(t).join("report.json")).unwrap())
+        .collect();
+    assert!(reference.iter().all(|r| !r.is_empty()));
+
+    // Interrupted: same bytes via a second tail copy whose EOF marker is
+    // withheld, so the live tenant provably cannot finish before the kill.
+    let tail_b = env.path("tail-b.l6tr");
+    std::fs::copy(&tail_src, &tail_b).unwrap();
+    let spool_b = env.path("spool-b");
+    let b_manifest = env.path("b.toml");
+    std::fs::write(&b_manifest, manifest(&spool_b, &t1, &t2, &tail_b)).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lumen6"))
+        .args(["serve", "--config", b_manifest.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    // Wait until the live tenant has durable mid-ingest state, then
+    // SIGKILL the daemon — no drain, no final checkpoint.
+    let live_ck = spool_b.join("live/checkpoint.l6ck");
+    wait_for("live tenant checkpoint", || live_ck.exists());
+    child.kill().expect("kill -9 serve");
+    child.wait().expect("reap serve");
+
+    // Restart with the EOF marker now present: every tenant must recover
+    // from its newest valid snapshot and finish.
+    std::fs::write(env.path("tail-b.l6tr.eof"), b"").unwrap();
+    let out = lumen6(&["serve", "--config", b_manifest.to_str().unwrap()]);
+    let text = stdout_of(&out);
+    assert!(text.contains("all tenants done"), "{text}");
+    assert!(text.contains("resumed"), "{text}");
+
+    for (tenant, expected) in TENANTS.iter().zip(&reference) {
+        let got = std::fs::read(spool_b.join(tenant).join("report.json")).unwrap();
+        assert_eq!(
+            &got, expected,
+            "tenant {tenant}: report differs from uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn stop_file_drains_to_checkpoint_and_exits_zero() {
+    let env = Env::new("stop");
+    let tail = env.gen_trace("live.l6tr", 3, 31);
+    let spool = env.path("spool");
+    let m = env.path("serve.toml");
+    std::fs::write(
+        &m,
+        format!(
+            "spool = \"{spool}\"\n\
+             workers = 2\n\
+             [tenants.gen]\n\
+             fused = true\n\
+             small = true\n\
+             days = 1\n\
+             sequential = true\n\
+             checkpoint_every = 200\n\
+             [tenants.live]\n\
+             tail = \"{tail}\"\n\
+             min_dsts = 50\n\
+             sequential = true\n\
+             checkpoint_every = 1000\n",
+            spool = spool.display(),
+            tail = tail.display(),
+        ),
+    )
+    .unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_lumen6"))
+        .args(["serve", "--config", m.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    // The live tenant (no EOF marker) keeps the daemon alive; wait for it
+    // to make durable progress and for the fused tenant to finish its
+    // stream, then request a graceful stop.
+    let live_ck = spool.join("live/checkpoint.l6ck");
+    wait_for("live tenant checkpoint", || live_ck.exists());
+    let gen_status_path = spool.join("gen/status.json");
+    wait_for("gen tenant to finish", || {
+        std::fs::read_to_string(&gen_status_path).is_ok_and(|s| s.contains("\"finished\""))
+    });
+    std::fs::write(spool.join("shutdown"), b"").unwrap();
+    let out = child.wait_with_output().expect("reap serve");
+    assert!(
+        out.status.success(),
+        "graceful stop must exit 0, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stopped by stop file"), "{text}");
+
+    for tenant in ["gen", "live"] {
+        let dir = spool.join(tenant);
+        for f in ["report.json", "metrics.json", "status.json"] {
+            assert!(dir.join(f).exists(), "{tenant} missing {f}");
+        }
+    }
+    // The drained tenant must leave a resumable checkpoint behind.
+    assert!(live_ck.exists());
+    let live_status = std::fs::read_to_string(spool.join("live/status.json")).unwrap();
+    assert!(live_status.contains("\"stopped\""), "{live_status}");
+    let gen_status = std::fs::read_to_string(spool.join("gen/status.json")).unwrap();
+    assert!(gen_status.contains("\"finished\""), "{gen_status}");
+}
+
+#[test]
+fn stop_after_is_rejected_in_tenant_configs() {
+    let env = Env::new("reject");
+    let m = env.path("serve.toml");
+    std::fs::write(
+        &m,
+        "[tenants.t]\nfused = true\nsmall = true\ncheckpoint = \"c.l6ck\"\nstop_after = 1\n",
+    )
+    .unwrap();
+    let out = lumen6(&["serve", "--config", m.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stop_after"), "{err}");
+}

@@ -68,8 +68,8 @@ pub use parallel::{detect_multi_sharded, ShardPlan, ShardedDetector};
 pub use portclass::{classify_ports, PortClass};
 pub use prefilter::{ArtifactFilter, ArtifactFilterConfig, FilterReport};
 pub use session::{
-    Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session, SessionConfig,
-    SessionError, SessionOutcome, SessionReport, DEFAULT_SESSION_BATCH,
+    Backend, Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session,
+    SessionConfig, SessionError, SessionOutcome, SessionReport, Step, DEFAULT_SESSION_BATCH,
 };
 pub use sketch::{HyperLogLog, SketchConfig};
 pub use snapshot::{DetectorSnapshot, LevelState, SnapshotError};
@@ -84,8 +84,8 @@ pub mod prelude {
     pub use crate::multi::MultiLevelDetector;
     pub use crate::parallel::{ShardPlan, ShardedDetector};
     pub use crate::session::{
-        Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session,
-        SessionConfig, SessionError, SessionOutcome, SessionReport,
+        Backend, Checkpoint, CheckpointPolicy, Detect, DetectorBuilder, ReorderBuffer, Session,
+        SessionConfig, SessionError, SessionOutcome, SessionReport, Step,
     };
     pub use crate::sketch::SketchConfig;
     pub use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};

@@ -37,7 +37,7 @@ use crate::parallel::{ShardPlan, ShardedDetector};
 use crate::snapshot::{DetectorSnapshot, LevelState, SnapshotError};
 use lumen6_obs::MetricsRegistry;
 use lumen6_trace::{
-    CodecError, FileStreamSource, PacketRecord, RecordBatch, Source, TracePosition,
+    CodecError, FileStreamSource, FillOutcome, PacketRecord, RecordBatch, Source, TracePosition,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -203,9 +203,58 @@ impl Detect for ShardedDetector {
 // DetectorBuilder
 // ---------------------------------------------------------------------------
 
+/// Which execution backend a [`DetectorBuilder`] realizes a detector on.
+///
+/// The backend is orthogonal to *what* is detected (configuration and
+/// aggregation levels live on the builder): the sequential and sharded
+/// pipelines produce identical reports and interchangeable snapshots, so
+/// the choice is purely an execution-resource decision and is made at
+/// [`build`](DetectorBuilder::build) /
+/// [`restore`](DetectorBuilder::restore) time — including across a resume,
+/// where the checkpoint may have been written by the other backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The single-threaded reference pipeline.
+    Sequential,
+    /// The sharded parallel pipeline (identical output, see
+    /// [`crate::parallel`]).
+    Sharded(ShardPlan),
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Sharded(ShardPlan::default())
+    }
+}
+
+impl Backend {
+    /// Resolves the CLI escape hatches: `sequential` wins, an explicit
+    /// `threads = N` pins the shard count, otherwise one shard per core.
+    pub fn from_flags(threads: Option<usize>, sequential: bool) -> Self {
+        if sequential {
+            Backend::Sequential
+        } else {
+            match threads {
+                Some(n) if n > 0 => Backend::Sharded(ShardPlan::with_shards(n)),
+                _ => Backend::default(),
+            }
+        }
+    }
+
+    /// Whether callers may fan their own loops out across threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, Backend::Sharded(_))
+    }
+}
+
 /// Chooses and constructs a detector backend behind the [`Detect`] trait —
-/// the one code path `lumen6 detect` and the experiment harness dispatch
-/// through.
+/// the one code path `lumen6 detect`, `lumen6 serve`, and the experiment
+/// harness dispatch through.
+///
+/// The builder holds the detection *shape* (base configuration and
+/// aggregation levels); the execution [`Backend`] is passed to
+/// [`build`](Self::build) so one builder can realize detectors on
+/// different backends.
 ///
 /// ```
 /// use lumen6_detect::prelude::*;
@@ -213,7 +262,7 @@ impl Detect for ShardedDetector {
 ///
 /// let mut det = DetectorBuilder::new(ScanDetectorConfig::default())
 ///     .levels(&AggLevel::PAPER_LEVELS)
-///     .build();
+///     .build(Backend::Sequential);
 /// for i in 0..150u64 {
 ///     det.observe(&PacketRecord::tcp(i * 1_000, 7, 0xd000 + u128::from(i), 1, 22, 60));
 /// }
@@ -224,18 +273,13 @@ impl Detect for ShardedDetector {
 pub struct DetectorBuilder {
     base: ScanDetectorConfig,
     levels: Vec<AggLevel>,
-    plan: Option<ShardPlan>,
 }
 
 impl DetectorBuilder {
-    /// A sequential single-level builder at `base.agg`.
+    /// A single-level builder at `base.agg`.
     pub fn new(base: ScanDetectorConfig) -> Self {
         let levels = vec![base.agg];
-        DetectorBuilder {
-            base,
-            levels,
-            plan: None,
-        }
+        DetectorBuilder { base, levels }
     }
 
     /// Detect at these aggregation levels (the base config's `agg` field is
@@ -245,49 +289,46 @@ impl DetectorBuilder {
         self
     }
 
-    /// Run the sharded parallel pipeline with this plan.
-    pub fn sharded(mut self, plan: ShardPlan) -> Self {
-        self.plan = Some(plan);
-        self
-    }
-
-    /// Run sequentially (the default).
-    pub fn sequential(mut self) -> Self {
-        self.plan = None;
-        self
-    }
-
-    /// Constructs a fresh detector: the sharded pipeline when a plan is
-    /// set, a plain [`ScanDetector`] for a single level, and a
-    /// [`MultiLevelDetector`] otherwise.
-    pub fn build(&self) -> Box<dyn Detect> {
-        match (&self.plan, self.levels.as_slice()) {
-            (Some(plan), levels) => {
-                Box::new(ShardedDetector::new(levels, self.base.clone(), *plan))
+    /// Constructs a fresh detector on the given backend: the sharded
+    /// pipeline when `backend` carries a plan, a plain [`ScanDetector`]
+    /// for a single sequential level, and a [`MultiLevelDetector`]
+    /// otherwise.
+    pub fn build(&self, backend: Backend) -> Box<dyn Detect> {
+        match (backend, self.levels.as_slice()) {
+            (Backend::Sharded(plan), levels) => {
+                Box::new(ShardedDetector::new(levels, self.base.clone(), plan))
             }
-            (None, [lvl]) => {
+            (Backend::Sequential, [lvl]) => {
                 let mut cfg = self.base.clone();
                 cfg.agg = *lvl;
                 Box::new(ScanDetector::new(cfg))
             }
-            (None, levels) => Box::new(MultiLevelDetector::new(levels, self.base.clone())),
+            (Backend::Sequential, levels) => {
+                Box::new(MultiLevelDetector::new(levels, self.base.clone()))
+            }
         }
     }
 
-    /// Reconstructs a detector from a snapshot. The snapshot's embedded
-    /// per-level configurations are authoritative (they were validated at
-    /// checkpoint time); only the builder's backend choice (sequential vs
-    /// sharded, and the shard plan) applies, which is what makes a
-    /// checkpoint portable across backends and shard counts.
-    pub fn restore(&self, snapshot: &DetectorSnapshot) -> Result<Box<dyn Detect>, SnapshotError> {
+    /// Reconstructs a detector from a snapshot on the given backend. The
+    /// snapshot's embedded per-level configurations are authoritative
+    /// (they were validated at checkpoint time); only the backend choice
+    /// (sequential vs sharded, and the shard plan) applies, which is what
+    /// makes a checkpoint portable across backends and shard counts.
+    pub fn restore(
+        &self,
+        backend: Backend,
+        snapshot: &DetectorSnapshot,
+    ) -> Result<Box<dyn Detect>, SnapshotError> {
         snapshot.check_version()?;
         if snapshot.levels.is_empty() {
             return Err(SnapshotError("snapshot has no levels".into()));
         }
-        Ok(match (&self.plan, snapshot.levels.as_slice()) {
-            (Some(plan), states) => Box::new(ShardedDetector::from_state(states, *plan)?),
-            (None, [state]) => Box::new(ScanDetector::from_state(state)),
-            (None, states) => Box::new(MultiLevelDetector::from_state(states)),
+        Ok(match (backend, snapshot.levels.as_slice()) {
+            (Backend::Sharded(plan), states) => {
+                Box::new(ShardedDetector::from_state(states, plan)?)
+            }
+            (Backend::Sequential, [state]) => Box::new(ScanDetector::from_state(state)),
+            (Backend::Sequential, states) => Box::new(MultiLevelDetector::from_state(states)),
         })
     }
 }
@@ -498,7 +539,13 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Writes the checkpoint atomically: serialize, checksum, write to
     /// `<path>.tmp`, fsync, rename over `path`. A crash mid-write leaves
-    /// the previous checkpoint intact.
+    /// the previous checkpoint intact. Before the rename, any existing
+    /// checkpoint is *copied* (not renamed — a crash between the two
+    /// operations must leave `path` valid) to
+    /// [`prev_path`](Self::prev_path), so one generation of history
+    /// survives even a corruption of the main file that slips past the
+    /// atomic rename (torn disk writes, operator accidents);
+    /// [`load_newest`](Self::load_newest) falls back to it.
     pub fn save(&self, path: &Path) -> Result<(), SessionError> {
         let body = serde_json::to_string(self).map_err(|e| SessionError::Corrupt(e.to_string()))?;
         let header = format!(
@@ -513,8 +560,38 @@ impl Checkpoint {
             f.write_all(body.as_bytes())?;
             f.sync_all()?;
         }
+        if path.exists() {
+            fs::copy(path, Self::prev_path(path))?;
+        }
         fs::rename(&tmp, path)?;
         Ok(())
+    }
+
+    /// Where [`save`](Self::save) keeps the previous checkpoint
+    /// generation: `<path>.prev` (extension appended, not replaced).
+    pub fn prev_path(path: &Path) -> PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".prev");
+        PathBuf::from(os)
+    }
+
+    /// Loads the newest *valid* checkpoint at `path`: the main file when
+    /// it verifies, else the `.prev` generation when the main file is
+    /// corrupt (bad framing, checksum, or deserialization). A missing main
+    /// file is still an error — callers probe existence first, and a clean
+    /// start must not silently resume from stale history.
+    pub fn load_newest(path: &Path) -> Result<Self, SessionError> {
+        match Self::load(path) {
+            Err(SessionError::Corrupt(main_err)) => {
+                let prev = Self::prev_path(path);
+                if prev.exists() {
+                    Self::load(&prev)
+                } else {
+                    Err(SessionError::Corrupt(main_err))
+                }
+            }
+            other => other,
+        }
     }
 
     /// Loads and verifies a checkpoint written by [`save`](Self::save).
@@ -632,6 +709,29 @@ pub enum SessionOutcome {
     },
 }
 
+/// What one [`Session::step`] call did — the re-entrant analog of
+/// [`SessionOutcome`], with the non-terminal states a scheduler needs to
+/// multiplex many sessions on a bounded worker pool.
+#[derive(Debug)]
+pub enum Step {
+    /// Ingested up to one batch of records; call again for more.
+    Ingested(usize),
+    /// The source has no data right now (a tailed file awaiting its
+    /// writer). Re-poll later; stepping again immediately just spins.
+    Pending,
+    /// Stopped by [`CheckpointPolicy::stop_after`] (deliberate mid-stream
+    /// stop for resume tests). Further steps continue the stream.
+    Stopped {
+        /// Checkpoints written over the session's whole life.
+        checkpoints_written: u64,
+        /// Records ingested over the session's whole life.
+        records_done: u64,
+    },
+    /// End of stream: final reports. The session is finished; subsequent
+    /// steps return [`SessionError::Done`].
+    Finished(SessionReport),
+}
+
 /// Final output of a completed session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
@@ -658,6 +758,9 @@ pub enum SessionError {
     Snapshot(SnapshotError),
     /// Checkpoint file failed framing or checksum validation.
     Corrupt(String),
+    /// The session already delivered its final report; it cannot be
+    /// stepped or reported again.
+    Done,
 }
 
 impl fmt::Display for SessionError {
@@ -667,6 +770,7 @@ impl fmt::Display for SessionError {
             SessionError::Codec(e) => write!(f, "session decode error: {e}"),
             SessionError::Snapshot(e) => write!(f, "session restore error: {e}"),
             SessionError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            SessionError::Done => write!(f, "session already finished"),
         }
     }
 }
@@ -692,21 +796,92 @@ impl From<CodecError> for SessionError {
     }
 }
 
+/// Flushes the staged columnar batch to the detector's grouped path.
+///
+/// Staging never crosses an ordering point: the stage is flushed before
+/// every `flush_idle` and before every checkpoint snapshot, so the
+/// detector state at those points — and therefore every checkpoint byte —
+/// is identical to per-record ingest.
+fn flush_staged(reg: &MetricsRegistry, det: &mut Box<dyn Detect>, staged: &mut RecordBatch) {
+    if !staged.is_empty() {
+        reg.histogram("detect.session.batch_size")
+            .record(staged.len() as u64);
+        det.observe_batch(staged);
+        staged.clear();
+    }
+}
+
+/// The live in-flight state of a started [`Session`]: detector, reorder
+/// buffer, counters, and the reusable ingest scratch buffers.
+struct RunState {
+    det: Box<dyn Detect>,
+    reorder: ReorderBuffer,
+    /// Records pulled from the source over the session's whole life
+    /// (including pre-resume history from the checkpoint).
+    records_done: u64,
+    ckpts: u64,
+    /// Decode skips accumulated before this process attached (from the
+    /// resumed checkpoint); the live source's own count is added on top.
+    skipped_before: u64,
+    /// Last observed `src.skipped()`, kept so [`Session::finish_now`] and
+    /// [`Session::report_now`] can account skips without the source.
+    src_skipped: u64,
+    last_flush: u64,
+    staged: RecordBatch,
+    incoming: RecordBatch,
+    ready: Vec<PacketRecord>,
+    /// Checkpointed position to [`Source::resume`] at on the first step.
+    resume_at: Option<TracePosition>,
+}
+
 /// Fault-tolerant streaming ingest over any [`Detect`] backend.
 ///
 /// [`Session::run`] drives a trace file end to end: it auto-resumes from
 /// the checkpoint file when one exists, re-sorts mildly disordered input,
 /// quarantines corrupt records, and checkpoints periodically. See the
 /// module docs for the guarantees.
+///
+/// The session is *re-entrant*: [`step`](Self::step) performs one bounded
+/// unit of ingest and returns, so a scheduler (the `lumen6 serve` daemon)
+/// can multiplex many sessions over a fixed worker pool. `run`/`run_source`
+/// are thin wrappers that loop `step` to a terminal state. A step-driven
+/// session produces reports and checkpoint bytes identical to a
+/// `run_source`-driven one — both execute the same loop body.
 pub struct Session {
     builder: DetectorBuilder,
+    backend: Backend,
     config: SessionConfig,
+    state: Option<RunState>,
+    finished: bool,
 }
 
 impl Session {
-    /// A session dispatching through `builder` under `config`.
-    pub fn new(builder: DetectorBuilder, config: SessionConfig) -> Self {
-        Session { builder, config }
+    /// A session dispatching through `builder` on `backend` under
+    /// `config`.
+    pub fn new(builder: DetectorBuilder, backend: Backend, config: SessionConfig) -> Self {
+        Session {
+            builder,
+            backend,
+            config,
+            state: None,
+            finished: false,
+        }
+    }
+
+    /// The session-layer configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Records ingested so far (0 until the first step; includes
+    /// checkpoint-resumed history afterwards).
+    pub fn records_done(&self) -> u64 {
+        self.state.as_ref().map_or(0, |st| st.records_done)
+    }
+
+    /// Whether the session delivered its final report.
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     /// Runs the session over `trace` (an L6TR file). If the checkpoint
@@ -720,160 +895,280 @@ impl Session {
         self.run_source(&mut src)
     }
 
-    /// Runs the session over any [`Source`] — a trace file, an in-memory
-    /// record vector, or a fused generator that synthesizes records on the
-    /// fly. If the checkpoint file exists, the run resumes from it: the
-    /// source is [`Source::resume`]d at the checkpointed position (which
-    /// must have been produced by the same kind of source over the same
-    /// underlying data).
-    ///
-    /// The ingest loop pulls records in batches of at most
-    /// [`SessionConfig::batch`], capped so no pull ever crosses a
-    /// checkpoint boundary — checkpoints are therefore taken at exactly
-    /// the same record counts and stream positions as per-record ingest,
-    /// and stay byte-identical to it.
-    pub fn run_source(self, src: &mut dyn Source) -> Result<SessionOutcome, SessionError> {
-        let reg = MetricsRegistry::global();
+    /// Runs the session over any [`Source`] to a terminal state by looping
+    /// [`step`](Self::step) — a trace file, an in-memory record vector, a
+    /// tailed growing file, or a fused generator. `Pending` outcomes (a
+    /// tail awaiting its writer) are waited out with a short sleep.
+    pub fn run_source(mut self, src: &mut dyn Source) -> Result<SessionOutcome, SessionError> {
+        loop {
+            match self.step(src)? {
+                Step::Ingested(_) => {}
+                Step::Pending => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Step::Stopped {
+                    checkpoints_written,
+                    records_done,
+                } => {
+                    return Ok(SessionOutcome::Stopped {
+                        checkpoints_written,
+                        records_done,
+                    })
+                }
+                Step::Finished(report) => return Ok(SessionOutcome::Finished(report)),
+            }
+        }
+    }
+
+    /// Lazily builds the run state: loads the newest valid checkpoint when
+    /// the policy's file exists (recording the position to resume the
+    /// source at on the next step), otherwise starts fresh.
+    fn ensure_state(&mut self) -> Result<(), SessionError> {
+        if self.finished {
+            return Err(SessionError::Done);
+        }
+        if self.state.is_some() {
+            return Ok(());
+        }
         let resume = match &self.config.checkpoint {
-            Some(p) if p.path.exists() => Some(Checkpoint::load(&p.path)?),
+            Some(p) if p.path.exists() => Some(Checkpoint::load_newest(&p.path)?),
             _ => None,
         };
+        let batch_cap = self.config.batch.max(1);
+        let st = match resume {
+            Some(ck) => RunState {
+                det: self
+                    .builder
+                    .restore(self.backend, &ck.detector)
+                    .map_err(SessionError::Snapshot)?,
+                reorder: ReorderBuffer::from_state(&ck.reorder),
+                records_done: ck.records_done,
+                ckpts: ck.checkpoints_written,
+                skipped_before: ck.decode_skipped,
+                src_skipped: 0,
+                last_flush: ck.last_flush_ms,
+                staged: RecordBatch::with_capacity(batch_cap),
+                incoming: RecordBatch::with_capacity(batch_cap),
+                ready: Vec::new(),
+                resume_at: Some(ck.position),
+            },
+            None => RunState {
+                det: self.builder.build(self.backend),
+                reorder: ReorderBuffer::new(self.config.watermark_ms),
+                records_done: 0,
+                ckpts: 0,
+                skipped_before: 0,
+                src_skipped: 0,
+                last_flush: 0,
+                staged: RecordBatch::with_capacity(batch_cap),
+                incoming: RecordBatch::with_capacity(batch_cap),
+                ready: Vec::new(),
+                resume_at: None,
+            },
+        };
+        self.state = Some(st);
+        Ok(())
+    }
 
-        let (mut det, mut reorder, mut records_done, mut ckpts, skipped_before, mut last_flush) =
-            match &resume {
-                Some(ck) => (
-                    self.builder
-                        .restore(&ck.detector)
-                        .map_err(SessionError::Snapshot)?,
-                    ReorderBuffer::from_state(&ck.reorder),
-                    ck.records_done,
-                    ck.checkpoints_written,
-                    ck.decode_skipped,
-                    ck.last_flush_ms,
-                ),
-                None => (
-                    self.builder.build(),
-                    ReorderBuffer::new(self.config.watermark_ms),
-                    0,
-                    0,
-                    0,
-                    0,
-                ),
-            };
-        if let Some(ck) = &resume {
-            src.resume(ck.position)?;
+    /// Performs one bounded unit of ingest: pull at most one batch from
+    /// `src`, feed it through the reorder buffer into the detector, and
+    /// checkpoint if a boundary was crossed.
+    ///
+    /// The first step lazily initializes: if the checkpoint file exists
+    /// the session restores from it and `src` is
+    /// [`Source::resume`](lumen6_trace::Source::resume)d at the
+    /// checkpointed position — so the same `src` must be passed to every
+    /// step of one session.
+    ///
+    /// Pulls are capped at [`SessionConfig::batch`] records and never
+    /// cross a checkpoint boundary, so checkpoints are taken at exactly
+    /// the same record counts and stream positions — and with the same
+    /// bytes — as per-record or `run_source`-driven ingest.
+    pub fn step(&mut self, src: &mut dyn Source) -> Result<Step, SessionError> {
+        let reg = MetricsRegistry::global();
+        self.ensure_state()?;
+        let Some(st) = self.state.as_mut() else {
+            return Err(SessionError::Done);
+        };
+        if let Some(pos) = st.resume_at.take() {
+            src.resume(pos)?;
             reg.counter("detect.session.resumes").add(1);
         }
 
-        // Released records are staged into a reusable columnar batch and
-        // flushed to the detector's grouped batch path. Staging never
-        // crosses an ordering point: the stage is flushed before every
-        // `flush_idle` and before every checkpoint snapshot, so the
-        // detector state at those points — and therefore every checkpoint
-        // byte — is identical to per-record ingest.
         let batch_cap = self.config.batch.max(1);
-        let mut staged = RecordBatch::with_capacity(batch_cap);
-        let flush_staged = |det: &mut Box<dyn Detect>, staged: &mut RecordBatch| {
-            if !staged.is_empty() {
-                reg.histogram("detect.session.batch_size")
-                    .record(staged.len() as u64);
-                det.observe_batch(staged);
-                staged.clear();
-            }
-        };
-
         let every = self
             .config
             .checkpoint
             .as_ref()
             .map_or(0, |p| p.every_records);
-        let source_records = reg.counter("source.records");
-        let fill_us = reg.histogram("detect.session.source_fill_us");
-        let mut incoming = RecordBatch::with_capacity(batch_cap);
-        let mut ready: Vec<PacketRecord> = Vec::new();
-        loop {
-            // Never pull past the next checkpoint boundary: `position()`
-            // right after the fill is then exactly the post-boundary-record
-            // position a per-record loop would checkpoint at.
-            let want = if every > 0 {
-                let until = every - (records_done % every);
-                batch_cap.min(usize::try_from(until).unwrap_or(usize::MAX))
-            } else {
-                batch_cap
-            };
-            let n = {
-                let t = lumen6_obs::StageTimer::new(fill_us.clone());
-                let n = src.fill(&mut incoming, want)?;
-                t.stop();
-                n
-            };
-            if n == 0 {
-                break;
-            }
-            source_records.add(n as u64);
-            for i in 0..n {
-                let rec = incoming.get(i);
-                records_done += 1;
-                reorder.push(rec, &mut ready);
-                for r in ready.drain(..) {
-                    if self.config.flush_idle_every_ms > 0
-                        && r.ts_ms >= last_flush + self.config.flush_idle_every_ms
-                    {
-                        // Flush at the watermark horizon: every future
-                        // detector input is ≥ `r.ts_ms - watermark`, so
-                        // closures here match what end-of-stream finish
-                        // would emit.
-                        flush_staged(&mut det, &mut staged);
-                        det.flush_idle(r.ts_ms.saturating_sub(reorder.watermark_ms()));
-                        last_flush = r.ts_ms;
-                        reg.counter("detect.session.idle_flushes").add(1);
-                    }
-                    staged.push(r);
-                    if staged.len() >= batch_cap {
-                        flush_staged(&mut det, &mut staged);
-                    }
-                }
-            }
+        // Never pull past the next checkpoint boundary: `position()`
+        // right after the fill is then exactly the post-boundary-record
+        // position a per-record loop would checkpoint at.
+        let want = if every > 0 {
+            let until = every - (st.records_done % every);
+            batch_cap.min(usize::try_from(until).unwrap_or(usize::MAX))
+        } else {
+            batch_cap
+        };
+        let outcome = {
+            let t = lumen6_obs::StageTimer::new(reg.histogram("detect.session.source_fill_us"));
+            let outcome = src.poll_fill(&mut st.incoming, want)?;
+            t.stop();
+            outcome
+        };
+        st.src_skipped = src.skipped();
+        let n = match outcome {
+            FillOutcome::Pending => return Ok(Step::Pending),
+            FillOutcome::Eof => return self.finish_now().map(Step::Finished),
+            FillOutcome::Filled(n) => n,
+        };
 
-            if let Some(policy) = &self.config.checkpoint {
-                if policy.every_records > 0 && records_done % policy.every_records == 0 {
-                    flush_staged(&mut det, &mut staged);
-                    ckpts += 1;
-                    let ck = Checkpoint {
-                        position: src.position(),
-                        records_done,
-                        decode_skipped: skipped_before + src.skipped(),
-                        detector: det.snapshot(),
-                        reorder: reorder.state(),
-                        checkpoints_written: ckpts,
-                        last_flush_ms: last_flush,
-                    };
-                    ck.save(&policy.path)?;
-                    reg.counter("detect.session.checkpoints_written").add(1);
-                    if policy.stop_after.is_some_and(|n| ckpts >= n) {
-                        reg.counter("detect.session.stops").add(1);
-                        return Ok(SessionOutcome::Stopped {
-                            checkpoints_written: ckpts,
-                            records_done,
-                        });
-                    }
+        reg.counter("source.records").add(n as u64);
+        for i in 0..n {
+            let rec = st.incoming.get(i);
+            st.records_done += 1;
+            st.reorder.push(rec, &mut st.ready);
+            for r in st.ready.drain(..) {
+                if self.config.flush_idle_every_ms > 0
+                    && r.ts_ms >= st.last_flush + self.config.flush_idle_every_ms
+                {
+                    // Flush at the watermark horizon: every future
+                    // detector input is ≥ `r.ts_ms - watermark`, so
+                    // closures here match what end-of-stream finish
+                    // would emit.
+                    flush_staged(reg, &mut st.det, &mut st.staged);
+                    st.det
+                        .flush_idle(r.ts_ms.saturating_sub(st.reorder.watermark_ms()));
+                    st.last_flush = r.ts_ms;
+                    reg.counter("detect.session.idle_flushes").add(1);
+                }
+                st.staged.push(r);
+                if st.staged.len() >= batch_cap {
+                    flush_staged(reg, &mut st.det, &mut st.staged);
                 }
             }
         }
 
-        reorder.drain(&mut ready);
-        staged.extend(ready.drain(..));
-        flush_staged(&mut det, &mut staged);
-        let late = reorder.late_dropped();
-        let skipped = skipped_before + src.skipped();
+        if let Some(policy) = &self.config.checkpoint {
+            if policy.every_records > 0 && st.records_done % policy.every_records == 0 {
+                flush_staged(reg, &mut st.det, &mut st.staged);
+                st.ckpts += 1;
+                let ck = Checkpoint {
+                    position: src.position(),
+                    records_done: st.records_done,
+                    decode_skipped: st.skipped_before + st.src_skipped,
+                    detector: st.det.snapshot(),
+                    reorder: st.reorder.state(),
+                    checkpoints_written: st.ckpts,
+                    last_flush_ms: st.last_flush,
+                };
+                ck.save(&policy.path)?;
+                reg.counter("detect.session.checkpoints_written").add(1);
+                if policy.stop_after.is_some_and(|n| st.ckpts >= n) {
+                    reg.counter("detect.session.stops").add(1);
+                    return Ok(Step::Stopped {
+                        checkpoints_written: st.ckpts,
+                        records_done: st.records_done,
+                    });
+                }
+            }
+        }
+        Ok(Step::Ingested(n))
+    }
+
+    /// Writes a checkpoint at the session's current position, off the
+    /// periodic record-count grid — the graceful-shutdown drain path.
+    /// Returns `false` without writing when the session has no checkpoint
+    /// policy, has not started, or already finished. Subsequent periodic
+    /// checkpoints stay on the absolute record-count grid, so a run
+    /// resumed from an off-grid checkpoint still reproduces every later
+    /// on-grid checkpoint byte for byte.
+    pub fn checkpoint_now(&mut self, src: &mut dyn Source) -> Result<bool, SessionError> {
+        let reg = MetricsRegistry::global();
+        let Some(policy) = self.config.checkpoint.clone() else {
+            return Ok(false);
+        };
+        if self.finished {
+            return Ok(false);
+        }
+        let Some(st) = self.state.as_mut() else {
+            return Ok(false);
+        };
+        flush_staged(reg, &mut st.det, &mut st.staged);
+        st.src_skipped = src.skipped();
+        st.ckpts += 1;
+        let ck = Checkpoint {
+            position: src.position(),
+            records_done: st.records_done,
+            decode_skipped: st.skipped_before + st.src_skipped,
+            detector: st.det.snapshot(),
+            reorder: st.reorder.state(),
+            checkpoints_written: st.ckpts,
+            last_flush_ms: st.last_flush,
+        };
+        ck.save(&policy.path)?;
+        reg.counter("detect.session.checkpoints_written").add(1);
+        Ok(true)
+    }
+
+    /// Ends the stream now: drains the reorder buffer, flushes staged
+    /// records, and returns the final report. Called by [`step`] on end
+    /// of stream, and directly by the daemon's graceful-shutdown drain
+    /// (where the tailed source may never reach EOF). The session is
+    /// finished afterwards; a session that never started finishes over an
+    /// empty (or checkpoint-restored) stream.
+    ///
+    /// [`step`]: Self::step
+    pub fn finish_now(&mut self) -> Result<SessionReport, SessionError> {
+        let reg = MetricsRegistry::global();
+        self.ensure_state()?;
+        let Some(mut st) = self.state.take() else {
+            return Err(SessionError::Done);
+        };
+        self.finished = true;
+        st.reorder.drain(&mut st.ready);
+        st.staged.extend(st.ready.drain(..));
+        flush_staged(reg, &mut st.det, &mut st.staged);
+        let late = st.reorder.late_dropped();
+        let skipped = st.skipped_before + st.src_skipped;
         reg.counter("detect.session.late_dropped").add(late);
-        let reports = det.finish();
-        Ok(SessionOutcome::Finished(SessionReport {
+        let reports = st.det.finish();
+        Ok(SessionReport {
             reports,
-            records: records_done,
+            records: st.records_done,
             late_dropped: late,
             decode_skipped: skipped,
-            checkpoints_written: ckpts,
-        }))
+            checkpoints_written: st.ckpts,
+        })
+    }
+
+    /// A point-in-time [`SessionReport`] *without* ending the session —
+    /// the daemon's periodic per-tenant publication. Implemented by
+    /// snapshotting the live detector, restoring the snapshot into a
+    /// throwaway clone, feeding it the staged and still-buffered records,
+    /// and finishing the clone; the live pipeline is untouched, so the
+    /// next checkpoint stays byte-identical to an unpublished run.
+    pub fn report_now(&mut self) -> Result<SessionReport, SessionError> {
+        self.ensure_state()?;
+        let Some(st) = self.state.as_mut() else {
+            return Err(SessionError::Done);
+        };
+        let snap = st.det.snapshot();
+        let mut clone = self
+            .builder
+            .restore(self.backend, &snap)
+            .map_err(SessionError::Snapshot)?;
+        if !st.staged.is_empty() {
+            clone.observe_batch(&st.staged);
+        }
+        for rec in st.reorder.state().entries {
+            clone.observe(&rec);
+        }
+        let reports = clone.finish();
+        Ok(SessionReport {
+            reports,
+            records: st.records_done,
+            late_dropped: st.reorder.late_dropped(),
+            decode_skipped: st.skipped_before + st.src_skipped,
+            checkpoints_written: st.ckpts,
+        })
     }
 }

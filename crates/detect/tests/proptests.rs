@@ -261,25 +261,31 @@ proptest! {
         recs in arb_workload(),
         chunk in 1usize..400,
     ) {
-        use lumen6_detect::{DetectorBuilder, ShardPlan};
+        use lumen6_detect::{Backend, DetectorBuilder, ShardPlan};
         use lumen6_trace::RecordBatch;
         let base = cfg(5, 20_000);
         let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
         let builders = [
-            DetectorBuilder::new(base.clone()).sequential(),
-            DetectorBuilder::new(base.clone()).levels(&levels).sequential(),
-            DetectorBuilder::new(base).levels(&levels).sharded(ShardPlan {
-                shards: 3,
-                batch: 64,
-                depth: 2,
-            }),
+            (DetectorBuilder::new(base.clone()), Backend::Sequential),
+            (
+                DetectorBuilder::new(base.clone()).levels(&levels),
+                Backend::Sequential,
+            ),
+            (
+                DetectorBuilder::new(base).levels(&levels),
+                Backend::Sharded(ShardPlan {
+                    shards: 3,
+                    batch: 64,
+                    depth: 2,
+                }),
+            ),
         ];
-        for builder in builders {
-            let mut per = builder.build();
+        for (builder, backend) in builders {
+            let mut per = builder.build(backend);
             for r in &recs {
                 per.observe(r);
             }
-            let mut bat = builder.build();
+            let mut bat = builder.build(backend);
             for part in recs.chunks(chunk) {
                 let b: RecordBatch = part.iter().copied().collect();
                 bat.observe_batch(&b);
@@ -299,7 +305,7 @@ proptest! {
         every in 10u64..120,
     ) {
         use lumen6_detect::{
-            CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
+            Backend, CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
         };
         use lumen6_trace::TraceWriter;
         use std::io::Write as _;
@@ -328,6 +334,7 @@ proptest! {
         // Uninterrupted per-record reference.
         let reference = match Session::new(
             builder.clone(),
+            Backend::Sequential,
             SessionConfig { batch: 1, ..Default::default() },
         )
         .run(&trace)
@@ -350,7 +357,10 @@ proptest! {
                 batch: b,
                 ..Default::default()
             };
-            let report = match Session::new(builder.clone(), stop_cfg).run(&trace).unwrap() {
+            let report = match Session::new(builder.clone(), Backend::Sequential, stop_cfg)
+                .run(&trace)
+                .unwrap()
+            {
                 SessionOutcome::Stopped { .. } => {
                     first_checkpoints.push(std::fs::read(&ck).unwrap());
                     // Resume (the checkpoint file is probed automatically).
@@ -363,7 +373,10 @@ proptest! {
                         batch: b,
                         ..Default::default()
                     };
-                    match Session::new(builder.clone(), resume_cfg).run(&trace).unwrap() {
+                    match Session::new(builder.clone(), Backend::Sequential, resume_cfg)
+                        .run(&trace)
+                        .unwrap()
+                    {
                         SessionOutcome::Finished(rep) => rep,
                         SessionOutcome::Stopped { .. } => unreachable!("no stop_after"),
                     }
@@ -398,7 +411,7 @@ proptest! {
         jitter_seed in 0u64..1_000_000,
         watermark in 1_000u64..50_000,
     ) {
-        use lumen6_detect::{DetectorBuilder, ReorderBuffer};
+        use lumen6_detect::{Backend, DetectorBuilder, ReorderBuffer};
         let config = cfg(5, 20_000);
         let sorted_report = detect(&recs, config.clone());
 
@@ -414,7 +427,7 @@ proptest! {
         arrival.sort_unstable();
 
         let mut buf = ReorderBuffer::new(watermark);
-        let mut det = DetectorBuilder::new(config).sequential().build();
+        let mut det = DetectorBuilder::new(config).build(Backend::Sequential);
         let mut ready = Vec::new();
         for &(_, i) in &arrival {
             buf.push(recs[i], &mut ready);
@@ -446,7 +459,7 @@ proptest! {
         recs in arb_workload(),
         ordering in 0usize..3,
     ) {
-        use lumen6_detect::{DetectorBuilder, ShardPlan};
+        use lumen6_detect::{Backend, DetectorBuilder, ShardPlan};
         use lumen6_trace::RecordBatch;
 
         let recs = apply_ordering(&recs, ordering);
@@ -456,8 +469,7 @@ proptest! {
 
         let mut seq = DetectorBuilder::new(base.clone())
             .levels(&levels)
-            .sequential()
-            .build();
+            .build(Backend::Sequential);
         let mut staged = RecordBatch::with_capacity(recs.len());
         staged.extend(recs[..half].iter().copied());
         seq.observe_batch(&staged);
@@ -473,8 +485,7 @@ proptest! {
                 let plan = ShardPlan { shards, batch, depth: 2 };
                 let mut par = DetectorBuilder::new(base.clone())
                     .levels(&levels)
-                    .sharded(plan)
-                    .build();
+                    .build(Backend::Sharded(plan));
                 let mut b = RecordBatch::with_capacity(batch.min(recs.len()));
                 for part in recs[..half].chunks(batch) {
                     b.clear();
@@ -522,7 +533,7 @@ proptest! {
         every in 10u64..120,
     ) {
         use lumen6_detect::{
-            CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
+            Backend, CheckpointPolicy, DetectorBuilder, Session, SessionConfig, SessionOutcome,
             ShardPlan,
         };
         use lumen6_trace::TraceWriter;
@@ -557,13 +568,13 @@ proptest! {
         w.finish().unwrap().flush().unwrap();
 
         let levels = [AggLevel::L128, AggLevel::L64];
-        let seq_builder = DetectorBuilder::new(cfg(5, 20_000)).levels(&levels);
+        let builder = DetectorBuilder::new(cfg(5, 20_000)).levels(&levels);
         let plan = ShardPlan { shards, batch, depth: 2 };
-        let par_builder = seq_builder.clone().sharded(plan);
 
         // Uninterrupted sequential reference.
         let reference = match Session::new(
-            seq_builder.clone(),
+            builder.clone(),
+            Backend::Sequential,
             SessionConfig { batch: 1, ..Default::default() },
         )
         .run(&trace)
@@ -575,7 +586,10 @@ proptest! {
 
         let mut checkpoints = Vec::new();
         let mut reports = Vec::new();
-        for (builder, b) in [(&seq_builder, 1usize), (&par_builder, batch)] {
+        for (backend, b) in [
+            (Backend::Sequential, 1usize),
+            (Backend::Sharded(plan), batch),
+        ] {
             let ck = dir.join(format!("ck-{b}-{}", checkpoints.len()));
             let stop_cfg = SessionConfig {
                 checkpoint: Some(CheckpointPolicy {
@@ -586,7 +600,10 @@ proptest! {
                 batch: b,
                 ..Default::default()
             };
-            let report = match Session::new(builder.clone(), stop_cfg).run(&trace).unwrap() {
+            let report = match Session::new(builder.clone(), backend, stop_cfg)
+                .run(&trace)
+                .unwrap()
+            {
                 SessionOutcome::Stopped { .. } => {
                     checkpoints.push(std::fs::read(&ck).unwrap());
                     let resume_cfg = SessionConfig {
@@ -598,7 +615,10 @@ proptest! {
                         batch: b,
                         ..Default::default()
                     };
-                    match Session::new(builder.clone(), resume_cfg).run(&trace).unwrap() {
+                    match Session::new(builder.clone(), backend, resume_cfg)
+                        .run(&trace)
+                        .unwrap()
+                    {
                         SessionOutcome::Finished(rep) => rep,
                         SessionOutcome::Stopped { .. } => unreachable!("no stop_after"),
                     }

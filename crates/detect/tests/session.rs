@@ -3,6 +3,7 @@
 //! checkpoint durability, and kill-resume determinism.
 
 use lumen6_detect::prelude::*;
+use lumen6_detect::DEFAULT_SESSION_BATCH;
 use lumen6_trace::{PacketRecord, TraceWriter};
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -97,24 +98,23 @@ fn report_json(reports: &BTreeMap<AggLevel, ScanReport>) -> String {
     per_level.join("\n")
 }
 
-fn builders() -> Vec<(&'static str, DetectorBuilder)> {
+fn builders() -> Vec<(&'static str, DetectorBuilder, Backend)> {
     let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
     vec![
         (
             "sequential-single",
-            DetectorBuilder::new(base_config()).sequential(),
+            DetectorBuilder::new(base_config()),
+            Backend::Sequential,
         ),
         (
             "sequential-multi",
-            DetectorBuilder::new(base_config())
-                .levels(&levels)
-                .sequential(),
+            DetectorBuilder::new(base_config()).levels(&levels),
+            Backend::Sequential,
         ),
         (
             "sharded",
-            DetectorBuilder::new(base_config())
-                .levels(&levels)
-                .sharded(ShardPlan::with_shards(3)),
+            DetectorBuilder::new(base_config()).levels(&levels),
+            Backend::Sharded(ShardPlan::with_shards(3)),
         ),
     ]
 }
@@ -124,13 +124,13 @@ fn all_backends_agree_through_the_trait() {
     let recs = workload();
     let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
     let mut outputs = Vec::new();
-    for plan in [None, Some(ShardPlan::with_shards(3))] {
-        let mut b = DetectorBuilder::new(base_config()).levels(&levels);
-        b = match plan {
-            Some(p) => b.sharded(p),
-            None => b.sequential(),
-        };
-        let mut det = b.build();
+    for backend in [
+        Backend::Sequential,
+        Backend::Sharded(ShardPlan::with_shards(3)),
+    ] {
+        let mut det = DetectorBuilder::new(base_config())
+            .levels(&levels)
+            .build(backend);
         for r in &recs {
             det.observe(r);
         }
@@ -142,9 +142,9 @@ fn all_backends_agree_through_the_trait() {
 #[test]
 fn snapshot_roundtrip_every_backend() {
     let recs = workload();
-    for (name, builder) in builders() {
+    for (name, builder, backend) in builders() {
         // Uninterrupted reference.
-        let mut reference = builder.build();
+        let mut reference = builder.build(backend);
         for r in &recs {
             reference.observe(r);
         }
@@ -152,13 +152,13 @@ fn snapshot_roundtrip_every_backend() {
 
         // Snapshot mid-stream, restore, continue.
         let mid = recs.len() / 2;
-        let mut first = builder.build();
+        let mut first = builder.build(backend);
         for r in &recs[..mid] {
             first.observe(r);
         }
         let snap = first.snapshot();
         drop(first);
-        let mut resumed = builder.restore(&snap).unwrap();
+        let mut resumed = builder.restore(backend, &snap).unwrap();
         assert_eq!(resumed.observed(), mid as u64, "{name}: observed count");
         for r in &recs[mid..] {
             resumed.observe(r);
@@ -188,20 +188,20 @@ fn snapshot_roundtrip_with_sketch_and_kept_dsts() {
             },
         ),
     ] {
-        let builder = DetectorBuilder::new(cfg).sequential();
-        let mut reference = builder.build();
+        let builder = DetectorBuilder::new(cfg);
+        let mut reference = builder.build(Backend::Sequential);
         for r in &recs {
             reference.observe(r);
         }
         let expect = report_json(&reference.finish());
 
         let mid = recs.len() / 3;
-        let mut first = builder.build();
+        let mut first = builder.build(Backend::Sequential);
         for r in &recs[..mid] {
             first.observe(r);
         }
         let snap = first.snapshot();
-        let mut resumed = builder.restore(&snap).unwrap();
+        let mut resumed = builder.restore(Backend::Sequential, &snap).unwrap();
         for r in &recs[mid..] {
             resumed.observe(r);
         }
@@ -213,17 +213,9 @@ fn snapshot_roundtrip_with_sketch_and_kept_dsts() {
 fn snapshots_are_portable_across_backends_and_shard_counts() {
     let recs = workload();
     let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48];
-    let sequential = DetectorBuilder::new(base_config())
-        .levels(&levels)
-        .sequential();
-    let sharded2 = DetectorBuilder::new(base_config())
-        .levels(&levels)
-        .sharded(ShardPlan::with_shards(2));
-    let sharded5 = DetectorBuilder::new(base_config())
-        .levels(&levels)
-        .sharded(ShardPlan::with_shards(5));
+    let builder = DetectorBuilder::new(base_config()).levels(&levels);
 
-    let mut reference = sequential.build();
+    let mut reference = builder.build(Backend::Sequential);
     for r in &recs {
         reference.observe(r);
     }
@@ -231,14 +223,17 @@ fn snapshots_are_portable_across_backends_and_shard_counts() {
 
     let mid = recs.len() / 2;
     // Snapshot taken by a sharded run...
-    let mut first = sharded2.build();
+    let mut first = builder.build(Backend::Sharded(ShardPlan::with_shards(2)));
     for r in &recs[..mid] {
         first.observe(r);
     }
     let snap = first.snapshot();
     // ...restores into a sequential run, and into a different shard count.
-    for (name, builder) in [("sequential", &sequential), ("sharded-5", &sharded5)] {
-        let mut resumed = builder.restore(&snap).unwrap();
+    for (name, backend) in [
+        ("sequential", Backend::Sequential),
+        ("sharded-5", Backend::Sharded(ShardPlan::with_shards(5))),
+    ] {
+        let mut resumed = builder.restore(backend, &snap).unwrap();
         for r in &recs[mid..] {
             resumed.observe(r);
         }
@@ -253,15 +248,15 @@ fn snapshots_are_portable_across_backends_and_shard_counts() {
 #[test]
 fn flush_idle_is_report_neutral() {
     let recs = workload();
-    for (name, builder) in builders() {
-        let mut plain = builder.build();
+    for (name, builder, backend) in builders() {
+        let mut plain = builder.build(backend);
         for r in &recs {
             plain.observe(r);
         }
         let expect = report_json(&plain.finish());
 
         // Aggressive flushing at every packet must not change the report.
-        let mut flushed = builder.build();
+        let mut flushed = builder.build(backend);
         for r in &recs {
             flushed.flush_idle(r.ts_ms);
             flushed.observe(r);
@@ -276,7 +271,7 @@ fn flush_idle_closes_idle_runs() {
     // its run from live state (the event is held as pending, not lost).
     let cfg = base_config();
     let timeout = cfg.timeout_ms;
-    let mut det = DetectorBuilder::new(cfg).sequential().build();
+    let mut det = DetectorBuilder::new(cfg).build(Backend::Sequential);
     let heavy: u128 = 0x2001_0db9_0000_0000_0000_0000_0000_0001;
     for i in 0..150u64 {
         det.observe(&PacketRecord::tcp(
@@ -385,7 +380,7 @@ fn within_watermark_shuffle_yields_sorted_report() {
     let watermark = 60_000u64;
     let sorted = workload();
 
-    let mut reference = DetectorBuilder::new(base_config()).sequential().build();
+    let mut reference = DetectorBuilder::new(base_config()).build(Backend::Sequential);
     for r in &sorted {
         reference.observe(r);
     }
@@ -405,7 +400,7 @@ fn within_watermark_shuffle_yields_sorted_report() {
         arrival.sort_unstable();
 
         let mut buf = ReorderBuffer::new(watermark);
-        let mut det = DetectorBuilder::new(base_config()).sequential().build();
+        let mut det = DetectorBuilder::new(base_config()).build(Backend::Sequential);
         let mut ready = Vec::new();
         for &(_, i) in &arrival {
             buf.push(sorted[i], &mut ready);
@@ -427,7 +422,7 @@ fn within_watermark_shuffle_yields_sorted_report() {
 // ---------------------------------------------------------------------------
 
 fn sample_checkpoint() -> Checkpoint {
-    let mut det = DetectorBuilder::new(base_config()).sequential().build();
+    let mut det = DetectorBuilder::new(base_config()).build(Backend::Sequential);
     for r in workload().iter().take(100) {
         det.observe(r);
     }
@@ -506,10 +501,14 @@ fn session_finishes_without_checkpointing() {
     let trace = dir.path("t.l6tr");
     let recs = workload();
     write_trace(&trace, &recs);
-    let builder = DetectorBuilder::new(base_config()).sequential();
-    let outcome = Session::new(builder.clone(), SessionConfig::default())
-        .run(&trace)
-        .unwrap();
+    let builder = DetectorBuilder::new(base_config());
+    let outcome = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        SessionConfig::default(),
+    )
+    .run(&trace)
+    .unwrap();
     let SessionOutcome::Finished(rep) = outcome else {
         panic!("expected Finished");
     };
@@ -518,7 +517,7 @@ fn session_finishes_without_checkpointing() {
     assert_eq!(rep.decode_skipped, 0);
     assert_eq!(rep.checkpoints_written, 0);
 
-    let mut direct = builder.build();
+    let mut direct = builder.build(Backend::Sequential);
     for r in &recs {
         direct.observe(r);
     }
@@ -548,14 +547,18 @@ fn kill_resume_is_byte_identical() {
         ..Default::default()
     };
 
-    let sequential = DetectorBuilder::new(base_config()).sequential();
-    let sharded = DetectorBuilder::new(base_config()).sharded(ShardPlan::with_shards(2));
+    let builder = DetectorBuilder::new(base_config());
+    let sharded = Backend::Sharded(ShardPlan::with_shards(2));
 
     // Uninterrupted reference (with the same checkpoint cadence, so the
     // checkpoint counters in the report line up).
-    let reference = Session::new(sequential.clone(), config(dir.path("ref.l6ck"), None))
-        .run(&trace)
-        .unwrap();
+    let reference = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        config(dir.path("ref.l6ck"), None),
+    )
+    .run(&trace)
+    .unwrap();
     let SessionOutcome::Finished(expect) = reference else {
         panic!("reference must finish");
     };
@@ -563,9 +566,13 @@ fn kill_resume_is_byte_identical() {
 
     for stop_at in 1..=total_ckpts {
         let ck = dir.path(&format!("stop{stop_at}.l6ck"));
-        let outcome = Session::new(sequential.clone(), config(ck.clone(), Some(stop_at)))
-            .run(&trace)
-            .unwrap();
+        let outcome = Session::new(
+            builder.clone(),
+            Backend::Sequential,
+            config(ck.clone(), Some(stop_at)),
+        )
+        .run(&trace)
+        .unwrap();
         match outcome {
             SessionOutcome::Stopped {
                 checkpoints_written,
@@ -577,7 +584,7 @@ fn kill_resume_is_byte_identical() {
             SessionOutcome::Finished(_) => panic!("stop {stop_at}: expected Stopped"),
         }
         // Resume with a *different* backend to also prove portability.
-        let resumed = Session::new(sharded.clone(), config(ck, None))
+        let resumed = Session::new(builder.clone(), sharded, config(ck, None))
             .run(&trace)
             .unwrap();
         let SessionOutcome::Finished(rep) = resumed else {
@@ -593,7 +600,7 @@ fn double_interruption_still_matches() {
     let trace = dir.path("t.l6tr");
     let recs = workload();
     write_trace(&trace, &recs);
-    let builder = DetectorBuilder::new(base_config()).sequential();
+    let builder = DetectorBuilder::new(base_config());
     let ck = dir.path("state.l6ck");
     let config = |stop_after| SessionConfig {
         checkpoint: Some(CheckpointPolicy {
@@ -606,6 +613,7 @@ fn double_interruption_still_matches() {
 
     let reference = Session::new(
         builder.clone(),
+        Backend::Sequential,
         SessionConfig {
             checkpoint: Some(CheckpointPolicy {
                 path: dir.path("ref.l6ck"),
@@ -624,13 +632,13 @@ fn double_interruption_still_matches() {
     // First run stops after 1 checkpoint; second run (resuming) stops after
     // 2 more; third finishes.
     assert!(matches!(
-        Session::new(builder.clone(), config(Some(1)))
+        Session::new(builder.clone(), Backend::Sequential, config(Some(1)))
             .run(&trace)
             .unwrap(),
         SessionOutcome::Stopped { .. }
     ));
     assert!(matches!(
-        Session::new(builder.clone(), config(Some(3)))
+        Session::new(builder.clone(), Backend::Sequential, config(Some(3)))
             .run(&trace)
             .unwrap(),
         SessionOutcome::Stopped {
@@ -638,7 +646,9 @@ fn double_interruption_still_matches() {
             ..
         }
     ));
-    let SessionOutcome::Finished(rep) = Session::new(builder, config(None)).run(&trace).unwrap()
+    let SessionOutcome::Finished(rep) = Session::new(builder, Backend::Sequential, config(None))
+        .run(&trace)
+        .unwrap()
     else {
         panic!("final run must finish");
     };
@@ -658,8 +668,8 @@ fn run_source_matches_run_for_every_source_kind() {
     let trace = dir.path("t.l6tr");
     let recs = workload();
     write_trace(&trace, &recs);
-    for (name, builder) in builders() {
-        let via_path = Session::new(builder.clone(), SessionConfig::default())
+    for (name, builder, backend) in builders() {
+        let via_path = Session::new(builder.clone(), backend, SessionConfig::default())
             .run(&trace)
             .unwrap();
         let SessionOutcome::Finished(via_path) = via_path else {
@@ -667,7 +677,7 @@ fn run_source_matches_run_for_every_source_kind() {
         };
 
         let mut file_src = FileStreamSource::open(&trace).unwrap().permissive(true);
-        let via_file = Session::new(builder.clone(), SessionConfig::default())
+        let via_file = Session::new(builder.clone(), backend, SessionConfig::default())
             .run_source(&mut file_src)
             .unwrap();
         let SessionOutcome::Finished(via_file) = via_file else {
@@ -675,7 +685,7 @@ fn run_source_matches_run_for_every_source_kind() {
         };
 
         let mut mat_src = MaterializedSource::new(recs.clone());
-        let via_mem = Session::new(builder.clone(), SessionConfig::default())
+        let via_mem = Session::new(builder.clone(), backend, SessionConfig::default())
             .run_source(&mut mat_src)
             .unwrap();
         let SessionOutcome::Finished(via_mem) = via_mem else {
@@ -698,7 +708,7 @@ fn kill_resume_over_materialized_source_is_byte_identical() {
     let recs = workload();
     let every = 100u64;
     let total_ckpts = recs.len() as u64 / every;
-    let builder = DetectorBuilder::new(base_config()).sequential();
+    let builder = DetectorBuilder::new(base_config());
     let config = |path: PathBuf, stop_after: Option<u64>| SessionConfig {
         checkpoint: Some(CheckpointPolicy {
             path,
@@ -709,9 +719,13 @@ fn kill_resume_over_materialized_source_is_byte_identical() {
     };
 
     let mut reference_src = MaterializedSource::new(recs.clone());
-    let reference = Session::new(builder.clone(), config(dir.path("ref.l6ck"), None))
-        .run_source(&mut reference_src)
-        .unwrap();
+    let reference = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        config(dir.path("ref.l6ck"), None),
+    )
+    .run_source(&mut reference_src)
+    .unwrap();
     let SessionOutcome::Finished(expect) = reference else {
         panic!("reference must finish");
     };
@@ -720,14 +734,18 @@ fn kill_resume_over_materialized_source_is_byte_identical() {
     for stop_at in 1..=total_ckpts {
         let ck = dir.path(&format!("stop{stop_at}.l6ck"));
         let mut first = MaterializedSource::new(recs.clone());
-        let outcome = Session::new(builder.clone(), config(ck.clone(), Some(stop_at)))
-            .run_source(&mut first)
-            .unwrap();
+        let outcome = Session::new(
+            builder.clone(),
+            Backend::Sequential,
+            config(ck.clone(), Some(stop_at)),
+        )
+        .run_source(&mut first)
+        .unwrap();
         assert!(matches!(outcome, SessionOutcome::Stopped { .. }));
         // Resume with a brand-new source instance, as a restarted process
         // would.
         let mut second = MaterializedSource::new(recs.clone());
-        let resumed = Session::new(builder.clone(), config(ck, None))
+        let resumed = Session::new(builder.clone(), Backend::Sequential, config(ck, None))
             .run_source(&mut second)
             .unwrap();
         let SessionOutcome::Finished(rep) = resumed else {
@@ -743,17 +761,22 @@ fn session_flush_idle_cadence_is_report_neutral() {
     let trace = dir.path("t.l6tr");
     let recs = workload();
     write_trace(&trace, &recs);
-    let builder = DetectorBuilder::new(base_config()).sequential();
+    let builder = DetectorBuilder::new(base_config());
 
-    let plain = Session::new(builder.clone(), SessionConfig::default())
-        .run(&trace)
-        .unwrap();
+    let plain = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        SessionConfig::default(),
+    )
+    .run(&trace)
+    .unwrap();
     let SessionOutcome::Finished(plain) = plain else {
         panic!()
     };
     for every in [1_000u64, 100_000, 3_600_000] {
         let flushed = Session::new(
             builder.clone(),
+            Backend::Sequential,
             SessionConfig {
                 flush_idle_every_ms: every,
                 ..Default::default()
@@ -770,4 +793,212 @@ fn session_flush_idle_cadence_is_report_neutral() {
             "flush every {every} ms"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Re-entrant stepping (the serve daemon's driving API)
+// ---------------------------------------------------------------------------
+
+/// Drives a session to completion one `step` at a time, exactly as the
+/// serve daemon's worker loop does.
+fn step_to_finish(session: &mut Session, src: &mut dyn Source) -> SessionReport {
+    loop {
+        match session.step(src).unwrap() {
+            Step::Ingested(_) | Step::Pending => {}
+            Step::Finished(rep) => return rep,
+            Step::Stopped { .. } => panic!("unexpected Stopped without stop_after"),
+        }
+    }
+}
+
+/// A step-driven session must be indistinguishable from a `run_source`
+/// driven one: byte-identical final report *and* byte-identical checkpoint
+/// files, across every backend. This is the contract that lets the daemon
+/// interleave many tenants without perturbing any single tenant's output.
+#[test]
+fn step_driven_session_matches_run_source() {
+    let dir = TempDir::new("step-differential");
+    let recs = workload();
+    let config = |path: PathBuf| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: 100,
+            stop_after: None,
+        }),
+        ..Default::default()
+    };
+
+    for (name, builder, backend) in builders() {
+        let ck_ref = dir.path(&format!("{name}-ref.l6ck"));
+        let mut ref_src = MaterializedSource::new(recs.clone());
+        let outcome = Session::new(builder.clone(), backend, config(ck_ref.clone()))
+            .run_source(&mut ref_src)
+            .unwrap();
+        let SessionOutcome::Finished(expect) = outcome else {
+            panic!("{name}: reference must finish");
+        };
+
+        let ck_step = dir.path(&format!("{name}-step.l6ck"));
+        let mut session = Session::new(builder.clone(), backend, config(ck_step.clone()));
+        let mut src = MaterializedSource::new(recs.clone());
+        let rep = step_to_finish(&mut session, &mut src);
+
+        assert_eq!(
+            session_report_json(&rep),
+            session_report_json(&expect),
+            "{name}: stepped report differs from run_source"
+        );
+        assert_eq!(
+            std::fs::read(&ck_step).unwrap(),
+            std::fs::read(&ck_ref).unwrap(),
+            "{name}: final checkpoint bytes differ"
+        );
+    }
+}
+
+/// `checkpoint_now` writes an off-grid drain checkpoint (one extra beyond
+/// the periodic grid), and a fresh session resumed from it reproduces the
+/// uninterrupted run's detection output exactly.
+#[test]
+fn checkpoint_now_off_grid_drain_resumes_cleanly() {
+    let dir = TempDir::new("ckpt-now");
+    let recs = workload();
+    let builder = DetectorBuilder::new(base_config());
+    let ck = dir.path("drain.l6ck");
+    let config = |path: PathBuf, batch: usize| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: 100,
+            stop_after: None,
+        }),
+        batch,
+        ..Default::default()
+    };
+
+    let mut ref_src = MaterializedSource::new(recs.clone());
+    let outcome = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        config(dir.path("ref.l6ck"), DEFAULT_SESSION_BATCH),
+    )
+    .run_source(&mut ref_src)
+    .unwrap();
+    let SessionOutcome::Finished(expect) = outcome else {
+        panic!("reference must finish");
+    };
+
+    // Small batches land the session off the 100-record grid; a graceful
+    // drain must still capture that exact position.
+    let mut session = Session::new(builder.clone(), Backend::Sequential, config(ck.clone(), 7));
+    let mut src = MaterializedSource::new(recs.clone());
+    for _ in 0..10 {
+        assert!(matches!(session.step(&mut src).unwrap(), Step::Ingested(_)));
+    }
+    assert_eq!(session.records_done(), 70);
+    assert_ne!(session.records_done() % 100, 0, "must be off-grid");
+    assert!(session.checkpoint_now(&mut src).unwrap());
+    drop(session);
+
+    let mut resumed_src = MaterializedSource::new(recs.clone());
+    let outcome = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        config(ck, DEFAULT_SESSION_BATCH),
+    )
+    .run_source(&mut resumed_src)
+    .unwrap();
+    let SessionOutcome::Finished(rep) = outcome else {
+        panic!("resumed run must finish");
+    };
+    // The drain checkpoint is one extra write beyond the periodic grid;
+    // everything the detector *saw* must be unchanged.
+    assert_eq!(report_json(&rep.reports), report_json(&expect.reports));
+    assert_eq!(rep.records, expect.records);
+    assert_eq!(rep.late_dropped, expect.late_dropped);
+    assert_eq!(rep.decode_skipped, expect.decode_skipped);
+    assert_eq!(rep.checkpoints_written, expect.checkpoints_written + 1);
+
+    // Without a checkpoint policy there is nowhere to drain to.
+    let mut bare = Session::new(builder, Backend::Sequential, SessionConfig::default());
+    let mut bare_src = MaterializedSource::new(recs);
+    bare.step(&mut bare_src).unwrap();
+    assert!(!bare.checkpoint_now(&mut bare_src).unwrap());
+}
+
+/// `report_now` mid-stream must not perturb the live pipeline: repeated
+/// calls agree with each other, and the session still finishes with a
+/// report byte-identical to a never-published run.
+#[test]
+fn report_now_is_non_destructive_mid_stream() {
+    let recs = workload();
+    let builder = DetectorBuilder::new(base_config());
+
+    let mut ref_src = MaterializedSource::new(recs.clone());
+    let outcome = Session::new(
+        builder.clone(),
+        Backend::Sequential,
+        SessionConfig::default(),
+    )
+    .run_source(&mut ref_src)
+    .unwrap();
+    let SessionOutcome::Finished(expect) = outcome else {
+        panic!("reference must finish");
+    };
+
+    let mut session = Session::new(
+        builder,
+        Backend::Sequential,
+        SessionConfig {
+            batch: 64,
+            ..Default::default()
+        },
+    );
+    let mut src = MaterializedSource::new(recs);
+    for _ in 0..3 {
+        session.step(&mut src).unwrap();
+    }
+    let r1 = session.report_now().unwrap();
+    let r2 = session.report_now().unwrap();
+    assert_eq!(session_report_json(&r1), session_report_json(&r2));
+    assert_eq!(r1.records, session.records_done());
+
+    let rep = step_to_finish(&mut session, &mut src);
+    assert_eq!(
+        session_report_json(&rep),
+        session_report_json(&expect),
+        "mid-stream publication changed the final report"
+    );
+}
+
+/// `load_newest` prefers the main checkpoint but falls back to the `.prev`
+/// generation when the main file is corrupt — the crash-recovery path the
+/// daemon leans on after a torn write.
+#[test]
+fn load_newest_prefers_main_and_falls_back_to_prev() {
+    let dir = TempDir::new("ck-prev");
+    let path = dir.path("state.l6ck");
+
+    let older = sample_checkpoint();
+    older.save(&path).unwrap();
+    let mut newer = sample_checkpoint();
+    newer.records_done = 150;
+    newer.checkpoints_written = 4;
+    newer.save(&path).unwrap();
+
+    assert!(Checkpoint::prev_path(&path).exists());
+    assert_eq!(Checkpoint::load_newest(&path).unwrap(), newer);
+
+    // Corrupt the main file: fall back to the previous generation.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let body_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    bytes[body_start + 10] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(Checkpoint::load_newest(&path).unwrap(), older);
+
+    // Both generations gone bad: the corruption surfaces.
+    std::fs::remove_file(Checkpoint::prev_path(&path)).unwrap();
+    assert!(matches!(
+        Checkpoint::load_newest(&path),
+        Err(SessionError::Corrupt(_))
+    ));
 }

@@ -25,63 +25,24 @@ use std::collections::BTreeMap;
 
 pub use lumen6_detect::parallel::ShardPlan;
 
-/// Which detection backend the labs run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DetectMode {
-    /// The single-threaded reference pipeline.
-    Sequential,
-    /// The sharded parallel pipeline (identical output, see
-    /// `lumen6_detect::parallel`).
-    Sharded(ShardPlan),
-}
+/// Which detection backend the labs run — the detect crate's execution
+/// [`Backend`](lumen6_detect::Backend), re-exported under the harness's
+/// historical name. Labs hand it straight to
+/// [`DetectorBuilder::build`](lumen6_detect::DetectorBuilder::build), the
+/// single dispatch point shared with `lumen6 detect`.
+pub use lumen6_detect::Backend as DetectMode;
 
-impl Default for DetectMode {
-    fn default() -> Self {
-        DetectMode::Sharded(ShardPlan::default())
+fn run_mode(
+    mode: DetectMode,
+    records: &[PacketRecord],
+    levels: &[AggLevel],
+    base: ScanDetectorConfig,
+) -> BTreeMap<AggLevel, ScanReport> {
+    let mut det = DetectorBuilder::new(base).levels(levels).build(mode);
+    for r in records {
+        det.observe(r);
     }
-}
-
-impl DetectMode {
-    /// Resolves the CLI escape hatches: `--sequential` wins, an explicit
-    /// `--threads N` pins the shard count, otherwise one shard per core.
-    pub fn from_flags(threads: Option<usize>, sequential: bool) -> Self {
-        if sequential {
-            DetectMode::Sequential
-        } else {
-            match threads {
-                Some(n) if n > 0 => DetectMode::Sharded(ShardPlan::with_shards(n)),
-                _ => DetectMode::default(),
-            }
-        }
-    }
-
-    /// Whether experiment-internal loops may fan out across threads.
-    pub fn is_parallel(&self) -> bool {
-        matches!(self, DetectMode::Sharded(_))
-    }
-
-    /// The [`DetectorBuilder`] realizing this mode — the single dispatch
-    /// point the labs share with `lumen6 detect`.
-    pub fn builder(&self, base: ScanDetectorConfig, levels: &[AggLevel]) -> DetectorBuilder {
-        let b = DetectorBuilder::new(base).levels(levels);
-        match *self {
-            DetectMode::Sequential => b.sequential(),
-            DetectMode::Sharded(plan) => b.sharded(plan),
-        }
-    }
-
-    fn run(
-        &self,
-        records: &[PacketRecord],
-        levels: &[AggLevel],
-        base: ScanDetectorConfig,
-    ) -> BTreeMap<AggLevel, ScanReport> {
-        let mut det = self.builder(base, levels).build();
-        for r in records {
-            det.observe(r);
-        }
-        det.finish()
-    }
+    det.finish()
 }
 
 /// The prepared CDN-side experiment context: world, traces, and the three
@@ -129,7 +90,8 @@ impl CdnLab {
         });
         let (filtered, filter_report) = prefilter.filter(&trace);
         let levels = [AggLevel::L128, AggLevel::L64, AggLevel::L48, AggLevel::L32];
-        let mut reports = mode.run(
+        let mut reports = run_mode(
+            mode,
             &filtered,
             &levels,
             ScanDetectorConfig {
@@ -138,7 +100,8 @@ impl CdnLab {
             },
         );
         // Re-run /64 with destination retention (needed by `targets`/`a4`).
-        let mut with_dsts = mode.run(
+        let mut with_dsts = run_mode(
+            mode,
             &filtered,
             &[AggLevel::L64],
             ScanDetectorConfig::paper(AggLevel::L64).with_dsts(),
@@ -178,7 +141,8 @@ impl CdnLab {
             ..Default::default()
         };
         let session = Session::new(
-            mode.builder(base, &levels),
+            DetectorBuilder::new(base).levels(&levels),
+            mode,
             SessionConfig {
                 strict: true,
                 ..Default::default()

@@ -59,9 +59,11 @@ fn fleet_config() -> FleetConfig {
 }
 
 fn detector() -> DetectorBuilder {
-    DetectorBuilder::new(ScanDetectorConfig::default())
-        .levels(&[AggLevel::L128, AggLevel::L64, AggLevel::L48])
-        .sequential()
+    DetectorBuilder::new(ScanDetectorConfig::default()).levels(&[
+        AggLevel::L128,
+        AggLevel::L64,
+        AggLevel::L48,
+    ])
 }
 
 fn report_json(rep: &SessionReport) -> String {
@@ -80,7 +82,7 @@ fn fused_session_matches_materialized_trace_file() {
     }
     w.finish().unwrap().flush().unwrap();
 
-    let via_file = Session::new(detector(), SessionConfig::default())
+    let via_file = Session::new(detector(), Backend::Sequential, SessionConfig::default())
         .run(&trace)
         .unwrap();
     let SessionOutcome::Finished(via_file) = via_file else {
@@ -92,7 +94,7 @@ fn fused_session_matches_materialized_trace_file() {
     );
 
     let mut fused = FleetSource::new(World::build(fleet_config()));
-    let via_fused = Session::new(detector(), SessionConfig::default())
+    let via_fused = Session::new(detector(), Backend::Sequential, SessionConfig::default())
         .run_source(&mut fused)
         .unwrap();
     let SessionOutcome::Finished(via_fused) = via_fused else {
@@ -115,9 +117,13 @@ fn fused_kill_resume_is_byte_identical() {
     };
 
     let mut reference_src = FleetSource::new(World::build(fleet_config()));
-    let reference = Session::new(detector(), config(dir.path("ref.l6ck"), None))
-        .run_source(&mut reference_src)
-        .unwrap();
+    let reference = Session::new(
+        detector(),
+        Backend::Sequential,
+        config(dir.path("ref.l6ck"), None),
+    )
+    .run_source(&mut reference_src)
+    .unwrap();
     let SessionOutcome::Finished(expect) = reference else {
         panic!("reference must finish");
     };
@@ -128,16 +134,18 @@ fn fused_kill_resume_is_byte_identical() {
     );
     let expect = report_json(&expect);
 
-    let sharded = DetectorBuilder::new(ScanDetectorConfig::default())
-        .levels(&[AggLevel::L128, AggLevel::L64, AggLevel::L48])
-        .sharded(ShardPlan::with_shards(2));
+    let sharded = Backend::Sharded(ShardPlan::with_shards(2));
 
     for stop_at in 1..=3u64 {
         let ck = dir.path(&format!("stop{stop_at}.l6ck"));
         let mut src = FleetSource::new(World::build(fleet_config()));
-        let outcome = Session::new(detector(), config(ck.clone(), Some(stop_at)))
-            .run_source(&mut src)
-            .unwrap();
+        let outcome = Session::new(
+            detector(),
+            Backend::Sequential,
+            config(ck.clone(), Some(stop_at)),
+        )
+        .run_source(&mut src)
+        .unwrap();
         match outcome {
             SessionOutcome::Stopped {
                 checkpoints_written,
@@ -152,7 +160,7 @@ fn fused_kill_resume_is_byte_identical() {
         // session resumes it via the record-index checkpoint position.
         // Switch to the sharded backend to also prove portability.
         let mut fresh = FleetSource::new(World::build(fleet_config()));
-        let resumed = Session::new(sharded.clone(), config(ck, None))
+        let resumed = Session::new(detector(), sharded, config(ck, None))
             .run_source(&mut fresh)
             .unwrap();
         let SessionOutcome::Finished(rep) = resumed else {

@@ -1,0 +1,323 @@
+//! Minimal TOML subset parser producing a [`serde::value::Value`] tree.
+//!
+//! The build environment vendors no TOML crate, so the daemon ships the
+//! subset its config files actually need:
+//!
+//! - `key = value` pairs with bare (`[A-Za-z0-9_-]+`) or `"quoted"` keys,
+//!   including dotted paths (`tenants.alpha.trace = "a.l6tr"`),
+//! - `[table.header]` sections (dotted paths create nested tables),
+//! - basic strings with `\" \\ \n \t \r` escapes, integers (with `_`
+//!   separators), floats, booleans, and single-line `[a, b, c]` arrays,
+//! - `#` comments and blank lines.
+//!
+//! Unsupported TOML (array-of-tables `[[x]]`, multi-line strings, dates,
+//! inline tables) fails loudly with a line number rather than parsing to
+//! something surprising. Duplicate keys and conflicting table/value
+//! definitions are errors, matching TOML semantics.
+
+use serde::value::Value;
+
+/// Parses `text` into a [`Value::Object`] tree, or an error naming the
+/// offending 1-based line.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Current `[section]` path; `key = value` lines land under it.
+    let mut section: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            return Err(format!(
+                "line {lineno}: array-of-tables [[{}]] is not supported; use a \
+                 [tables.name] section per entry",
+                rest.trim_end_matches("]]")
+            ));
+        }
+        if let Some(inner) = line.strip_prefix('[') {
+            let inner = inner
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {lineno}: unterminated table header"))?;
+            section = parse_key_path(inner).map_err(|e| format!("line {lineno}: {e}"))?;
+            // Materialize the table so empty sections still appear.
+            ensure_table(&mut root, &section).map_err(|e| format!("line {lineno}: {e}"))?;
+            continue;
+        }
+        let eq = find_unquoted(line, '=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value` or `[table]`"))?;
+        let mut path = section.clone();
+        path.extend(parse_key_path(&line[..eq]).map_err(|e| format!("line {lineno}: {e}"))?);
+        let value =
+            parse_value(line[eq + 1..].trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        let Some((key, tables)) = path.split_last() else {
+            return Err(format!("line {lineno}: empty key"));
+        };
+        let table = ensure_table(&mut root, tables).map_err(|e| format!("line {lineno}: {e}"))?;
+        if table.iter().any(|(k, _)| k == key) {
+            return Err(format!("line {lineno}: duplicate key {key:?}"));
+        }
+        table.push((key.clone(), value));
+    }
+    Ok(Value::Object(root))
+}
+
+/// Drops a `#` comment, ignoring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte offset of the first unquoted `target` character.
+fn find_unquoted(line: &str, target: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            c if c == target && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a dotted key path (`a.b."c d"`) into segments.
+fn parse_key_path(text: &str) -> Result<Vec<String>, String> {
+    let mut segments = Vec::new();
+    for part in split_unquoted(text, '.') {
+        let part = part.trim();
+        let seg = if let Some(q) = part.strip_prefix('"') {
+            let q = q
+                .strip_suffix('"')
+                .ok_or_else(|| format!("unterminated quoted key in {text:?}"))?;
+            unescape(q)?
+        } else {
+            if part.is_empty()
+                || !part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_".contains(c))
+            {
+                return Err(format!("invalid bare key segment {part:?}"));
+            }
+            part.to_string()
+        };
+        segments.push(seg);
+    }
+    if segments.is_empty() {
+        return Err("empty key".into());
+    }
+    Ok(segments)
+}
+
+/// Splits on unquoted occurrences of `sep`.
+fn split_unquoted(text: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut rest = text;
+    while let Some(i) = find_unquoted(rest, sep) {
+        parts.push(&rest[..i]);
+        rest = &rest[i + sep.len_utf8()..];
+    }
+    parts.push(rest);
+    parts
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("unsupported string escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Walks (creating as needed) the nested object at `path` under `root`.
+fn ensure_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    let mut table = root;
+    for seg in path {
+        if !table.iter().any(|(k, _)| k == seg) {
+            table.push((seg.clone(), Value::Object(Vec::new())));
+        }
+        // Separate lookup pass to satisfy the borrow checker.
+        let idx = table
+            .iter()
+            .position(|(k, _)| k == seg)
+            .unwrap_or(table.len() - 1);
+        match &mut table[idx].1 {
+            Value::Object(fields) => table = fields,
+            other => {
+                return Err(format!(
+                    "key {seg:?} is already a {}, not a table",
+                    other.kind()
+                ))
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Parses one TOML value: string, bool, array, integer, or float.
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err("missing value".into());
+    }
+    if let Some(q) = text.strip_prefix('"') {
+        let q = q
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {text:?}"))?;
+        return Ok(Value::Str(unescape(q)?));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array {text:?} (arrays must be single-line)"))?;
+        let mut items = Vec::new();
+        if !inner.trim().is_empty() {
+            for item in split_unquoted(inner, ',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue; // permit a trailing comma
+                }
+                items.push(parse_value(item)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    let num = text.replace('_', "");
+    if num.contains(['.', 'e', 'E']) {
+        if let Ok(f) = num.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    } else if let Some(neg) = num.strip_prefix('-') {
+        if let Ok(n) = neg.parse::<u128>() {
+            return Ok(Value::Int(
+                -(i128::try_from(n).map_err(|_| "integer overflow")?),
+            ));
+        }
+    } else if let Ok(n) = num.parse::<u128>() {
+        return Ok(Value::UInt(n));
+    }
+    Err(format!("cannot parse value {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: &Value) -> &Vec<(String, Value)> {
+        match v {
+            Value::Object(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flat_pairs_and_comments() {
+        let v = parse(
+            "# header comment\n\
+             name = \"alpha\" # trailing\n\
+             workers = 4\n\
+             ratio = 0.5\n\
+             strict = true\n\
+             neg = -12\n\
+             big = 1_000_000\n",
+        )
+        .unwrap();
+        assert_eq!(v.get("name"), Some(&Value::Str("alpha".into())));
+        assert_eq!(v.get("workers"), Some(&Value::UInt(4)));
+        assert_eq!(v.get("ratio"), Some(&Value::Float(0.5)));
+        assert_eq!(v.get("strict"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("neg"), Some(&Value::Int(-12)));
+        assert_eq!(v.get("big"), Some(&Value::UInt(1_000_000)));
+    }
+
+    #[test]
+    fn sections_and_dotted_keys_nest() {
+        let v = parse(
+            "[tenants.alpha]\n\
+             trace = \"a.l6tr\"\n\
+             [tenants.beta]\n\
+             fused = true\n\
+             run.seed = 7\n",
+        )
+        .unwrap();
+        let tenants = v.get("tenants").unwrap();
+        let alpha = tenants.get("alpha").unwrap();
+        assert_eq!(alpha.get("trace"), Some(&Value::Str("a.l6tr".into())));
+        let beta = tenants.get("beta").unwrap();
+        assert_eq!(beta.get("fused"), Some(&Value::Bool(true)));
+        assert_eq!(beta.get("run").unwrap().get("seed"), Some(&Value::UInt(7)));
+        assert_eq!(obj(tenants).len(), 2);
+    }
+
+    #[test]
+    fn strings_keep_hashes_and_escapes() {
+        let v = parse("path = \"/tmp/#1/a\\\"b\"\n").unwrap();
+        assert_eq!(v.get("path"), Some(&Value::Str("/tmp/#1/a\"b".into())));
+    }
+
+    #[test]
+    fn arrays_parse_single_line() {
+        let v = parse("levels = [128, 64, 48]\nempty = []\n").unwrap();
+        assert_eq!(
+            v.get("levels"),
+            Some(&Value::Array(vec![
+                Value::UInt(128),
+                Value::UInt(64),
+                Value::UInt(48)
+            ]))
+        );
+        assert_eq!(v.get("empty"), Some(&Value::Array(Vec::new())));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        assert!(parse("a = 1\nb = ???\n").unwrap_err().contains("line 2"));
+        assert!(parse("[[tenant]]\n").unwrap_err().contains("line 1"));
+        assert!(parse("a = 1\na = 2\n").unwrap_err().contains("duplicate"));
+        assert!(parse("a = 1\n[a]\nb = 2\n")
+            .unwrap_err()
+            .contains("not a table"));
+        assert!(parse("x\n").unwrap_err().contains("expected"));
+    }
+
+    #[test]
+    fn duplicate_across_section_and_dotted_key_rejected() {
+        let err = parse("t.a.x = 2\n[t.a]\nx = 1\n").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn dotted_keys_inside_a_section_stay_relative() {
+        let v = parse("[t]\na.x = 1\n").unwrap();
+        let x = v.get("t").unwrap().get("a").unwrap().get("x");
+        assert_eq!(x, Some(&Value::UInt(1)));
+    }
+}

@@ -365,7 +365,7 @@ pub fn decode(data: &[u8]) -> Result<Vec<PacketRecord>, CodecError> {
 
 /// Upper bound on one encoded record: 10-byte timestamp varint, two 16-byte
 /// addresses, protocol byte, and three ≤3-byte port/length varints.
-const MAX_RECORD_LEN: usize = 10 + 16 + 16 + 1 + 3 * 3;
+pub(crate) const MAX_RECORD_LEN: usize = 10 + 16 + 16 + 1 + 3 * 3;
 
 /// Refill granularity of the streaming reader.
 const STREAM_BUF_LEN: usize = 64 * 1024;
@@ -397,6 +397,50 @@ fn slice_u128(data: &[u8], pos: &mut usize) -> Result<u128, CodecError> {
     // mismatch to Truncated rather than carrying a panic path.
     let arr: [u8; 16] = bytes.try_into().map_err(|_| CodecError::Truncated)?;
     Ok(u128::from_be_bytes(arr))
+}
+
+/// Decodes one record from `data` at `*pos`, delta-decoding its timestamp
+/// against `*prev_ts`. On success the cursor and the timestamp base both
+/// advance past the record. [`CodecError::FieldOverflow`] also advances
+/// them (every field of the offending record was consumed before range
+/// validation failed), so permissive callers can skip the record and stay
+/// aligned — the same contract [`StreamingTraceReader`] relies on. Framing
+/// errors (`Truncated`, `VarintOverflow`) leave both untouched, so a
+/// tailing caller can retry the same boundary once more bytes arrive.
+pub(crate) fn decode_record_at(
+    data: &[u8],
+    pos: &mut usize,
+    prev_ts: &mut u64,
+) -> Result<PacketRecord, CodecError> {
+    let mut p = *pos;
+    let delta = slice_varint(data, &mut p)?;
+    let src = slice_u128(data, &mut p)?;
+    let dst = slice_u128(data, &mut p)?;
+    let proto = Transport::from_byte(*data.get(p).ok_or(CodecError::Truncated)?);
+    p += 1;
+    let sport = slice_varint(data, &mut p)?;
+    let dport = slice_varint(data, &mut p)?;
+    let len = slice_varint(data, &mut p)?;
+    *pos = p;
+    *prev_ts += delta;
+    if sport > u64::from(u16::MAX) {
+        return Err(CodecError::FieldOverflow("sport", sport));
+    }
+    if dport > u64::from(u16::MAX) {
+        return Err(CodecError::FieldOverflow("dport", dport));
+    }
+    if len > u64::from(u16::MAX) {
+        return Err(CodecError::FieldOverflow("len", len));
+    }
+    Ok(PacketRecord {
+        ts_ms: *prev_ts,
+        src,
+        dst,
+        proto,
+        sport: sport as u16,
+        dport: dport as u16,
+        len: len as u16,
+    })
 }
 
 /// A resumable decode position inside an `L6TR` stream: the byte offset of
@@ -754,8 +798,47 @@ impl<R: Read> Iterator for TraceChunks<R> {
     }
 }
 
+/// Shared fixtures for codec-level tests in this crate.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// Encodes one record with an out-of-range dport varint (recoverable
+    /// field overflow) surrounded by good records. Returns the encoded
+    /// bytes and the records a permissive decoder should deliver.
+    pub(crate) fn bytes_with_bad_dport() -> (Vec<u8>, Vec<PacketRecord>) {
+        let good: Vec<PacketRecord> = (0..10u64)
+            .map(|i| PacketRecord::tcp(i * 100, 1, 0xd0 + i as u128, 1, 22, 60))
+            .collect();
+        let mut buf = BytesMut::with_capacity(1024);
+        let mut out = MAGIC.to_vec();
+        out.push(VERSION);
+        let mut prev = 0u64;
+        for (i, r) in good.iter().enumerate() {
+            put_varint(&mut buf, r.ts_ms - prev);
+            prev = r.ts_ms;
+            buf.put_u128(r.src);
+            buf.put_u128(r.dst);
+            buf.put_u8(r.proto.to_byte());
+            put_varint(&mut buf, u64::from(r.sport));
+            // Record 5 claims dport 70_000: decodes, fails range validation.
+            put_varint(&mut buf, if i == 5 { 70_000 } else { u64::from(r.dport) });
+            put_varint(&mut buf, u64::from(r.len));
+        }
+        out.extend_from_slice(&buf);
+        let expected: Vec<PacketRecord> = good
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, r)| *r)
+            .collect();
+        (out, expected)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::tests_support::bytes_with_bad_dport;
     use super::*;
 
     fn sample() -> Vec<PacketRecord> {
@@ -1014,37 +1097,6 @@ mod tests {
         let mut all = first;
         all.extend(rest.unwrap());
         assert_eq!(all, recs);
-    }
-
-    /// Encodes one record with an out-of-range dport varint (recoverable
-    /// field overflow) surrounded by good records.
-    fn bytes_with_bad_dport() -> (Vec<u8>, Vec<PacketRecord>) {
-        let good: Vec<PacketRecord> = (0..10u64)
-            .map(|i| PacketRecord::tcp(i * 100, 1, 0xd0 + i as u128, 1, 22, 60))
-            .collect();
-        let mut buf = BytesMut::with_capacity(1024);
-        let mut out = MAGIC.to_vec();
-        out.push(VERSION);
-        let mut prev = 0u64;
-        for (i, r) in good.iter().enumerate() {
-            put_varint(&mut buf, r.ts_ms - prev);
-            prev = r.ts_ms;
-            buf.put_u128(r.src);
-            buf.put_u128(r.dst);
-            buf.put_u8(r.proto.to_byte());
-            put_varint(&mut buf, u64::from(r.sport));
-            // Record 5 claims dport 70_000: decodes, fails range validation.
-            put_varint(&mut buf, if i == 5 { 70_000 } else { u64::from(r.dport) });
-            put_varint(&mut buf, u64::from(r.len));
-        }
-        out.extend_from_slice(&buf);
-        let expected: Vec<PacketRecord> = good
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != 5)
-            .map(|(_, r)| *r)
-            .collect();
-        (out, expected)
     }
 
     #[test]

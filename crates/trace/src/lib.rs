@@ -25,7 +25,7 @@ pub use codec::{
     TraceWriter,
 };
 pub use record::{PacketRecord, Transport};
-pub use source::{FileStreamSource, MaterializedSource, Source};
+pub use source::{FileStreamSource, FillOutcome, MaterializedSource, Source, TailSource};
 pub use time::{SimTime, DAY_MS, HOUR_MS, MINUTE_MS, WEEK_MS};
 
 /// Sorts records by timestamp (stable), the canonical trace order.
