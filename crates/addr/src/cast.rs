@@ -1,0 +1,58 @@
+//! Named narrowing helpers for 128-bit address state and wire-format
+//! counters.
+//!
+//! L007 (`lumen6-analyzer`) forbids bare truncating `as` casts in the
+//! detection crates because a silent truncation of an IPv6 address or a
+//! counter is a wrong-answer bug — /64 attribution quietly collapses
+//! onto the low bits. These helpers are the blessed sinks: each names
+//! its intent (take the low half, saturate into a wire field) at the
+//! call site, so the remaining bare casts stay worth auditing.
+
+/// Low 64 bits of a 128-bit value — the interface identifier half of an
+/// IPv6 address, or the low word fed to a 64-bit hash mixer.
+#[must_use]
+pub fn low64(x: u128) -> u64 {
+    x as u64 // truncation is the point
+}
+
+/// High 64 bits of a 128-bit value — the /64 network prefix half.
+#[must_use]
+pub fn high64(x: u128) -> u64 {
+    (x >> 64) as u64
+}
+
+/// Saturating narrow of a length/count into a 16-bit wire field.
+#[must_use]
+pub fn sat_u16(x: usize) -> u16 {
+    u16::try_from(x).unwrap_or(u16::MAX)
+}
+
+/// Saturating narrow of a length/count into a 32-bit wire field.
+#[must_use]
+pub fn sat_u32(x: usize) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_recombine() {
+        let addr: u128 = 0x2001_0db8_0000_0042_fe80_0000_0000_beef;
+        assert_eq!(high64(addr), 0x2001_0db8_0000_0042);
+        assert_eq!(low64(addr), 0xfe80_0000_0000_beef);
+        assert_eq!(
+            (u128::from(high64(addr)) << 64) | u128::from(low64(addr)),
+            addr
+        );
+    }
+
+    #[test]
+    fn saturating_narrows_clamp() {
+        assert_eq!(sat_u16(1234), 1234);
+        assert_eq!(sat_u16(usize::MAX), u16::MAX);
+        assert_eq!(sat_u32(70_000), 70_000);
+        assert_eq!(sat_u32(usize::MAX), u32::MAX);
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod classify;
 pub mod entropy;
 pub mod gen;

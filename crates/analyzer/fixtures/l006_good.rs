@@ -1,0 +1,46 @@
+//! L006 good fixture: guards scoped or dropped before blocking, the
+//! condvar consuming-wait idiom, and one audited exception.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn drain(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let depth = {
+        let guard = lock(state);
+        guard.len()
+    };
+    if depth == 0 {
+        if let Ok(v) = rx.recv() {
+            lock(state).push(v);
+        }
+    }
+}
+
+pub fn wait_nonempty(state: &Mutex<Vec<u64>>, cv: &Condvar) -> usize {
+    let mut guard = lock(state);
+    while guard.is_empty() {
+        // wait(guard) atomically releases the lock: not "held across".
+        guard = cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+    }
+    guard.len()
+}
+
+pub fn handoff(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    let guard = lock(state);
+    let want = guard.is_empty();
+    drop(guard);
+    if want {
+        let _ = rx.recv();
+    }
+}
+
+pub fn audited(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) -> usize {
+    let guard = lock(state);
+    // lumen6: allow(L006, startup-only path: workers are not spawned yet, so no other thread can contend for this lock)
+    let _ = rx.recv();
+    guard.len()
+}

@@ -1,0 +1,24 @@
+//! L007 bad fixture: silently truncating casts on provably-wide
+//! operands.
+
+pub struct Flow {
+    pub src: u128,
+    pub dst: u128,
+}
+
+pub fn bucket(f: &Flow) -> u64 {
+    f.src as u64 // line 10: 128-bit address field -> u64
+}
+
+pub fn shard(hits: u64) -> u32 {
+    hits as u32 // line 14: u64 parameter -> u32
+}
+
+pub fn depth(v: &[u8]) -> u32 {
+    v.len() as u32 // line 18: usize length -> u32
+}
+
+pub fn wide_literal() -> usize {
+    let wide = 0x1_0000_0000u128;
+    wide as usize // line 23: u128 binding -> usize
+}

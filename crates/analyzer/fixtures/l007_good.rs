@@ -1,0 +1,23 @@
+//! L007 good fixture: exact shift/mask narrowing, widening casts,
+//! unknown widths, and one audited truncation.
+
+pub fn high_half(bits: u128) -> u64 {
+    (bits >> 64) as u64 // exact: only 64 bits remain after the shift
+}
+
+pub fn low_mask(x: u64) -> u16 {
+    (x & 0xffff) as u16 // exact: the mask fits the target
+}
+
+pub fn widen(x: u32) -> u128 {
+    x as u128 // widening is always safe
+}
+
+pub fn opaque_stays_silent(n: &Stats) -> u32 {
+    n.tally() as u32 // width unknown: the lint makes no claim
+}
+
+pub fn audited_mix(x: u128) -> u64 {
+    // lumen6: allow(L007, truncation is the point: the low half feeds the 64-bit mixer)
+    x as u64
+}

@@ -1,0 +1,10 @@
+//! L008 bad fixture: spool writes a concurrent reader can observe
+//! half-written.
+
+pub fn spool(path: &str, body: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, body) // line 5: fs::write, no rename in scope
+}
+
+pub fn open_report(path: &str) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) // line 9: File::create, no rename
+}

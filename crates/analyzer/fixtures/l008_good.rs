@@ -1,0 +1,24 @@
+//! L008 good fixture: the temp+rename publishing idiom, and one audited
+//! process-private scratch file.
+
+use std::io::Write;
+
+pub fn publish(path: &str, body: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+pub fn publish_stream(path: &str, body: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(body)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+pub fn scratch(dir: &std::path::Path, body: &[u8]) -> std::io::Result<()> {
+    // lumen6: allow(L008, scratch file is process-private and removed before exit; no reader can observe it)
+    std::fs::write(dir.join("scratch.bin"), body)
+}

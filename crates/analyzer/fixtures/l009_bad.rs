@@ -1,0 +1,26 @@
+//! L009 bad fixture: unbounded channels and ever-growing resident state
+//! in daemon loops.
+
+use std::sync::mpsc;
+
+pub struct Tenant {
+    pub backlog: Vec<u64>,
+}
+
+impl Tenant {
+    pub fn run(&mut self, rx: &mpsc::Receiver<u64>) {
+        while let Ok(v) = rx.recv() {
+            self.backlog.push(v); // line 13: grows forever, never cleared
+        }
+    }
+}
+
+pub fn ingest(events: &mut Vec<u64>, rx: &mpsc::Receiver<u64>) {
+    while let Ok(v) = rx.recv() {
+        events.push(v); // line 20: caller-visible state, never cleared
+    }
+}
+
+pub fn plumb() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel() // line 25: unbounded channel in a daemon crate
+}

@@ -1,0 +1,38 @@
+//! L009 good fixture: cleared state, bounded channels, loop-local
+//! scratch, and one audited flow-through buffer.
+
+use std::sync::mpsc;
+
+pub struct Tenant {
+    pub backlog: Vec<u64>,
+}
+
+impl Tenant {
+    pub fn run(&mut self, rx: &mpsc::Receiver<u64>) {
+        while let Ok(v) = rx.recv() {
+            self.backlog.push(v);
+            if self.backlog.len() >= 1024 {
+                self.backlog.clear();
+            }
+        }
+    }
+}
+
+pub fn plumb() -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(64) // bounded: backpressure reaches the producer
+}
+
+pub fn local_scratch(rx: &mpsc::Receiver<u64>) -> Vec<u64> {
+    let mut got = Vec::new();
+    while let Ok(v) = rx.recv() {
+        got.push(v); // local binding: ownership returns to the caller
+    }
+    got
+}
+
+pub fn out_batch(out: &mut Vec<u64>, rx: &mpsc::Receiver<u64>) {
+    while let Ok(v) = rx.recv() {
+        // lumen6: allow(L009, flow-through buffer: the caller drains it after every call and the channel depth caps per-call volume)
+        out.push(v);
+    }
+}

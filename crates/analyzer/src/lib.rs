@@ -10,6 +10,14 @@
 //! | L003 | no wall-clock / OS entropy in deterministic simulation crates |
 //! | L004 | snapshot format drift requires a `SNAPSHOT_VERSION` bump |
 //! | L005 | metric-name literals must satisfy the `lumen6-obs` scheme |
+//! | L006 | no lock guard held across a blocking boundary in daemon crates |
+//! | L007 | no truncating `as` cast on provably-wider address/counter operands |
+//! | L008 | spool/checkpoint writes must use the temp+rename publish idiom |
+//! | L009 | no unbounded growth primitives in daemon-resident loops |
+//!
+//! L006–L009 run on a scope tree built over the token stream (see
+//! [`scope`]): brace-matched scopes, guard/integer binding tables, and a
+//! conservative expression-width resolver.
 //!
 //! A violation is suppressed by an inline comment on the same line or the
 //! line above — the reason is mandatory and stale allows are rejected:
@@ -24,6 +32,8 @@
 
 pub mod ctx;
 pub mod lints;
+pub mod scope;
+pub mod scoped;
 pub mod snapshot;
 
 use ctx::FileCtx;
@@ -62,12 +72,28 @@ pub const KNOWN_LINTS: &[LintInfo] = &[
         id: "L005",
         summary: "metric-name literals must match the lumen6-obs crate.subsystem.metric scheme",
     },
+    LintInfo {
+        id: "L006",
+        summary: "no lock guard held across a blocking boundary (channel/condvar/join/file I/O)",
+    },
+    LintInfo {
+        id: "L007",
+        summary: "no truncating `as` cast on provably-wider address/counter operands",
+    },
+    LintInfo {
+        id: "L008",
+        summary: "File::create/fs::write must live in a temp+rename publishing function",
+    },
+    LintInfo {
+        id: "L009",
+        summary: "no unbounded channels or ever-growing resident state in daemon loops",
+    },
 ];
 
 /// One diagnostic.
 #[derive(Debug, Clone, Serialize)]
 pub struct Finding {
-    /// Lint ID (`L000`–`L005`).
+    /// Lint ID (`L000`–`L009`).
     pub lint: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -186,6 +212,11 @@ fn run_token_lints(ctx: &mut FileCtx, findings: &mut Vec<Finding>) {
     lints::l002(ctx, &mut file_findings);
     lints::l003(ctx, &mut file_findings);
     lints::l005(ctx, &mut file_findings);
+    let tree = scope::ScopeTree::build(ctx);
+    scoped::l006(ctx, &tree, &mut file_findings);
+    scoped::l007(ctx, &tree, &mut file_findings);
+    scoped::l008(ctx, &tree, &mut file_findings);
+    scoped::l009(ctx, &tree, &mut file_findings);
     ctx.apply_allows(&mut file_findings);
     findings.append(&mut file_findings);
 }

@@ -9,7 +9,7 @@ use syn::TokenKind;
 /// the crates linked into long-running services; a panic there is an
 /// outage, not a test failure.
 pub const LIBRARY_CRATES: &[&str] = &[
-    "detect", "trace", "analysis", "netmodel", "addr", "obs", "mawi", "report",
+    "detect", "trace", "analysis", "netmodel", "addr", "obs", "mawi", "report", "serve", "cli",
 ];
 
 /// Crates whose whole point is seeded reproducibility (L003): simulation
@@ -17,7 +17,12 @@ pub const LIBRARY_CRATES: &[&str] = &[
 /// OS entropy.
 pub const DETERMINISTIC_CRATES: &[&str] = &["scanners", "telescope", "netmodel", "backscatter"];
 
-fn finding(ctx: &FileCtx, lint: &'static str, code_idx: usize, message: String) -> Finding {
+pub(crate) fn finding(
+    ctx: &FileCtx,
+    lint: &'static str,
+    code_idx: usize,
+    message: String,
+) -> Finding {
     let span = ctx.ct(code_idx).span;
     Finding {
         lint,
@@ -38,7 +43,10 @@ pub fn l001(ctx: &FileCtx, out: &mut Vec<Finding>) {
         .crate_name
         .as_deref()
         .is_some_and(|c| LIBRARY_CRATES.contains(&c));
-    if !in_scope || ctx.is_test_file {
+    // Binary entry points may panic on startup misconfiguration; the
+    // library half of the same crate may not.
+    let entry_point = ctx.rel_path.ends_with("/main.rs") || ctx.rel_path.contains("/src/bin/");
+    if !in_scope || ctx.is_test_file || entry_point {
         return;
     }
     for i in 0..ctx.code.len() {

@@ -3,12 +3,13 @@
 //! ```text
 //! cargo run -p lumen6-analyzer                  # check the workspace
 //! cargo run -p lumen6-analyzer -- --json        # machine-readable report
+//! cargo run -p lumen6-analyzer -- --format github   # CI annotations
 //! cargo run -p lumen6-analyzer -- --bless-snapshot
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/internal error.
 
-use lumen6_analyzer::{render_human, run, Options, KNOWN_LINTS};
+use lumen6_analyzer::{render_human, run, Options, Outcome, KNOWN_LINTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,6 +17,8 @@ const USAGE: &str = "\
 usage: lumen6-analyzer [options]
   --root DIR         workspace root (default: current directory)
   --json             print the machine-readable JSON report to stdout
+  --format FMT       stdout format: human (default), github (Actions
+                     ::error annotations, one per unsuppressed finding)
   --report FILE      also write the JSON report to FILE
   --bless-snapshot   record the current snapshot fingerprint (L004)
   --force-bless      bless even without a SNAPSHOT_VERSION bump
@@ -24,8 +27,51 @@ usage: lumen6-analyzer [options]
   --list-lints       print the lint inventory and exit
   -h, --help         this help";
 
+/// Stdout rendering of the outcome.
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Github,
+}
+
+/// Escapes a value for a GitHub Actions workflow command. Properties
+/// (file names) additionally escape `:` and `,`; message bodies only
+/// need `%`, CR, and LF.
+fn gh_escape(s: &str, property: bool) -> String {
+    let mut out = s
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A");
+    if property {
+        out = out.replace(':', "%3A").replace(',', "%2C");
+    }
+    out
+}
+
+/// Prints one `::error` annotation per unsuppressed finding, then a
+/// one-line summary. GitHub attaches each annotation to the named file
+/// and line in the PR diff view.
+fn render_github(outcome: &Outcome) {
+    for f in outcome.unsuppressed() {
+        println!(
+            "::error file={},line={},col={},title={}::{}",
+            gh_escape(&f.file, true),
+            f.line,
+            f.col,
+            f.lint,
+            gh_escape(&format!("{} {}", f.lint, f.message), false),
+        );
+    }
+    let n = outcome.unsuppressed().count();
+    println!(
+        "lumen6-analyzer: {n} violations across {} files",
+        outcome.files_scanned
+    );
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
     let mut json = false;
     let mut report_path: Option<PathBuf> = None;
     let mut bless = false;
@@ -41,6 +87,14 @@ fn main() -> ExitCode {
                 None => return usage_error("--root needs a value"),
             },
             "--json" => json = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("github") => format = Format::Github,
+                Some(other) => {
+                    return usage_error(&format!("unknown --format {other:?}"));
+                }
+                None => return usage_error("--format needs a value"),
+            },
             "--report" => match args.next() {
                 Some(v) => report_path = Some(PathBuf::from(v)),
                 None => return usage_error("--report needs a value"),
@@ -103,7 +157,11 @@ fn main() -> ExitCode {
         }
     }
     if !json {
-        print!("{}", render_human(&outcome));
+        if format == Format::Github {
+            render_github(&outcome);
+        } else {
+            print!("{}", render_human(&outcome));
+        }
         if outcome.blessed {
             println!("snapshot fingerprint blessed");
         }

@@ -23,6 +23,10 @@ fn bad_fixtures_exit_nonzero_with_expected_lint_id() {
         ("l002_bad.rs", "cli", "L002"),
         ("l003_bad.rs", "scanners", "L003"),
         ("l005_bad.rs", "cli", "L005"),
+        ("l006_bad.rs", "serve", "L006"),
+        ("l007_bad.rs", "detect", "L007"),
+        ("l008_bad.rs", "cli", "L008"),
+        ("l009_bad.rs", "detect", "L009"),
         ("allow_bad.rs", "detect", "L000"),
     ] {
         let out = bin()
@@ -50,6 +54,10 @@ fn good_fixtures_exit_zero() {
         ("l002_good.rs", "cli"),
         ("l003_good.rs", "scanners"),
         ("l005_good.rs", "cli"),
+        ("l006_good.rs", "serve"),
+        ("l007_good.rs", "detect"),
+        ("l008_good.rs", "cli"),
+        ("l009_good.rs", "detect"),
     ] {
         let out = bin()
             .args(["--file", &fixture(file), "--as-crate", as_crate])
@@ -117,11 +125,66 @@ fn usage_errors_exit_two() {
 }
 
 #[test]
-fn list_lints_names_all_five() {
+fn list_lints_names_all_nine() {
     let out = bin().arg("--list-lints").output().expect("spawn analyzer");
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for id in ["L001", "L002", "L003", "L004", "L005"] {
+    for id in [
+        "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
+    ] {
         assert!(stdout.contains(id), "missing {id}: {stdout}");
     }
+}
+
+#[test]
+fn github_format_emits_error_annotations() {
+    let out = bin()
+        .args([
+            "--file",
+            &fixture("l007_bad.rs"),
+            "--as-crate",
+            "detect",
+            "--format",
+            "github",
+        ])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let annotations: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("::error file="))
+        .collect();
+    assert_eq!(annotations.len(), 4, "stdout: {stdout}");
+    assert!(
+        annotations[0].contains("line=10") && annotations[0].contains("title=L007"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn github_format_on_clean_input_exits_zero() {
+    let out = bin()
+        .args([
+            "--file",
+            &fixture("l007_good.rs"),
+            "--as-crate",
+            "detect",
+            "--format",
+            "github",
+        ])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("::error"), "stdout: {stdout}");
+}
+
+#[test]
+fn unknown_format_exits_two() {
+    let out = bin()
+        .args(["--format", "sarif"])
+        .output()
+        .expect("spawn analyzer");
+    assert_eq!(out.status.code(), Some(2));
 }

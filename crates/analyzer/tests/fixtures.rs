@@ -46,9 +46,24 @@ fn l001_good_is_clean_with_suppressed_allows() {
 
 #[test]
 fn l001_only_applies_to_library_crates() {
-    // Same bad file, but attributed to the CLI crate: no findings.
-    let out = analyze("l001_bad.rs", Some("cli"));
+    // Same bad file, but attributed to the scanners simulation crate,
+    // which is outside the panic-freedom scope: no findings.
+    let out = analyze("l001_bad.rs", Some("scanners"));
     assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+}
+
+#[test]
+fn l001_covers_serve_and_cli_crates() {
+    // The daemon and the CLI library half are long-running / scripted
+    // surfaces; a panic there kills tenants or breaks pipelines.
+    for krate in ["serve", "cli"] {
+        let out = analyze("l001_bad.rs", Some(krate));
+        assert_eq!(
+            hits(&out),
+            vec![("L001", 4), ("L001", 5), ("L001", 7)],
+            "crate {krate} must be in L001 scope"
+        );
+    }
 }
 
 #[test]
@@ -107,6 +122,83 @@ fn l005_good_is_clean() {
         hits(&analyze("l005_good.rs", None)),
         Vec::<(&str, u32)>::new()
     );
+}
+
+/// Unsuppressed findings must be empty, and exactly one suppressed
+/// finding with a recorded reason must remain (the audited exception
+/// each good fixture carries).
+fn assert_clean_with_one_audited(out: &lumen6_analyzer::Outcome) {
+    assert_eq!(hits(out), Vec::<(&str, u32)>::new());
+    let suppressed: Vec<_> = out.findings.iter().filter(|f| f.suppressed).collect();
+    assert_eq!(suppressed.len(), 1, "findings: {:?}", out.findings);
+    assert!(suppressed[0].reason.is_some());
+}
+
+#[test]
+fn l006_bad_flags_guard_held_across_blocking() {
+    // .recv() (line 14), thread::sleep (line 21), and a same-file call
+    // that blocks transitively (line 34).
+    let out = analyze("l006_bad.rs", Some("serve"));
+    assert_eq!(hits(&out), vec![("L006", 14), ("L006", 21), ("L006", 34)]);
+}
+
+#[test]
+fn l006_good_accepts_scoping_drop_and_condvar_wait() {
+    assert_clean_with_one_audited(&analyze("l006_good.rs", Some("serve")));
+}
+
+#[test]
+fn l006_is_scoped_to_daemon_crates() {
+    // The same guard-across-recv file in the simulation crate is fine:
+    // scanner models are not resident in the daemon process.
+    let out = analyze("l006_bad.rs", Some("scanners"));
+    assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+}
+
+#[test]
+fn l007_bad_flags_truncating_casts() {
+    // Address field u128->u64, u64 param ->u32, .len() ->u32, and a
+    // u128-suffixed literal binding ->usize.
+    let out = analyze("l007_bad.rs", Some("detect"));
+    assert_eq!(
+        hits(&out),
+        vec![("L007", 10), ("L007", 14), ("L007", 18), ("L007", 23)]
+    );
+}
+
+#[test]
+fn l007_good_accepts_exact_shift_mask_and_widening() {
+    assert_clean_with_one_audited(&analyze("l007_good.rs", Some("detect")));
+}
+
+#[test]
+fn l007_exempts_the_addr_crate() {
+    // The cast helpers (low64/high64/sat_*) live in addr, deliberately
+    // outside L007 scope, so they need no allows of their own.
+    let out = analyze("l007_bad.rs", Some("addr"));
+    assert_eq!(hits(&out), Vec::<(&str, u32)>::new());
+}
+
+#[test]
+fn l008_bad_flags_direct_spool_writes() {
+    let out = analyze("l008_bad.rs", Some("cli"));
+    assert_eq!(hits(&out), vec![("L008", 5), ("L008", 9)]);
+}
+
+#[test]
+fn l008_good_accepts_temp_plus_rename() {
+    assert_clean_with_one_audited(&analyze("l008_good.rs", Some("cli")));
+}
+
+#[test]
+fn l009_bad_flags_unbounded_growth_and_channels() {
+    let out = analyze("l009_bad.rs", Some("detect"));
+    assert_eq!(hits(&out), vec![("L009", 13), ("L009", 20), ("L009", 25)]);
+}
+
+#[test]
+fn l009_good_accepts_cleared_bounded_and_local_state() {
+    assert_clean_with_one_audited(&analyze("l009_good.rs", Some("detect")));
 }
 
 #[test]

@@ -203,11 +203,15 @@ fn generate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError>
         }
     };
 
-    let mut writer = TraceWriter::new(BufWriter::new(File::create(path)?))?;
+    // Write-temp-then-rename so a concurrent `--tail` reader of the same
+    // path never sees a partial trace.
+    let tmp = format!("{path}.tmp");
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&tmp)?))?;
     for r in &records {
         writer.append(r)?;
     }
     writer.finish()?.flush()?;
+    std::fs::rename(&tmp, path)?;
     writeln!(out, "wrote {} records to {path}", records.len())?;
     Ok(())
 }
@@ -371,7 +375,9 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             batch.extend(part.iter().copied());
             det.observe_batch(&batch);
         }
-        det.finish().remove(&agg).expect("requested level present")
+        det.finish().remove(&agg).ok_or_else(|| {
+            CliError::Internal(format!("level /{} missing from report", agg.len()))
+        })?
     } else {
         // Stream through the fault-tolerant session so peak memory does not
         // scale with trace size: off disk with --trace, following a growing
@@ -405,12 +411,15 @@ fn detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
                         rep.checkpoints_written,
                     ));
                 }
-                rep.reports.remove(&agg).expect("requested level present")
+                rep.reports.remove(&agg).ok_or_else(|| {
+                    CliError::Internal(format!("level /{} missing from report", agg.len()))
+                })?
             }
         }
     };
     if args.has("json") {
-        let json = serde_json::to_string_pretty(&report.events).expect("scan events serialize");
+        let json = serde_json::to_string_pretty(&report.events)
+            .map_err(|e| CliError::Internal(format!("serialize scan events: {e}")))?;
         writeln!(out, "{json}")?;
         // Metrics go to their own file, so they compose with --json.
         emit_metrics(args, &metrics_baseline, out, true)?;
@@ -540,8 +549,13 @@ fn emit_metrics<W: std::io::Write>(
     let delta = lumen6_obs::MetricsRegistry::global()
         .snapshot()
         .delta(baseline);
-    let json = serde_json::to_string_pretty(&delta).expect("metrics snapshot serializes");
-    std::fs::write(path, json)?;
+    let json = serde_json::to_string_pretty(&delta)
+        .map_err(|e| CliError::Internal(format!("serialize metrics snapshot: {e}")))?;
+    // Atomic publication: tools polling the metrics file (CI's
+    // check_metrics, dashboards) must never observe a torn write.
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)?;
     if !quiet {
         writeln!(out, "metrics -> {path}")?;
         writeln!(out, "{}", delta.summary_table())?;
@@ -572,7 +586,8 @@ fn mawi_detect<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliErr
         }
     }
     if args.has("json") {
-        let json = serde_json::to_string_pretty(&all).expect("scans serialize");
+        let json = serde_json::to_string_pretty(&all)
+            .map_err(|e| CliError::Internal(format!("serialize scans: {e}")))?;
         writeln!(out, "{json}")?;
         return Ok(());
     }
@@ -691,11 +706,13 @@ fn import_pcap<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliErr
     let mut records = imported.records;
     // Captures are usually time-sorted, but the codec requires it.
     lumen6_trace::sort_by_time(&mut records);
-    let mut writer = TraceWriter::new(BufWriter::new(File::create(out_path)?))?;
+    let tmp = format!("{out_path}.tmp");
+    let mut writer = TraceWriter::new(BufWriter::new(File::create(&tmp)?))?;
     for r in &records {
         writer.append(r)?;
     }
     writer.finish()?.flush()?;
+    std::fs::rename(&tmp, out_path)?;
     writeln!(
         out,
         "imported {} IPv6 records ({} packets skipped) -> {out_path}",
@@ -711,8 +728,10 @@ fn export_pcap<W: std::io::Write>(args: &Args, out: &mut W) -> Result<(), CliErr
     let out_path = args
         .get("out")
         .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
-    let n = lumen6_trace::pcap::write_pcap(&records, BufWriter::new(File::create(out_path)?))
+    let tmp = format!("{out_path}.tmp");
+    let n = lumen6_trace::pcap::write_pcap(&records, BufWriter::new(File::create(&tmp)?))
         .map_err(|e| CliError::Usage(format!("pcap export failed: {e}")))?;
+    std::fs::rename(&tmp, out_path)?;
     writeln!(out, "wrote {n} packets to {out_path}")?;
     Ok(())
 }

@@ -23,6 +23,10 @@ pub enum CliError {
     /// The serve daemon ran to completion, but at least one tenant ended
     /// in the `failed` state; the daemon's exit must reflect that.
     Serve(String),
+    /// A broken internal invariant (missing report level, report
+    /// serialization failure) — a bug, surfaced as an error rather than
+    /// a panic so a scripted pipeline sees a diagnosable exit.
+    Internal(String),
     /// A `detect --checkpoint ... --stop-after N` run stopped deliberately
     /// after writing its checkpoint. Not a failure: the binary maps this to
     /// exit code 3 so resume tests can tell "stopped" from "crashed".
@@ -42,6 +46,7 @@ impl fmt::Display for CliError {
             CliError::Codec(e) => write!(f, "trace error: {e}"),
             CliError::Session(e) => write!(f, "{e}"),
             CliError::Serve(m) => write!(f, "serve: {m}"),
+            CliError::Internal(m) => write!(f, "internal error: {m}"),
             CliError::Stopped {
                 checkpoints_written,
                 records_done,

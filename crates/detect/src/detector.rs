@@ -149,7 +149,7 @@ struct BatchScratch {
     /// per batch.
     keys: Vec<u128>,
     /// Masked source → position in `groups` for the batch being processed.
-    index: FxHashMap<u128, u32>,
+    index: FxHashMap<u128, usize>,
     /// Per-source record indices (into the batch), in arrival order.
     groups: Vec<(u128, Vec<u32>)>,
     /// Recycled index vectors.
@@ -358,7 +358,7 @@ impl ScanDetector {
         // same-source records (the dominant pattern under scan traffic)
         // skip the map entirely.
         crate::kernels::aggregate_column(batch.src(), agg, keys);
-        let mut last: Option<(u128, u32)> = None;
+        let mut last: Option<(u128, usize)> = None;
         let mut memo_hits = 0u64;
         for (i, &key) in keys.iter().enumerate() {
             let gi = match last {
@@ -367,12 +367,12 @@ impl ScanDetector {
                     g
                 }
                 _ => *index.entry(key).or_insert_with(|| {
-                    let g = groups.len() as u32;
+                    let g = groups.len();
                     groups.push((key, pool.pop().unwrap_or_default()));
                     g
                 }),
             };
-            groups[gi as usize].1.push(i as u32);
+            groups[gi].1.push(i as u32);
             last = Some((key, gi));
         }
 

@@ -20,6 +20,7 @@
 //! it — every serialized or reported collection is still explicitly sorted
 //! (or converted to a `BTreeMap`) at the boundary, exactly as before.
 
+use lumen6_addr::cast::{high64, low64};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -83,8 +84,8 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write_u128(&mut self, n: u128) {
-        self.add_to_hash(n as u64);
-        self.add_to_hash((n >> 64) as u64);
+        self.add_to_hash(low64(n));
+        self.add_to_hash(high64(n));
     }
 
     #[inline]

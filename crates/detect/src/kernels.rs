@@ -17,6 +17,7 @@
 //! as [`RecordBatch`](lumen6_trace::RecordBatch) itself.
 
 use crate::aggregate::AggLevel;
+use lumen6_addr::cast::{high64, low64};
 
 /// The network mask for a prefix length: the top `len` bits set.
 /// Semantics match `Ipv6Prefix::new` (len 0 masks everything away, lengths
@@ -61,7 +62,7 @@ pub fn mix64(mut x: u64) -> u64 {
 #[must_use]
 pub fn route(coarsest: AggLevel, shards: usize, src: u128) -> usize {
     let bits = src & level_mask(coarsest.len());
-    let h = mix64((bits >> 64) as u64 ^ (bits as u64).rotate_left(32) ^ u64::from(coarsest.len()));
+    let h = mix64(high64(bits) ^ low64(bits).rotate_left(32) ^ u64::from(coarsest.len()));
     (h % shards.max(1) as u64) as usize
 }
 

@@ -226,6 +226,7 @@ impl ShardedDetector {
         debug_assert_eq!(initial.len(), shards);
         let coarsest = levels.iter().copied().min().unwrap_or(AggLevel::L128);
         let batch = plan.batch.max(1);
+        // lumen6: allow(L009, recycle channel is bounded by construction: batches in circulation never exceed shards*(depth+1), pinned by staging_buffers_are_recycled_not_reallocated)
         let (recycle_tx, recycle) = channel::<RecordBatch>();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);

@@ -12,6 +12,7 @@
 //! small-range (linear counting) correction. Hashing is a splitmix64-style
 //! finalizer over the folded 128-bit address.
 
+use lumen6_addr::cast::{high64, low64};
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
 
@@ -111,7 +112,7 @@ impl Deserialize for SketchConfig {
 #[inline]
 fn mix128(x: u128) -> u64 {
     // Fold, then two rounds of splitmix64 finalization.
-    let mut z = (x as u64) ^ ((x >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut z = low64(x) ^ high64(x).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

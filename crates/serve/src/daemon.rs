@@ -228,10 +228,13 @@ fn publish(rt: &mut TenantRt, report: Option<&SessionReport>) {
     }
 }
 
-/// Shared scheduler state: the ready queue plus one lock per tenant, so
-/// workers never serialize on each other's sessions.
+/// Shared scheduler state: the ready queue plus one slot per tenant.
+/// A worker *takes* the tenant out of its slot and runs the slice on the
+/// owned value, so no lock is ever held across session stepping or spool
+/// I/O (L006); queue discipline guarantees exclusivity — an index is
+/// never in the ready queue while its slot is empty.
 struct Shared {
-    tenants: Vec<Mutex<TenantRt>>,
+    tenants: Vec<Mutex<Option<TenantRt>>>,
     queue: Mutex<VecDeque<usize>>,
     cvar: Condvar,
     quit: AtomicBool,
@@ -321,7 +324,11 @@ impl Daemon {
     pub fn run(mut self) -> Result<DaemonSummary, ServeError> {
         let total = self.tenants.len();
         let shared = Shared {
-            tenants: self.tenants.drain(..).map(Mutex::new).collect(),
+            tenants: self
+                .tenants
+                .drain(..)
+                .map(|t| Mutex::new(Some(t)))
+                .collect(),
             queue: Mutex::new((0..total).collect()),
             cvar: Condvar::new(),
             quit: AtomicBool::new(false),
@@ -360,7 +367,7 @@ impl Daemon {
         let mut tenants: Vec<TenantRt> = shared
             .tenants
             .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .filter_map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect();
         if stopped {
             for rt in &mut tenants {
@@ -415,8 +422,16 @@ fn worker(shared: &Shared, steps: u32, publish_every: u64) {
                     .0;
             }
         };
-        let mut guard = lock(&shared.tenants[idx]);
-        let rt = &mut *guard;
+        // Take the tenant out of its slot: the slice below does file I/O
+        // (checkpoints, spool publication), which must not run under the
+        // slot lock. The slot lock is only ever held for the take/put.
+        let Some(mut tenant) = lock(&shared.tenants[idx]).take() else {
+            // Defensive — queue discipline means this cannot happen, but
+            // an empty slot must not kill the worker: whoever holds the
+            // tenant is responsible for re-queueing it.
+            continue;
+        };
+        let rt = &mut tenant;
         let mut requeue = true;
         let mut pending = false;
         let mut slice_records: u64 = 0;
@@ -474,7 +489,9 @@ fn worker(shared: &Shared, steps: u32, publish_every: u64) {
                 Err(_) => publish(rt, None),
             }
         }
-        drop(guard);
+        // Put the tenant back before re-queueing its index, so the next
+        // worker to pop it always finds the slot occupied.
+        *lock(&shared.tenants[idx]) = Some(tenant);
         if requeue {
             if pending {
                 std::thread::sleep(PENDING_BACKOFF);

@@ -17,6 +17,7 @@
 //! which is irrelevant to detection (only deltas matter).
 
 use crate::record::{PacketRecord, Transport};
+use lumen6_addr::cast::{sat_u16, sat_u32};
 use lumen6_obs::MetricsRegistry;
 use std::io::{self, Read, Write};
 
@@ -85,7 +86,8 @@ fn checksum(parts: &[&[u8]]) -> u16 {
     while sum >> 16 != 0 {
         sum = (sum & 0xffff) + (sum >> 16);
     }
-    !(sum as u16)
+    // The fold loop above leaves `sum` < 0x10000, so the mask is exact.
+    !((sum & 0xffff) as u16)
 }
 
 /// Builds the on-wire IPv6 packet for a record: header + transport header +
@@ -106,7 +108,7 @@ fn build_packet(r: &PacketRecord) -> Vec<u8> {
 
     // IPv6 header.
     pkt.extend_from_slice(&[0x60, 0, 0, 0]); // version 6, tc 0, flow 0
-    pkt.extend_from_slice(&(payload_len as u16).to_be_bytes());
+    pkt.extend_from_slice(&sat_u16(payload_len).to_be_bytes());
     pkt.push(next_header);
     pkt.push(64); // hop limit
     pkt.extend_from_slice(&r.src.to_be_bytes());
@@ -116,7 +118,7 @@ fn build_packet(r: &PacketRecord) -> Vec<u8> {
     let mut pseudo = Vec::with_capacity(40);
     pseudo.extend_from_slice(&r.src.to_be_bytes());
     pseudo.extend_from_slice(&r.dst.to_be_bytes());
-    pseudo.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    pseudo.extend_from_slice(&sat_u32(payload_len).to_be_bytes());
     pseudo.extend_from_slice(&[0, 0, 0, next_header]);
 
     let pad = payload_len - transport_len;
@@ -141,7 +143,7 @@ fn build_packet(r: &PacketRecord) -> Vec<u8> {
             let mut udp = Vec::with_capacity(8);
             udp.extend_from_slice(&r.sport.to_be_bytes());
             udp.extend_from_slice(&r.dport.to_be_bytes());
-            udp.extend_from_slice(&(payload_len as u16).to_be_bytes());
+            udp.extend_from_slice(&sat_u16(payload_len).to_be_bytes());
             udp.extend_from_slice(&[0, 0]);
             let ck = checksum(&[&pseudo, &udp, &padding]);
             // UDP checksum 0 means "none" — RFC 8200 forbids it for IPv6;
@@ -187,8 +189,9 @@ pub fn write_pcap<W: Write>(records: &[PacketRecord], mut out: W) -> Result<u64,
         let pkt = build_packet(r);
         out.write_all(&ts_sec.to_le_bytes())?;
         out.write_all(&(((r.ts_ms % 1000) * 1000) as u32).to_le_bytes())?;
-        out.write_all(&(pkt.len() as u32).to_le_bytes())?;
-        out.write_all(&(pkt.len() as u32).to_le_bytes())?;
+        let wire_len = sat_u32(pkt.len());
+        out.write_all(&wire_len.to_le_bytes())?;
+        out.write_all(&wire_len.to_le_bytes())?;
         out.write_all(&pkt)?;
     }
     out.flush()?;
@@ -262,7 +265,7 @@ fn parse_frame(
         proto,
         sport,
         dport,
-        len: ip.len().min(usize::from(u16::MAX)) as u16,
+        len: sat_u16(ip.len()),
     })
 }
 
