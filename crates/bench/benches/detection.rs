@@ -12,7 +12,7 @@ use lumen6_detect::{
     MawiDetector, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig, SessionOutcome,
     SessionReport,
 };
-use lumen6_scanners::FleetSource;
+use lumen6_scanners::{FleetSource, ParallelFleetSource};
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use lumen6_trace::{MaterializedSource, PacketRecord, RecordBatch, Source};
 use std::time::Instant;
@@ -223,6 +223,21 @@ fn fused_pipeline(c: &mut Criterion) {
             black_box(run_session(&mut src))
         });
     });
+    // Parallel fused generation: same pipeline, generation spread over N
+    // worker threads feeding a deterministic k-way merge. Output is
+    // byte-identical to `fused`; only the wall clock should move.
+    for gen_threads in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel_fused", gen_threads),
+            &gen_threads,
+            |b, &n| {
+                b.iter(|| {
+                    let mut src = ParallelFleetSource::new(fx.world.clone(), n);
+                    black_box(run_session(&mut src))
+                });
+            },
+        );
+    }
     g.finish();
 }
 
@@ -307,6 +322,11 @@ fn emit_bench_json(_c: &mut Criterion) {
         let mut src = FleetSource::new(fx.world.clone());
         fused_records = run_session(&mut src).records;
     });
+    const PARFUSED_THREADS: usize = 4;
+    let parfused_s = median_secs(RUNS, || {
+        let mut src = ParallelFleetSource::new(fx.world.clone(), PARFUSED_THREADS);
+        black_box(run_session(&mut src));
+    });
     let materialized_s = median_secs(RUNS, || {
         let recs = decode(&bytes).expect("decode");
         black_box(detect_multi_batched(&recs));
@@ -333,7 +353,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"batch\": {BATCH},\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sequential_per_record\": {{\"seconds\": {per_record_s:.6}, \"records_per_s\": {:.0}, \"batched_speedup\": {:.3}}},\n  \"session\": {{\"seconds\": {session_s:.6}, \"records_per_s\": {:.0}, \"overhead_vs_sequential\": {:.4}}},\n  \"fused\": {{\"seconds\": {fused_s:.6}, \"records\": {fused_records}, \"records_per_s\": {:.0}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sequential is the batched columnar path the pipeline runs; sharded routes columnar sub-batches (kernel route_column + column scatter) to shard workers; speedup is bounded by host_cores — on a single-core host expect parity with sequential, not gains; fused is generation+detection end-to-end (FleetSource -> Session, no resident trace), so its record count and throughput are not comparable to the detect-only rows\"\n}}\n",
+        "{{\n  \"bench\": \"detection\",\n  \"host_cores\": {cores},\n  \"records\": {records},\n  \"trace_bytes\": {},\n  \"levels\": [\"/128\", \"/64\", \"/48\"],\n  \"batch\": {BATCH},\n  \"sequential\": {{\"seconds\": {sequential_s:.6}, \"records_per_s\": {:.0}}},\n  \"sequential_per_record\": {{\"seconds\": {per_record_s:.6}, \"records_per_s\": {:.0}, \"batched_speedup\": {:.3}}},\n  \"session\": {{\"seconds\": {session_s:.6}, \"records_per_s\": {:.0}, \"overhead_vs_sequential\": {:.4}}},\n  \"fused\": {{\"seconds\": {fused_s:.6}, \"records\": {fused_records}, \"records_per_s\": {:.0}}},\n  \"parallel_fused\": {{\"seconds\": {parfused_s:.6}, \"gen_threads\": {PARFUSED_THREADS}, \"records_per_s\": {:.0}, \"speedup_vs_fused\": {:.3}}},\n  \"sharded\": [\n{}\n  ],\n  \"streaming_vs_materialized\": {{\n    \"materialized_seconds\": {materialized_s:.6},\n    \"streaming_seconds\": {streaming_s:.6},\n    \"mib_per_s_streaming\": {:.3}\n  }},\n  \"note\": \"sequential is the batched columnar path the pipeline runs; sharded routes columnar sub-batches (kernel route_column + column scatter) to shard workers; speedup is bounded by host_cores — on a single-core host expect parity with sequential, not gains; fused is generation+detection end-to-end (FleetSource -> Session, no resident trace), so its record count and throughput are not comparable to the detect-only rows; parallel_fused is the same fused pipeline with generation spread over gen_threads worker threads and a deterministic merge — byte-identical output, speedup bounded by host_cores\"\n}}\n",
         bytes.len(),
         records as f64 / sequential_s,
         records as f64 / per_record_s,
@@ -341,6 +361,8 @@ fn emit_bench_json(_c: &mut Criterion) {
         records as f64 / session_s,
         session_s / sequential_s - 1.0,
         fused_records as f64 / fused_s,
+        fused_records as f64 / parfused_s,
+        fused_s / parfused_s,
         sharded_json.join(",\n"),
         bytes.len() as f64 / streaming_s / (1u64 << 20) as f64,
     );

@@ -26,6 +26,12 @@
 //!   `BENCH_GUARD_FUSED_MIN_RPS`). Fused throughput includes generation,
 //!   so it is gated on an absolute floor rather than compared against the
 //!   detect-only baseline, or
+//! - the parallel fused pipeline (`ParallelFleetSource` at 4 generator
+//!   threads, byte-identical output) fails to reach the required speedup
+//!   over the single-threaded fused pipeline (default 1.5x, override with
+//!   `BENCH_GUARD_PARFUSED_SPEEDUP`). Like the sharded gate this only runs
+//!   on multi-core hosts — on one core parallel generation is the same
+//!   work plus channel traffic, so the gate is skipped with a log line, or
 //! - a single fused tenant hosted by the `lumen6 serve` daemon (one
 //!   worker, mid-run publication disabled) runs more than the allowed
 //!   overhead slower than the identical `RunConfig` driven raw through
@@ -44,7 +50,7 @@ use lumen6_detect::{
     AggLevel, Backend, DetectorBuilder, ReorderBuffer, ScanDetectorConfig, Session, SessionConfig,
     SessionOutcome,
 };
-use lumen6_scanners::FleetSource;
+use lumen6_scanners::{FleetSource, ParallelFleetSource};
 use lumen6_serve::{Daemon, RunConfig, ServeConfig, TenantSpec};
 use lumen6_trace::codec::{decode, decode_chunks, encode};
 use lumen6_trace::{PacketRecord, RecordBatch};
@@ -117,6 +123,7 @@ fn main() {
     let stream_tolerance = env_f64("BENCH_GUARD_STREAM_TOLERANCE", 0.10);
     let min_sharded_speedup = env_f64("BENCH_GUARD_SHARDED_SPEEDUP", 1.5);
     let fused_min_rps = env_f64("BENCH_GUARD_FUSED_MIN_RPS", 10_000.0);
+    let min_parfused_speedup = env_f64("BENCH_GUARD_PARFUSED_SPEEDUP", 1.5);
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let fx = CdnFixture::new();
@@ -172,6 +179,28 @@ fn main() {
             SessionOutcome::Finished(rep) => fused_records = rep.records,
             SessionOutcome::Stopped { .. } => unreachable!("no checkpoint stop configured"),
         }
+    });
+
+    // Parallel fused gate: same fused workload, generation spread over 4
+    // worker threads with the deterministic merge. Only measured where a
+    // speedup is physically possible.
+    let parfused_s = (host_cores > 1).then(|| {
+        median_secs(|| {
+            let mut src = ParallelFleetSource::new(fx.world.clone(), 4);
+            let det = DetectorBuilder::new(ScanDetectorConfig::default()).levels(&LEVELS);
+            let outcome = Session::new(det, Backend::Sequential, SessionConfig::default())
+                .run_source(&mut src)
+                .expect("parallel fused session runs");
+            match outcome {
+                SessionOutcome::Finished(rep) => {
+                    assert_eq!(
+                        rep.records, fused_records,
+                        "parallel fused ingested a different record count than fused"
+                    );
+                }
+                SessionOutcome::Stopped { .. } => unreachable!("no checkpoint stop configured"),
+            }
+        })
     });
 
     // Serve gate: the same fused run, once raw and once as the daemon's
@@ -324,6 +353,28 @@ fn main() {
             serve_overhead_limit * 100.0
         );
         failed = true;
+    }
+    match parfused_s {
+        None => println!(
+            "bench_guard: parallel-fused gate SKIPPED (host_cores={host_cores}): one core \
+             cannot speed up generation by splitting it across threads"
+        ),
+        Some(s) => {
+            let speedup = fused_s / s;
+            println!(
+                "bench_guard: parallel fused (4 gen-threads) {:.0} rec/s, speedup \
+                 {speedup:.2}x over fused (required {min_parfused_speedup:.2}x, \
+                 host_cores={host_cores})",
+                fused_records as f64 / s
+            );
+            if speedup < min_parfused_speedup {
+                eprintln!(
+                    "bench_guard: FAIL — parallel fused speedup {speedup:.2}x below \
+                     required {min_parfused_speedup:.2}x at 4 gen-threads"
+                );
+                failed = true;
+            }
+        }
     }
     match sharded_s {
         None => println!(

@@ -41,8 +41,11 @@ USAGE:
                 [--watermark-secs N] [--strict] [--batch N]
                 [--sketch-precision P] [--flush-idle-secs N]
   lumen6 detect --fused [--days N] [--seed N] [--small] [--intensity F]
+                [--gen-threads N]
                 (synthesize the CDN fleet stream in-process instead of
-                 reading --trace; same detection flags apply)
+                 reading --trace; same detection flags apply. --gen-threads
+                 spreads generation over N threads — output is byte-identical
+                 for any N; 0 = one per hardware thread)
   lumen6 detect --tail FILE   (follow a growing trace until FILE.eof appears)
   lumen6 detect --config RUN.toml [flags override the file's keys]
   lumen6 serve  --config MANIFEST.toml [--spool DIR] [--workers N]
@@ -50,6 +53,15 @@ USAGE:
                 (multi-tenant daemon: one checkpointed session per
                  [tenants.<name>] table; touch the stop file — default
                  <spool>/shutdown — for a graceful drain-and-exit)
+  lumen6 soak   --out DIR [--intensity F] [--days N] [--seed N] [--small]
+                [--gen-threads N] [--min-dsts N] [--checkpoint-every N]
+                [--kills N] [--kill-after-checkpoints N] [--sample-ms N]
+                [--max-rss-mb N] [--json]
+                (full-volume fused endurance run: a clean reference pass,
+                 then a kill -9/resume chain with RSS and throughput
+                 sampling into DIR/SOAK.json; fails unless the final
+                 report and checkpoint are byte-identical to the
+                 uninterrupted run)
   lumen6 mawi-detect --trace FILE [--agg N] [--min-dsts N] [--json]
   lumen6 adaptive --trace FILE [--min-dsts N]
   lumen6 fingerprint --trace FILE [--agg N] [--threshold F]
@@ -91,6 +103,11 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
             "spool",
             "workers",
             "stop-file",
+            "gen-threads",
+            "kills",
+            "kill-after-checkpoints",
+            "sample-ms",
+            "max-rss-mb",
         ],
     )?;
     let cmd = args
@@ -103,6 +120,7 @@ pub fn run<W: std::io::Write>(argv: Vec<String>, out: &mut W) -> Result<(), CliE
         "info" => info(&args, out),
         "detect" => detect(&args, out),
         "serve" => serve(&args, out),
+        "soak" => crate::soak::soak(&args, out),
         "mawi-detect" => mawi_detect(&args, out),
         "adaptive" => adaptive(&args, out),
         "fingerprint" => fingerprint_cmd(&args, out),
@@ -297,6 +315,7 @@ fn run_config(args: &Args) -> Result<RunConfig, CliError> {
     run.seed = args.get_parsed("seed", run.seed)?;
     run.small = run.small || args.has("small");
     run.intensity = args.get_parsed("intensity", run.intensity)?;
+    run.gen_threads = args.get_parsed("gen-threads", run.gen_threads)?;
     if run.checkpoint.is_none()
         && (args.get("checkpoint-every").is_some() || args.get("stop-after").is_some())
     {

@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+mod soak;
 
 use std::fmt;
 
@@ -23,6 +24,10 @@ pub enum CliError {
     /// The serve daemon ran to completion, but at least one tenant ended
     /// in the `failed` state; the daemon's exit must reflect that.
     Serve(String),
+    /// A `soak` endurance run completed but broke an invariant (report or
+    /// checkpoint divergence after kill/resume, RSS over the bound, fewer
+    /// kills injected than requested), or a child run failed outright.
+    Soak(String),
     /// A broken internal invariant (missing report level, report
     /// serialization failure) — a bug, surfaced as an error rather than
     /// a panic so a scripted pipeline sees a diagnosable exit.
@@ -46,6 +51,7 @@ impl fmt::Display for CliError {
             CliError::Codec(e) => write!(f, "trace error: {e}"),
             CliError::Session(e) => write!(f, "{e}"),
             CliError::Serve(m) => write!(f, "serve: {m}"),
+            CliError::Soak(m) => write!(f, "soak: {m}"),
             CliError::Internal(m) => write!(f, "internal error: {m}"),
             CliError::Stopped {
                 checkpoints_written,

@@ -141,3 +141,39 @@ fn stop_after_without_checkpoint_is_usage_error() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+/// `--gen-threads N` must not change a fused run's output by one byte, and
+/// is rejected outside `--fused` (parallel generation has no meaning for a
+/// materialized trace).
+#[test]
+fn gen_threads_is_output_invariant_and_fused_only() {
+    let fused = [
+        "detect",
+        "--fused",
+        "--small",
+        "--days",
+        "2",
+        "--intensity",
+        "1",
+        "--min-dsts",
+        "25",
+    ];
+    let sequential = stdout_of(&lumen6(&fused));
+    for n in ["2", "8", "0"] {
+        let mut args = fused.to_vec();
+        args.extend(["--gen-threads", n]);
+        assert_eq!(
+            stdout_of(&lumen6(&args)),
+            sequential,
+            "gen-threads={n} output differs"
+        );
+    }
+
+    let out = lumen6(&["detect", "--trace", "x.l6tr", "--gen-threads", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("gen_threads"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -67,7 +67,7 @@ use std::io;
 /// single entry reproduces the materialized order while keeping heap
 /// memory intensity-invariant.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
+pub(crate) struct Pending {
     ts: u64,
     idx: u64,
     /// Remaining copies to deliver (≥ 1 while queued).
@@ -101,7 +101,7 @@ impl Ord for Pending {
 /// draws and the packet draws share one RNG, in that order), but packets
 /// are expanded one session at a time, on demand.
 #[derive(Debug, Clone)]
-struct ActorStream {
+pub(crate) struct ActorStream {
     rng: SmallRng,
     /// Volume multiplier, applied per session at expansion time exactly as
     /// [`ScannerActor::generate_scaled`] applies it.
@@ -113,14 +113,14 @@ struct ActorStream {
     suffix_min_start: Vec<u64>,
     next_session: usize,
     emit_idx: u64,
-    heap: BinaryHeap<Reverse<Pending>>,
+    pub(crate) heap: BinaryHeap<Reverse<Pending>>,
     targets_buf: Vec<u128>,
 }
 
 impl ActorStream {
     /// Seeds the RNG and draws the session list exactly as
     /// [`ScannerActor::generate`] does.
-    fn new(actor: &ScannerActor, seed: u64, intensity: f64) -> ActorStream {
+    pub(crate) fn new(actor: &ScannerActor, seed: u64, intensity: f64) -> ActorStream {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a, as in generate()
         for b in actor.name.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
@@ -196,7 +196,7 @@ impl ActorStream {
 
     /// Timestamp of this actor's next packet, expanding sessions until the
     /// heap top is confirmed releasable. `None` once exhausted.
-    fn peek_ts(&mut self, actor: &ScannerActor) -> Option<u64> {
+    pub(crate) fn peek_ts(&mut self, actor: &ScannerActor) -> Option<u64> {
         loop {
             let horizon = self.suffix_min_start[self.next_session];
             match self.heap.peek() {
@@ -212,7 +212,7 @@ impl ActorStream {
     /// top entry, dequeuing it only once its repeats are exhausted; the
     /// heap key is unchanged while copies remain, so the entry stays on
     /// top for the adjacent duplicates a stable sort would produce.
-    fn pop(&mut self, actor: &ScannerActor) -> Option<PacketRecord> {
+    pub(crate) fn pop(&mut self, actor: &ScannerActor) -> Option<PacketRecord> {
         self.peek_ts(actor)?;
         let mut top = self.heap.peek_mut()?;
         if top.0.reps > 1 {
@@ -230,16 +230,16 @@ impl ActorStream {
 /// into the materialized trace. Invariant outside of delivery: either
 /// `pos` is past the end, or `rem > 0` copies of `stream[pos]` remain due.
 #[derive(Debug, Clone, Copy, Default)]
-struct FixedCursor {
-    pos: usize,
-    rem: u64,
+pub(crate) struct FixedCursor {
+    pub(crate) pos: usize,
+    pub(crate) rem: u64,
 }
 
 impl FixedCursor {
     /// Re-establishes the invariant after `rem` hits zero (or at init):
     /// advances `pos` past records whose repeat count is zero (fractional
     /// intensities drop records) and loads the next record's count.
-    fn normalize(&mut self, base: u64, scaled: u64) {
+    pub(crate) fn normalize(&mut self, base: u64, scaled: u64) {
         while self.rem == 0 && (self.pos as u64) < base {
             let i = self.pos as u64;
             self.rem = crate::fleet::emission_due(scaled, base, i + 1)
@@ -249,6 +249,30 @@ impl FixedCursor {
             }
         }
     }
+}
+
+/// Materializes the fixed (artifact, noise) streams of a world at their
+/// base (1×) size — shared between [`FleetSource`] and
+/// [`crate::ParallelFleetSource`], whose cursors apply intensity repeats
+/// at delivery time.
+pub(crate) fn fixed_streams(world: &World) -> [Vec<PacketRecord>; 2] {
+    let cfg = world.config();
+    [
+        artifacts::generate(
+            &world.deployment,
+            &cfg.artifacts,
+            cfg.start_day,
+            cfg.end_day,
+            cfg.seed,
+        ),
+        noise::generate(
+            &world.deployment.all_addrs(),
+            cfg.noise_sources_per_day,
+            cfg.start_day,
+            cfg.end_day,
+            cfg.seed,
+        ),
+    ]
 }
 
 /// A [`Source`] that generates the firewall-logged CDN trace of a [`World`]
@@ -296,22 +320,7 @@ impl FleetSource {
             .par_iter()
             .map(|a| ActorStream::new(a, cfg.seed, cfg.intensity))
             .collect();
-        let fixed = [
-            artifacts::generate(
-                &world.deployment,
-                &cfg.artifacts,
-                cfg.start_day,
-                cfg.end_day,
-                cfg.seed,
-            ),
-            noise::generate(
-                &world.deployment.all_addrs(),
-                cfg.noise_sources_per_day,
-                cfg.start_day,
-                cfg.end_day,
-                cfg.seed,
-            ),
-        ];
+        let fixed = fixed_streams(&world);
         let reg = lumen6_obs::MetricsRegistry::global();
         let mut counters = Vec::new();
         let mut index_of: std::collections::BTreeMap<&'static str, usize> = Default::default();

@@ -1,0 +1,257 @@
+//! Differential test battery for the parallel fused source at the session
+//! level: `parallel_fused == fused == materialized` across the
+//! gen-threads × batch × intensity grid — final reports, mid-run state
+//! (records done at a checkpoint stop), and checkpoint file bytes — plus
+//! kill-resume with a *different* gen-thread count than the run that wrote
+//! the checkpoint.
+
+use lumen6_detect::prelude::*;
+use lumen6_scanners::{FleetConfig, FleetSource, ParallelFleetSource, World};
+use lumen6_telescope::DeploymentConfig;
+use lumen6_trace::TraceWriter;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "lumen6-parallel-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A fast grid fleet: four days, small telescope — still thousands of
+/// logged records at 1×, tens of thousands at 25×.
+fn grid_config(intensity: f64) -> FleetConfig {
+    FleetConfig {
+        seed: 77,
+        intensity,
+        end_day: 4,
+        deployment: DeploymentConfig {
+            machines: 40,
+            ases: 5,
+            dns_pairs: 25,
+            ..Default::default()
+        },
+        noise_sources_per_day: 4,
+        ..FleetConfig::small()
+    }
+}
+
+/// Low-threshold detector so even the 0.1× grid corner produces events.
+fn detector() -> DetectorBuilder {
+    DetectorBuilder::new(ScanDetectorConfig {
+        min_dsts: 25,
+        ..Default::default()
+    })
+    .levels(&[AggLevel::L128, AggLevel::L64, AggLevel::L48])
+}
+
+fn report_json(rep: &SessionReport) -> String {
+    serde_json::to_string(rep).unwrap()
+}
+
+fn finish(outcome: SessionOutcome) -> SessionReport {
+    match outcome {
+        SessionOutcome::Finished(rep) => rep,
+        SessionOutcome::Stopped { .. } => panic!("session stopped unexpectedly"),
+    }
+}
+
+/// `parallel_fused == fused == materialized` final reports across
+/// gen-threads {1,2,4,8} × batch {1,64,8192} × intensity {0.1,1,25}.
+#[test]
+fn differential_battery_across_threads_batch_and_intensity() {
+    let dir = TempDir::new("battery");
+    for intensity in [0.1, 1.0, 25.0] {
+        let cfg = grid_config(intensity);
+        let recs = World::build(cfg.clone()).cdn_trace();
+        assert!(
+            recs.len() > 500,
+            "grid corner too small at intensity {intensity}: {}",
+            recs.len()
+        );
+        let trace = dir.path(&format!("grid-{intensity}.l6tr"));
+        let mut w = TraceWriter::new(BufWriter::new(File::create(&trace).unwrap())).unwrap();
+        for r in &recs {
+            w.append(r).unwrap();
+        }
+        w.finish().unwrap().flush().unwrap();
+
+        for batch in [1usize, 64, 8_192] {
+            let session = |backend| {
+                Session::new(
+                    detector(),
+                    backend,
+                    SessionConfig {
+                        batch,
+                        ..Default::default()
+                    },
+                )
+            };
+            let via_file = finish(session(Backend::Sequential).run(&trace).unwrap());
+            let expect = report_json(&via_file);
+
+            let mut fused = FleetSource::new(World::build(cfg.clone()));
+            let via_fused = finish(session(Backend::Sequential).run_source(&mut fused).unwrap());
+            assert_eq!(
+                report_json(&via_fused),
+                expect,
+                "fused vs materialized: batch={batch} intensity={intensity}"
+            );
+
+            for n in [1usize, 2, 4, 8] {
+                let mut par = ParallelFleetSource::new(World::build(cfg.clone()), n);
+                let via_par = finish(session(Backend::Sequential).run_source(&mut par).unwrap());
+                assert_eq!(
+                    report_json(&via_par),
+                    expect,
+                    "parallel vs materialized: gen_threads={n} batch={batch} \
+                     intensity={intensity}"
+                );
+            }
+        }
+    }
+}
+
+/// Mid-run state and checkpoint bytes: a parallel fused run stopped at its
+/// first checkpoint has ingested exactly as many records as the sequential
+/// fused run at the same cadence, and the checkpoint files — detector
+/// snapshot, source position, session counters, checksum framing — are
+/// byte-identical.
+#[test]
+fn checkpoint_bytes_are_identical_to_sequential_fused() {
+    let dir = TempDir::new("ckpt-bytes");
+    let cfg = grid_config(1.0);
+    let every = 500u64;
+    let config = |path: PathBuf| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: every,
+            stop_after: Some(1),
+        }),
+        ..Default::default()
+    };
+
+    let fused_ck = dir.path("fused.l6ck");
+    let mut fused = FleetSource::new(World::build(cfg.clone()));
+    let outcome = Session::new(detector(), Backend::Sequential, config(fused_ck.clone()))
+        .run_source(&mut fused)
+        .unwrap();
+    let SessionOutcome::Stopped {
+        records_done: fused_records,
+        ..
+    } = outcome
+    else {
+        panic!("fused run must stop at its first checkpoint");
+    };
+    assert_eq!(fused_records, every);
+    let fused_bytes = std::fs::read(&fused_ck).unwrap();
+
+    for n in [2usize, 8] {
+        let ck = dir.path(&format!("par{n}.l6ck"));
+        let mut par = ParallelFleetSource::new(World::build(cfg.clone()), n);
+        let outcome = Session::new(detector(), Backend::Sequential, config(ck.clone()))
+            .run_source(&mut par)
+            .unwrap();
+        let SessionOutcome::Stopped { records_done, .. } = outcome else {
+            panic!("parallel run must stop at its first checkpoint");
+        };
+        assert_eq!(records_done, fused_records, "gen_threads={n}");
+        assert_eq!(
+            std::fs::read(&ck).unwrap(),
+            fused_bytes,
+            "checkpoint bytes differ from sequential fused at gen_threads={n}"
+        );
+    }
+}
+
+/// Kill-resume with a different gen-thread count: a checkpoint written by
+/// an N=2 parallel run resumes under N=4, N=1 (plain fused), and a changed
+/// detector backend, all byte-identical to an uninterrupted run.
+#[test]
+fn kill_resume_with_different_gen_thread_count() {
+    let dir = TempDir::new("cross-n");
+    let cfg = grid_config(1.0);
+    let every = 500u64;
+    let config = |path: PathBuf, stop_after: Option<u64>| SessionConfig {
+        checkpoint: Some(CheckpointPolicy {
+            path,
+            every_records: every,
+            stop_after,
+        }),
+        ..Default::default()
+    };
+
+    let mut reference_src = ParallelFleetSource::new(World::build(cfg.clone()), 2);
+    let reference = finish(
+        Session::new(
+            detector(),
+            Backend::Sequential,
+            config(dir.path("ref.l6ck"), None),
+        )
+        .run_source(&mut reference_src)
+        .unwrap(),
+    );
+    assert!(
+        reference.records > 2 * every,
+        "workload too small to interrupt: {}",
+        reference.records
+    );
+    let expect = report_json(&reference);
+
+    // Interrupt an N=2 run after its second checkpoint.
+    let ck = dir.path("cross.l6ck");
+    let mut src = ParallelFleetSource::new(World::build(cfg.clone()), 2);
+    let outcome = Session::new(detector(), Backend::Sequential, config(ck.clone(), Some(2)))
+        .run_source(&mut src)
+        .unwrap();
+    assert!(matches!(outcome, SessionOutcome::Stopped { .. }));
+
+    // Resume under a larger thread count and a sharded backend.
+    {
+        let resume_ck = dir.path("resume4.l6ck");
+        std::fs::copy(&ck, &resume_ck).unwrap();
+        let mut fresh = ParallelFleetSource::new(World::build(cfg.clone()), 4);
+        let rep = finish(
+            Session::new(
+                detector(),
+                Backend::Sharded(ShardPlan::with_shards(2)),
+                config(resume_ck, None),
+            )
+            .run_source(&mut fresh)
+            .unwrap(),
+        );
+        assert_eq!(report_json(&rep), expect, "resume at gen_threads=4");
+    }
+
+    // Resume under the single-threaded fused source (gen_threads=1 path).
+    {
+        let resume_ck = dir.path("resume1.l6ck");
+        std::fs::copy(&ck, &resume_ck).unwrap();
+        let mut fresh = FleetSource::new(World::build(cfg));
+        let rep = finish(
+            Session::new(detector(), Backend::Sequential, config(resume_ck, None))
+                .run_source(&mut fresh)
+                .unwrap(),
+        );
+        assert_eq!(report_json(&rep), expect, "resume via plain FleetSource");
+    }
+}

@@ -33,7 +33,7 @@ use lumen6_detect::{
     Backend, CheckpointPolicy, DetectorBuilder, ScanDetectorConfig, Session, SessionConfig,
     ShardPlan, SketchConfig,
 };
-use lumen6_scanners::{FleetConfig, FleetSource, World};
+use lumen6_scanners::{FleetConfig, FleetSource, ParallelFleetSource, World};
 use lumen6_trace::{CodecError, FileStreamSource, Source, TailSource};
 use serde::value::{DeError, Value};
 use serde::{Deserialize, Serialize};
@@ -88,6 +88,11 @@ pub struct RunConfig {
     pub small: bool,
     /// Fused generation: packet-volume multiplier.
     pub intensity: f64,
+    /// Fused generation: generator threads. 1 = the single-threaded
+    /// [`FleetSource`]; N > 1 = [`ParallelFleetSource`] with N workers;
+    /// 0 = one worker per hardware thread. Output is byte-identical for
+    /// every value.
+    pub gen_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -113,6 +118,7 @@ impl Default for RunConfig {
             seed: 42,
             small: false,
             intensity: 1.0,
+            gen_threads: 1,
         }
     }
 }
@@ -149,6 +155,7 @@ impl Deserialize for RunConfig {
                 "seed" => cfg.seed = u64::from_value(val)?,
                 "small" => cfg.small = bool::from_value(val)?,
                 "intensity" => cfg.intensity = f64::from_value(val)?,
+                "gen_threads" => cfg.gen_threads = usize::from_value(val)?,
                 other => {
                     return Err(DeError::msg(format!("unknown RunConfig key {other:?}")));
                 }
@@ -185,6 +192,9 @@ impl RunConfig {
         }
         if self.stop_after.is_some() && self.checkpoint.is_none() {
             return Err("stop_after needs a checkpoint path".into());
+        }
+        if self.gen_threads != 1 && !self.fused {
+            return Err("gen_threads applies only to fused generation".into());
         }
         Ok(())
     }
@@ -256,9 +266,17 @@ impl RunConfig {
                 TailSource::open(Path::new(path)).permissive(permissive),
             ));
         }
-        Ok(Box::new(FleetSource::new(World::build(
-            self.fleet_config(),
-        ))))
+        let world = World::build(self.fleet_config());
+        match self.gen_threads {
+            1 => Ok(Box::new(FleetSource::new(world))),
+            0 => {
+                // Auto: one generator per hardware thread. Purely a
+                // throughput knob — the output is thread-count-invariant.
+                let n = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+                Ok(Box::new(ParallelFleetSource::new(world, n)))
+            }
+            n => Ok(Box::new(ParallelFleetSource::new(world, n))),
+        }
     }
 
     /// Builds the full [`Session`] this configuration describes.
@@ -537,6 +555,17 @@ mod tests {
             },
         });
         assert!(stopper.validate().unwrap_err().contains("stop_after"));
+    }
+
+    #[test]
+    fn gen_threads_parses_and_is_fused_only() {
+        let cfg = RunConfig::from_toml_str("fused = true\ngen_threads = 4\n").unwrap();
+        assert_eq!(cfg.gen_threads, 4);
+        assert!(cfg.validate().is_ok());
+        let auto = RunConfig::from_toml_str("fused = true\ngen_threads = 0\n").unwrap();
+        assert!(auto.validate().is_ok());
+        let bad = RunConfig::from_toml_str("trace = \"t\"\ngen_threads = 4\n").unwrap();
+        assert!(bad.validate().unwrap_err().contains("gen_threads"));
     }
 
     #[test]
